@@ -1,0 +1,138 @@
+/// \file bench_ablation.cpp
+/// \brief Ablations of the design choices DESIGN.md calls out:
+///   (a) LS's initial min-sharing round on/off (Fig. 3 lines 3-6);
+///   (b) online greedy LS vs rigid static-plan execution;
+///   (c) RRS quantum sweep (preemption cost vs load balance);
+///   (d) cache flush-on-switch (how much of LS's win is cache
+///       persistence across context switches);
+///   (e) re-layout threshold T sweep around the paper's mean heuristic;
+///   (f) the extension schedulers (FCFS, SJF, critical-path, online DLS)
+///       against the paper's four.
+
+#include <iostream>
+
+#include "core/laps.h"
+
+int main() {
+  using namespace laps;
+
+  const auto suite = standardSuite();
+  const Workload mix = concurrentScenario(suite, 3);
+  const Application isolated = makeMxM();
+
+  std::cout << "=== Ablations (3-app mix unless noted) ===\n\n";
+
+  {
+    Table t({"LS variant", "Time (ms)", "D$ misses"});
+    for (const bool initialRound : {true, false}) {
+      ExperimentConfig config;
+      config.sched.lsInitialMinSharingRound = initialRound;
+      const auto r = runExperiment(mix, SchedulerKind::Locality, config);
+      t.row()
+          .cell(initialRound ? "with initial min-sharing round"
+                             : "without initial round")
+          .cell(r.sim.seconds * 1e3, 3)
+          .cell(r.sim.dcacheTotal.misses);
+    }
+    std::cout << "-- (a) Fig. 3 initial round --\n" << t.ascii() << '\n';
+  }
+  {
+    Table t({"LS execution", "Time (ms)", "D$ misses", "Utilization"});
+    for (const bool staticPlan : {false, true}) {
+      const auto fps = mix.footprints();
+      const SharingMatrix sharing = SharingMatrix::compute(fps);
+      const AddressSpace space(mix.arrays);
+      LocalityOptions options;
+      options.staticPlan = staticPlan;
+      LocalityScheduler policy(options);
+      MpsocConfig mpsoc;
+      MpsocSimulator sim(mix, space, sharing, policy, mpsoc);
+      const SimResult r = sim.run();
+      t.row()
+          .cell(staticPlan ? "rigid static plan" : "online greedy (default)")
+          .cell(mpsoc.cyclesToSeconds(r.makespanCycles) * 1e3, 3)
+          .cell(r.dcacheTotal.misses)
+          .cell(r.utilization(), 3);
+    }
+    std::cout << "-- (b) online vs static-plan LS --\n" << t.ascii() << '\n';
+  }
+  {
+    Table t({"RRS quantum", "Time (ms)", "D$ misses", "Preemptions"});
+    for (const std::int64_t quantum : {2'000, 8'000, 32'000, 128'000}) {
+      ExperimentConfig config;
+      config.sched.rrsQuantumCycles = quantum;
+      const auto r = runExperiment(mix, SchedulerKind::RoundRobin, config);
+      t.row()
+          .cell(std::to_string(quantum) + " cyc")
+          .cell(r.sim.seconds * 1e3, 3)
+          .cell(r.sim.dcacheTotal.misses)
+          .cell(r.sim.preemptions);
+    }
+    std::cout << "-- (c) RRS quantum sweep (default 8000) --\n"
+              << t.ascii() << '\n';
+  }
+  {
+    Table t({"Config", "Time (ms)", "D$ misses"});
+    for (const bool flush : {false, true}) {
+      ExperimentConfig config;
+      config.mpsoc.flushOnSwitch = flush;
+      const auto r =
+          runExperiment(isolated.workload, SchedulerKind::Locality, config);
+      t.row()
+          .cell(flush ? "flush caches on switch" : "caches persist (default)")
+          .cell(r.sim.seconds * 1e3, 3)
+          .cell(r.sim.dcacheTotal.misses);
+    }
+    std::cout << "-- (d) cache persistence across switches (MxM, LS) --\n"
+              << t.ascii() << '\n';
+  }
+  {
+    Table t({"Threshold T", "Time (ms)", "Re-layouts", "Conflict misses"});
+    ExperimentConfig probe;
+    probe.mpsoc.memory.classifyMisses = true;
+    for (const std::int64_t threshold :
+         {std::int64_t{0}, std::int64_t{1'000}, std::int64_t{100'000},
+          std::int64_t{1} << 60}) {
+      ExperimentConfig config = probe;
+      config.relayoutThreshold = threshold;
+      const auto r =
+          runExperiment(mix, SchedulerKind::LocalityMapping, config);
+      t.row()
+          .cell(threshold >= (std::int64_t{1} << 60)
+                    ? "inf (re-layout off)"
+                    : std::to_string(threshold))
+          .cell(r.sim.seconds * 1e3, 3)
+          .cell(r.relayoutedArrays)
+          .cell(r.sim.dataMisses.conflict);
+    }
+    // The paper's default: mean over actionable pairs.
+    ExperimentConfig config = probe;
+    const auto r = runExperiment(mix, SchedulerKind::LocalityMapping, config);
+    t.row()
+        .cell("mean (paper default) = " + std::to_string(r.relayoutThreshold))
+        .cell(r.sim.seconds * 1e3, 3)
+        .cell(r.relayoutedArrays)
+        .cell(r.sim.dataMisses.conflict);
+    std::cout << "-- (e) re-layout threshold sweep (LSM) --\n"
+              << t.ascii() << '\n';
+  }
+  {
+    Table t({"Scheduler", "Time (ms)", "D$ misses", "Energy (mJ)"});
+    const std::vector<SchedulerKind> kinds{
+        SchedulerKind::Random,       SchedulerKind::RoundRobin,
+        SchedulerKind::Fcfs,         SchedulerKind::Sjf,
+        SchedulerKind::CriticalPath, SchedulerKind::DynamicLocality,
+        SchedulerKind::Locality,     SchedulerKind::LocalityMapping};
+    for (const auto kind : kinds) {
+      const auto r = runExperiment(mix, kind, {});
+      t.row()
+          .cell(r.schedulerName)
+          .cell(r.sim.seconds * 1e3, 3)
+          .cell(r.sim.dcacheTotal.misses)
+          .cell(r.energyMj, 3);
+    }
+    std::cout << "-- (f) extension schedulers (paper §6 future work) --\n"
+              << t.ascii() << '\n';
+  }
+  return 0;
+}

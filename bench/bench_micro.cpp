@@ -1,0 +1,114 @@
+/// \file bench_micro.cpp
+/// \brief google-benchmark microbenchmarks of the substrates: region
+/// algebra throughput (footprints, sharing matrices), cache model
+/// access rate, trace generation, and full simulation throughput.
+///
+/// These guard the performance of the analysis path (the paper's
+/// scheduler runs inside an OS, so the sharing analysis must be cheap)
+/// and of the simulator (the benches sweep dozens of configurations).
+
+#include <benchmark/benchmark.h>
+
+#include "core/laps.h"
+
+namespace {
+
+using namespace laps;
+
+void BM_IntervalSetIntersect(benchmark::State& state) {
+  const auto pieces = static_cast<std::int64_t>(state.range(0));
+  IntervalSet::Builder ba;
+  IntervalSet::Builder bb;
+  for (std::int64_t i = 0; i < pieces; ++i) {
+    ba.add(i * 100, i * 100 + 60);
+    bb.add(i * 100 + 40, i * 100 + 90);
+  }
+  const IntervalSet a = ba.build();
+  const IntervalSet b = bb.build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersectCardinality(b));
+  }
+  state.SetItemsProcessed(state.iterations() * pieces);
+}
+BENCHMARK(BM_IntervalSetIntersect)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_FootprintProg1(benchmark::State& state) {
+  ArrayTable arrays;
+  const ArrayId a = arrays.add("A", {10000, 16}, 4);
+  const ArrayAccess access{
+      a, AffineMap{AffineExpr({1000, 1}, 0), AffineExpr::constant(5)},
+      AccessKind::Read};
+  const auto space = IterationSpace::box({{0, 8}, {0, 3000}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accessFootprint(space, access, arrays.at(a)));
+  }
+}
+BENCHMARK(BM_FootprintProg1);
+
+void BM_SharingMatrixSuite(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto suite = standardSuite();
+  const Workload mix = concurrentScenario(suite, count);
+  const auto footprints = mix.footprints();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SharingMatrix::compute(footprints));
+  }
+  state.SetLabel(std::to_string(mix.graph.processCount()) + " processes");
+}
+BENCHMARK(BM_SharingMatrixSuite)->Arg(1)->Arg(3)->Arg(6);
+
+void BM_CacheAccess(benchmark::State& state) {
+  SetAssocCache cache(CacheConfig{});
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    addr = (addr * 2654435761u + 97) & 0xFFFFF;
+    benchmark::DoNotOptimize(cache.access(addr, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const Application app = makeMxM();
+  const AddressSpace space(app.workload.arrays);
+  const ProcessSpec& proc = app.workload.graph.process(5);
+  for (auto _ : state) {
+    ProcessTraceCursor cursor(proc, app.workload.arrays, space);
+    TraceStep step;
+    std::uint64_t steps = 0;
+    while (cursor.next(step)) ++steps;
+    benchmark::DoNotOptimize(steps);
+    state.SetItemsProcessed(static_cast<std::int64_t>(steps) +
+                            state.items_processed());
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_FullSimulationShape(benchmark::State& state) {
+  const Application app = makeShape();
+  for (auto _ : state) {
+    const auto r = runExperiment(app.workload, SchedulerKind::Locality, {});
+    benchmark::DoNotOptimize(r.sim.makespanCycles);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(r.sim.dcacheTotal.accesses) +
+        state.items_processed());
+  }
+}
+BENCHMARK(BM_FullSimulationShape);
+
+void BM_LocalityPlan(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto suite = standardSuite();
+  const Workload mix = concurrentScenario(suite, count);
+  const auto footprints = mix.footprints();
+  const SharingMatrix sharing = SharingMatrix::compute(footprints);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buildLocalityPlan(mix.graph, sharing, 8));
+  }
+  state.SetLabel(std::to_string(mix.graph.processCount()) + " processes");
+}
+BENCHMARK(BM_LocalityPlan)->Arg(1)->Arg(6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

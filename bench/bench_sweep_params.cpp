@@ -1,0 +1,91 @@
+/// \file bench_sweep_params.cpp
+/// \brief The paper's robustness claim (§1/§4): "our savings are
+/// consistent across several simulation parameters."
+///
+/// Sweeps cache size, associativity, off-chip latency and core count
+/// around the Table 2 defaults on a 3-application concurrent mix, and
+/// reports the LS-vs-RS and LSM-vs-LS improvements at every point.
+
+#include <iostream>
+
+#include "core/laps.h"
+
+namespace {
+
+using namespace laps;
+
+void runRow(Table& table, const std::string& label, const Workload& mix,
+            ExperimentConfig config) {
+  const auto results = compareSchedulers(mix, paperSchedulers(), config);
+  const double rs = results[0].sim.seconds * 1e3;
+  const double rrs = results[1].sim.seconds * 1e3;
+  const double ls = results[2].sim.seconds * 1e3;
+  const double lsm = results[3].sim.seconds * 1e3;
+  table.row()
+      .cell(label)
+      .cell(rs, 3)
+      .cell(rrs, 3)
+      .cell(ls, 3)
+      .cell(lsm, 3)
+      .cell(percentImprovement(rs, lsm), 1)
+      .cell(percentImprovement(rrs, lsm), 1);
+}
+
+}  // namespace
+
+int main() {
+  using namespace laps;
+
+  const auto suite = standardSuite();
+  const Workload mix = concurrentScenario(suite, 3);
+
+  std::cout << "=== Parameter sensitivity (3-app concurrent mix) ===\n\n";
+
+  {
+    Table t({"L1 size", "RS (ms)", "RRS (ms)", "LS (ms)", "LSM (ms)",
+             "LSM vs RS %", "LSM vs RRS %"});
+    for (const std::int64_t kb : {4, 8, 16, 32}) {
+      ExperimentConfig config;
+      config.mpsoc.memory.l1d.sizeBytes = kb * 1024;
+      config.mpsoc.memory.l1i.sizeBytes = kb * 1024;
+      runRow(t, std::to_string(kb) + "KB", mix, config);
+    }
+    std::cout << "-- cache size sweep (Table 2 default: 8KB) --\n"
+              << t.ascii() << '\n';
+  }
+  {
+    Table t({"Assoc", "RS (ms)", "RRS (ms)", "LS (ms)", "LSM (ms)",
+             "LSM vs RS %", "LSM vs RRS %"});
+    for (const std::int64_t ways : {1, 2, 4, 8}) {
+      ExperimentConfig config;
+      config.mpsoc.memory.l1d.assoc = ways;
+      config.mpsoc.memory.l1i.assoc = ways;
+      runRow(t, std::to_string(ways) + "-way", mix, config);
+    }
+    std::cout << "-- associativity sweep (default: 2-way) --\n"
+              << t.ascii() << '\n';
+  }
+  {
+    Table t({"Mem latency", "RS (ms)", "RRS (ms)", "LS (ms)", "LSM (ms)",
+             "LSM vs RS %", "LSM vs RRS %"});
+    for (const std::int64_t cycles : {25, 50, 75, 150}) {
+      ExperimentConfig config;
+      config.mpsoc.memory.memLatencyCycles = cycles;
+      runRow(t, std::to_string(cycles) + " cyc", mix, config);
+    }
+    std::cout << "-- off-chip latency sweep (default: 75 cycles) --\n"
+              << t.ascii() << '\n';
+  }
+  {
+    Table t({"Cores", "RS (ms)", "RRS (ms)", "LS (ms)", "LSM (ms)",
+             "LSM vs RS %", "LSM vs RRS %"});
+    for (const std::size_t cores : {2u, 4u, 8u, 16u}) {
+      ExperimentConfig config;
+      config.mpsoc.coreCount = cores;
+      runRow(t, std::to_string(cores), mix, config);
+    }
+    std::cout << "-- core count sweep (Table 2 default: 8) --\n"
+              << t.ascii() << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// \file bench_tables.cpp
+/// \brief Regenerates paper Table 1 (application suite) and Table 2
+/// (default simulation parameters), validating that the library defaults
+/// match the paper's platform.
+
+#include <iostream>
+
+#include "core/laps.h"
+
+int main() {
+  using namespace laps;
+
+  // --- Table 1: applications used in this study. ---
+  const auto suite = standardSuite();
+  Table t1({"Application (Task)", "Brief Description", "Processes",
+            "Arrays", "Refs (x1000)"});
+  for (const auto& app : suite) {
+    std::int64_t refs = 0;
+    for (const auto& p : app.workload.graph.processes()) {
+      refs += p.totalReferences();
+    }
+    t1.row()
+        .cell(app.name)
+        .cell(app.description)
+        .cell(app.processCount())
+        .cell(app.workload.arrays.size())
+        .cell(static_cast<double>(refs) / 1000.0, 1);
+  }
+  std::cout << "=== Table 1: applications used in this study ===\n"
+            << t1.ascii() << '\n';
+  std::cout << "Process counts span " << 9 << ".." << 37
+            << " (paper: \"vary between 9 and 37\")\n\n";
+
+  // --- Table 2: default simulation parameters. ---
+  const ExperimentConfig config;
+  const MpsocConfig& m = config.mpsoc;
+  Table t2({"Parameter", "Value"});
+  t2.row().cell("Number of processors").cell(m.coreCount);
+  t2.row()
+      .cell("Data/instruction cache per processor")
+      .cell(std::to_string(m.memory.l1d.sizeBytes / 1024) + "KB, " +
+            std::to_string(m.memory.l1d.assoc) + "-way");
+  t2.row()
+      .cell("Cache access latency")
+      .cell(std::to_string(m.memory.l1d.hitLatencyCycles) + " cycle");
+  t2.row()
+      .cell("Off-chip memory access latency")
+      .cell(std::to_string(m.memory.memLatencyCycles) + " cycles");
+  t2.row()
+      .cell("Processor speed")
+      .cell(std::to_string(static_cast<int>(m.clockHz / 1e6)) + " MHz");
+  std::cout << "=== Table 2: default simulation parameters ===\n"
+            << t2.ascii() << '\n';
+
+  // Validate against the paper's values (loudly, so a drifting default
+  // breaks this bench).
+  bool ok = m.coreCount == 8 && m.memory.l1d.sizeBytes == 8192 &&
+            m.memory.l1d.assoc == 2 && m.memory.l1d.hitLatencyCycles == 2 &&
+            m.memory.memLatencyCycles == 75 && m.clockHz == 200e6;
+  std::cout << (ok ? "defaults match paper Table 2\n"
+                   : "WARNING: defaults deviate from paper Table 2!\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+/// \file concurrent_apps.cpp
+/// \brief Multi-application scheduling (the paper's Fig. 7 scenario).
+///
+/// Merges three applications of the standard suite into one concurrent
+/// workload, runs the paper's four schedulers, and breaks the misses
+/// down into compulsory / capacity / conflict (3C model) to show *why*
+/// LSM helps when applications do not share data: only the conflict
+/// component moves.
+///
+///   ./concurrent_apps
+
+#include <iostream>
+
+#include "core/laps.h"
+
+int main() {
+  using namespace laps;
+
+  const auto suite = standardSuite();
+  const Workload mix = concurrentScenario(suite, 5);
+  std::cout << "Concurrent mix: ";
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::cout << (i ? " + " : "") << suite[i].name;
+  }
+  std::cout << " = " << mix.graph.processCount() << " processes, "
+            << mix.arrays.size() << " arrays\n\n";
+
+  ExperimentConfig config;
+  config.mpsoc.memory.classifyMisses = true;
+
+  Table table({"Scheduler", "Time (ms)", "Misses", "Compulsory", "Capacity",
+               "Conflict", "Migrations"});
+  for (const auto kind : paperSchedulers()) {
+    const ExperimentResult r = runExperiment(mix, kind, config);
+    table.row()
+        .cell(r.schedulerName)
+        .cell(r.sim.seconds * 1e3, 3)
+        .cell(r.sim.dcacheTotal.misses)
+        .cell(r.sim.dataMisses.compulsory)
+        .cell(r.sim.dataMisses.capacity)
+        .cell(r.sim.dataMisses.conflict)
+        .cell(r.sim.migrations);
+  }
+  std::cout << table.ascii();
+  std::cout << "\nNote how RS/RRS inflate capacity+conflict misses by mixing\n"
+               "unrelated processes on a core, and how LSM (re-layout)\n"
+               "specifically attacks the conflict column.\n";
+  return 0;
+}

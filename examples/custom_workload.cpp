@@ -1,0 +1,89 @@
+/// \file custom_workload.cpp
+/// \brief Building your own application with the workload API.
+///
+/// Constructs a 3-stage video pipeline (decode -> upscale -> sharpen)
+/// from scratch — arrays, affine loop nests, parallel stages, dependence
+/// links — validates it, and compares all eight schedulers (the paper's
+/// four plus this library's extensions).
+///
+///   ./custom_workload
+
+#include <iostream>
+
+#include "core/laps.h"
+
+int main() {
+  using namespace laps;
+
+  // --- Arrays: a QCIF-ish frame pipeline. ---
+  Workload w;
+  const std::int64_t rows = 96;
+  const std::int64_t cols = 128;
+  const ArrayId bitstream = w.arrays.add("bitstream", {rows, cols}, 4);
+  const ArrayId frame = w.arrays.add("frame", {rows, cols}, 4);
+  const ArrayId up = w.arrays.add("up", {rows, cols}, 4);
+  const ArrayId out = w.arrays.add("out", {rows, cols}, 4);
+
+  const auto v0 = AffineExpr::var(0, 3);
+  const auto v1 = AffineExpr::var(1, 3);
+  const auto v2 = AffineExpr::var(2, 3);
+
+  // --- Stage 1: decode (row blocks, 2 sweeps). ---
+  const LoopNest decodeNest{
+      IterationSpace::box({{0, 2}, {0, rows}, {0, cols}}),
+      {ArrayAccess{bitstream, AffineMap{v1, v2}, AccessKind::Read},
+       ArrayAccess{frame, AffineMap{v1, v2}, AccessKind::Write}},
+      2};
+  const auto decode =
+      addParallelLoop(w, 0, "decode", decodeNest, 12, /*splitDim=*/1);
+
+  // --- Stage 2: upscale (reads the decoded rows one-to-one). ---
+  const LoopNest upscaleNest{
+      IterationSpace::box({{0, 2}, {0, rows}, {0, cols - 1}}),
+      {ArrayAccess{frame, AffineMap{v1, v2}, AccessKind::Read},
+       ArrayAccess{frame, AffineMap{v1, v2.shift(1)}, AccessKind::Read},
+       ArrayAccess{up, AffineMap{v1, v2}, AccessKind::Write}},
+      1};
+  const auto upscale =
+      addParallelLoop(w, 0, "upscale", upscaleNest, 12, /*splitDim=*/1);
+  linkStages(w.graph, decode, upscale, StageLink::OneToOne);
+
+  // --- Stage 3: sharpen (vertical stencil, halo dependences). ---
+  const LoopNest sharpenNest{
+      IterationSpace::box({{0, 2}, {0, rows - 1}, {0, cols}}),
+      {ArrayAccess{up, AffineMap{v1, v2}, AccessKind::Read},
+       ArrayAccess{up, AffineMap{v1.shift(1), v2}, AccessKind::Read},
+       ArrayAccess{out, AffineMap{v1, v2}, AccessKind::Write}},
+      1};
+  const auto sharpen =
+      addParallelLoop(w, 0, "sharpen", sharpenNest, 12, /*splitDim=*/1);
+  linkStages(w.graph, upscale, sharpen, StageLink::Neighborhood);
+
+  validateWorkload(w);
+  std::cout << "Custom pipeline: " << w.graph.processCount() << " processes, "
+            << w.graph.edgeCount() << " dependences\n"
+            << "EPG (Graphviz):\n"
+            << w.graph.toDot() << '\n';
+
+  // --- Compare every scheduler in the library. ---
+  const std::vector<SchedulerKind> kinds{
+      SchedulerKind::Random,        SchedulerKind::RoundRobin,
+      SchedulerKind::Locality,      SchedulerKind::LocalityMapping,
+      SchedulerKind::Fcfs,          SchedulerKind::Sjf,
+      SchedulerKind::CriticalPath,  SchedulerKind::DynamicLocality};
+  ExperimentConfig config;
+  config.mpsoc.coreCount = 4;
+
+  Table table({"Scheduler", "Time (ms)", "D$ misses", "Switches", "Energy (mJ)"});
+  for (const auto kind : kinds) {
+    const ExperimentResult r = runExperiment(w, kind, config);
+    table.row()
+        .cell(r.schedulerName)
+        .cell(r.sim.seconds * 1e3, 3)
+        .cell(r.sim.dcacheTotal.misses)
+        .cell(r.sim.contextSwitches)
+        .cell(r.energyMj, 3);
+  }
+  std::cout << table.ascii();
+  return 0;
+}

@@ -1,0 +1,126 @@
+/// \file layout_optimizer.cpp
+/// \brief The Fig. 4 data re-layout in isolation.
+///
+/// Recreates the paper's K1/K2 scenario: two arrays accessed by
+/// back-to-back processes on one core, placed at page-aligned bases so
+/// their lines collide in every cache set. Shows the conflict matrix,
+/// runs the Fig. 5 selection, and simulates before/after.
+///
+///   ./layout_optimizer
+
+#include <iostream>
+
+#include "core/laps.h"
+
+int main() {
+  using namespace laps;
+
+  // --- Two 2 KB arrays + a large streaming array. p1 sweeps K1 and K2
+  // together; p2 re-sweeps K2 (paper §3's example: re-layouting K1/K2
+  // helps p1, and p2 finds K2 still resident). The stream array models
+  // the rest of the application's traffic. ---
+  Workload w;
+  const std::int64_t n = 512;  // 2 KB per table
+  const ArrayId k1 = w.arrays.add("K1", {n}, 4);
+  const ArrayId k2 = w.arrays.add("K2", {n}, 4);
+  const ArrayId stream = w.arrays.add("stream", {1 << 14}, 4);
+
+  const auto s = AffineExpr::var(0, 2);  // sweep
+  const auto i = AffineExpr::var(1, 2);  // element
+
+  ProcessSpec p1;
+  p1.name = "p1";
+  p1.nests.push_back(LoopNest{
+      IterationSpace::box({{0, 40}, {0, n}}),
+      {ArrayAccess{k1, AffineMap{i}, AccessKind::Read},
+       ArrayAccess{k2, AffineMap{i}, AccessKind::Read}},
+      1});
+  (void)s;
+  ProcessSpec p2;
+  p2.name = "p2";
+  p2.nests.push_back(LoopNest{
+      IterationSpace::box({{0, 40}, {0, n}}),
+      {ArrayAccess{k2, AffineMap{i}, AccessKind::Read}},
+      1});
+  ProcessSpec p3;
+  p3.name = "p3";
+  p3.nests.push_back(LoopNest{
+      IterationSpace::box({{0, 1}, {0, 1 << 14}}),
+      {ArrayAccess{stream, AffineMap{i}, AccessKind::Read}},
+      1});
+  const ProcessId id1 = w.graph.addProcess(std::move(p1));
+  const ProcessId id2 = w.graph.addProcess(std::move(p2));
+  w.graph.addProcess(std::move(p3));
+  w.graph.addDependence(id1, id2);  // p2 right after p1
+  validateWorkload(w);
+
+  // A direct-mapped 8 KB cache (page = 8 KB): with page-aligned bases,
+  // K1 and K2 occupy the same sets and every alternating access of p1
+  // evicts the other array's line — the paper's Fig. 4(a) pathology.
+  const CacheConfig cache{8192, 1, 32, 2};
+  std::cout << "Cache: " << cache.toString() << "\n\n";
+
+  const AddressSpaceOptions placement{.dataBase = 0x1000'0000,
+                                      .alignBytes = 8192};
+  const auto footprints = w.footprints();
+  AddressSpace space(w.arrays, placement);
+  // Weight conflicts by reference density: K1/K2 are re-swept 40 times,
+  // the stream is touched once.
+  const std::vector<std::int64_t> refs{40 * n, 2 * 40 * n, 1 << 14};
+  const ConflictMatrix conflicts =
+      ConflictMatrix::compute(w.arrays, footprints, space, cache, refs);
+  std::cout << "Conflict matrix (density-weighted co-mapped line pairs):\n"
+            << conflicts.toTable(w.arrays).ascii() << '\n';
+
+  // --- Fig. 5 selection. ---
+  const RelayoutPlan plan =
+      planRelayout(conflicts, cache, alwaysEligible(), std::nullopt,
+                   RelayoutLimits{{2048, 2048, 1 << 16}, 6144});
+  std::cout << "Re-layout threshold T = " << plan.threshold << "; "
+            << plan.relayoutCount() << " arrays re-layouted\n";
+  for (ArrayId a = 0; a < plan.transforms.size(); ++a) {
+    if (!plan.transforms[a].isIdentity()) {
+      std::cout << "  " << w.arrays.at(a).name << ": interleave(page="
+                << plan.transforms[a].pageBytes()
+                << ", b=" << plan.transforms[a].phase() << ")\n";
+    }
+  }
+
+  // --- Simulate before/after on one core. ---
+  const SharingMatrix sharing = SharingMatrix::compute(footprints);
+  MpsocConfig mpsoc;
+  mpsoc.coreCount = 1;
+  mpsoc.memory.l1d = cache;
+  mpsoc.memory.l1i = CacheConfig{8192, 1, 32, 2};
+
+  FcfsScheduler fifo;
+  MpsocSimulator before(w, space, sharing, fifo, mpsoc);
+  const SimResult resBefore = before.run();
+
+  AddressSpace optimized(w.arrays, placement);
+  for (ArrayId a = 0; a < plan.transforms.size(); ++a) {
+    if (!plan.transforms[a].isIdentity()) {
+      optimized.setTransform(a, plan.transforms[a]);
+    }
+  }
+  FcfsScheduler fifo2;
+  MpsocSimulator after(w, optimized, sharing, fifo2, mpsoc);
+  const SimResult resAfter = after.run();
+
+  Table table({"Layout", "Cycles", "D$ misses", "Miss rate"});
+  table.row()
+      .cell("original (Fig. 4a)")
+      .cell(resBefore.makespanCycles)
+      .cell(resBefore.dcacheTotal.misses)
+      .cell(resBefore.dataMissRate(), 4);
+  table.row()
+      .cell("interleaved (Fig. 4b)")
+      .cell(resAfter.makespanCycles)
+      .cell(resAfter.dcacheTotal.misses)
+      .cell(resAfter.dataMissRate(), 4);
+  std::cout << '\n' << table.ascii();
+  std::cout << "\nMisses removed by re-layout: "
+            << (resBefore.dcacheTotal.misses - resAfter.dcacheTotal.misses)
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// \file paper_example.cpp
+/// \brief Reproduces the paper's running example (§2, Figs. 1-2).
+///
+/// Prog1 of Fig. 1:
+///     for (i1 = 0; i1 < 8; i1++)
+///       for (i2 = 0; i2 < 3000; i2++)
+///         B[i1] += A[i1*1000 + i2][5];
+/// parallelized into 8 processes along i1. The program prints the
+/// process footprints, the Fig. 2(a) sharing matrix, and the Fig. 3
+/// mapping for a 4-core MPSoC (compare with Fig. 2(b)).
+///
+///   ./paper_example
+
+#include <iostream>
+
+#include "core/laps.h"
+
+int main() {
+  using namespace laps;
+
+  // --- Fig. 1: Prog1's array and access. ---
+  Workload w;
+  const ArrayId arrayA = w.arrays.add("A", {10000, 16}, 4);
+  const LoopNest nest{
+      IterationSpace::box({{0, 8}, {0, 3000}}),
+      {ArrayAccess{arrayA,
+                   AffineMap{AffineExpr({1000, 1}, 0), AffineExpr::constant(5)},
+                   AccessKind::Read}},
+      1};
+  std::cout << "Prog1 iteration space IS1 = " << nest.space.toString()
+            << ", access A[" << nest.accesses[0].map.toString() << "]\n\n";
+
+  // --- Parallelize over 8 processes (successive i1 blocks). ---
+  const auto processes = addParallelLoop(w, 0, "Prog1", nest, 8);
+  const auto footprints = w.footprints();
+  for (std::size_t k = 0; k < processes.size(); ++k) {
+    std::cout << "  DS1," << k << " = " << footprints[k].totalElements()
+              << " elements of A\n";
+  }
+
+  // --- Fig. 2(a): the sharing matrix. ---
+  const SharingMatrix sharing = SharingMatrix::compute(footprints);
+  std::cout << "\nSharing matrix (paper Fig. 2(a); diagonal = own footprint):\n"
+            << sharing.toTable().ascii() << '\n';
+
+  // --- Fig. 2(b): mapping for 4 cores via the Fig. 3 algorithm. ---
+  const LocalityPlan plan = buildLocalityPlan(w.graph, sharing, 4);
+  Table mapping({"Core", "T1", "T2"});
+  for (std::size_t c = 0; c < plan.perCore.size(); ++c) {
+    auto row = std::vector<std::string>{};
+    mapping.row().cell("core " + std::to_string(c));
+    for (std::size_t slot = 0; slot < 2; ++slot) {
+      mapping.cell(slot < plan.perCore[c].size()
+                       ? "P" + std::to_string(plan.perCore[c][slot])
+                       : "-");
+    }
+  }
+  std::cout << "Fig. 3 mapping on 4 cores (compare Fig. 2(b)):\n"
+            << mapping.ascii() << '\n';
+
+  std::int64_t reuse = 0;
+  for (const auto& [a, b] : plan.successivePairs()) {
+    reuse += sharing.at(a, b);
+  }
+  std::cout << "Data reuse across successive pairs: " << reuse
+            << " elements (paper's ideal mapping reaches 8000; the greedy\n"
+            << "heuristic is not always optimal, as the paper notes)\n";
+  return 0;
+}

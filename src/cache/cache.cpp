@@ -1,0 +1,89 @@
+#include "cache/cache.h"
+
+#include "util/error.h"
+
+namespace laps {
+
+void CacheStats::accumulate(const CacheStats& other) {
+  accesses += other.accesses;
+  hits += other.hits;
+  misses += other.misses;
+  evictions += other.evictions;
+  dirtyEvictions += other.dirtyEvictions;
+  invalidations += other.invalidations;
+}
+
+SetAssocCache::SetAssocCache(CacheConfig config) : config_(config) {
+  config_.validate();
+  ways_.resize(static_cast<std::size_t>(config_.numSets() * config_.assoc));
+}
+
+AccessOutcome SetAssocCache::access(std::uint64_t addr, bool isWrite) {
+  ++stats_.accesses;
+  ++useClock_;
+  const std::int64_t set = config_.setIndexOf(addr);
+  const std::uint64_t tag = config_.tagOf(addr);
+  const std::size_t base = static_cast<std::size_t>(set * config_.assoc);
+  const std::size_t assoc = static_cast<std::size_t>(config_.assoc);
+
+  std::size_t victim = base;
+  for (std::size_t w = base; w < base + assoc; ++w) {
+    Way& way = ways_[w];
+    if (way.valid && way.tag == tag) {
+      way.lastUse = useClock_;
+      way.dirty |= isWrite;
+      ++stats_.hits;
+      return AccessOutcome::Hit;
+    }
+    // Track the LRU (or first invalid) way as the victim candidate.
+    if (!ways_[victim].valid) {
+      continue;  // already found an invalid slot
+    }
+    if (!way.valid || way.lastUse < ways_[victim].lastUse) {
+      victim = w;
+    }
+  }
+
+  ++stats_.misses;
+  Way& way = ways_[victim];
+  if (way.valid) {
+    ++stats_.evictions;
+    if (way.dirty) ++stats_.dirtyEvictions;
+  }
+  way.tag = tag;
+  way.valid = true;
+  way.dirty = isWrite;  // write-allocate
+  way.lastUse = useClock_;
+  return AccessOutcome::Miss;
+}
+
+void SetAssocCache::flush() {
+  for (Way& way : ways_) {
+    if (way.valid) {
+      ++stats_.invalidations;
+      if (way.dirty) ++stats_.dirtyEvictions;
+    }
+    way = Way{};
+  }
+}
+
+bool SetAssocCache::probe(std::uint64_t addr) const {
+  const std::int64_t set = config_.setIndexOf(addr);
+  const std::uint64_t tag = config_.tagOf(addr);
+  const std::size_t base = static_cast<std::size_t>(set * config_.assoc);
+  for (std::size_t w = base; w < base + static_cast<std::size_t>(config_.assoc);
+       ++w) {
+    if (ways_[w].valid && ways_[w].tag == tag) return true;
+  }
+  return false;
+}
+
+std::int64_t SetAssocCache::residentLines() const {
+  std::int64_t count = 0;
+  for (const Way& way : ways_) {
+    if (way.valid) ++count;
+  }
+  return count;
+}
+
+}  // namespace laps

@@ -1,0 +1,75 @@
+#pragma once
+/// \file cache.h
+/// \brief Set-associative cache model with true-LRU replacement.
+///
+/// This is the on-chip L1 model of the MPSoC simulator. It is a timing /
+/// contents model (tags only, no data), write-allocate + write-back.
+/// Cache state deliberately persists across context switches on the same
+/// core: that persistence is the mechanism the paper's scheduler exploits.
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/config.h"
+
+namespace laps {
+
+/// Outcome of one cache access.
+enum class AccessOutcome : std::uint8_t { Hit, Miss };
+
+/// Counters accumulated by a cache instance.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirtyEvictions = 0;  ///< write-backs to memory
+  std::uint64_t invalidations = 0;   ///< lines dropped by flush()
+
+  [[nodiscard]] double missRate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+
+  /// Element-wise sum (aggregation across cores).
+  void accumulate(const CacheStats& other);
+};
+
+/// A single set-associative, true-LRU, write-back cache.
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(CacheConfig config);
+
+  /// Simulates one access; updates contents, LRU order and statistics.
+  AccessOutcome access(std::uint64_t addr, bool isWrite);
+
+  /// Invalidates everything (dirty lines count as write-backs).
+  void flush();
+
+  /// True when the line containing \p addr is resident (no side effects).
+  [[nodiscard]] bool probe(std::uint64_t addr) const;
+
+  /// Number of valid lines currently resident.
+  [[nodiscard]] std::int64_t residentLines() const;
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  void resetStats() { stats_ = CacheStats{}; }
+
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lastUse = 0;  // global stamp for LRU
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig config_;
+  std::vector<Way> ways_;  // numSets * assoc, set-major
+  CacheStats stats_;
+  std::uint64_t useClock_ = 0;
+};
+
+}  // namespace laps

@@ -1,0 +1,33 @@
+#include "cache/config.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace laps {
+namespace {
+
+bool isPowerOfTwo(std::int64_t x) { return x > 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+void CacheConfig::validate() const {
+  check(sizeBytes > 0, "CacheConfig: sizeBytes must be positive");
+  check(assoc > 0, "CacheConfig: assoc must be positive");
+  check(lineBytes > 0, "CacheConfig: lineBytes must be positive");
+  check(hitLatencyCycles >= 0, "CacheConfig: negative hit latency");
+  check(isPowerOfTwo(lineBytes), "CacheConfig: lineBytes must be a power of two");
+  check(sizeBytes % (assoc * lineBytes) == 0,
+        "CacheConfig: sizeBytes must be divisible by assoc*lineBytes");
+  check(isPowerOfTwo(numSets()), "CacheConfig: number of sets must be a power of two");
+}
+
+std::string CacheConfig::toString() const {
+  std::ostringstream os;
+  os << sizeBytes / 1024 << "KB " << assoc << "-way " << lineBytes
+     << "B lines (" << numSets() << " sets, page " << cachePageBytes()
+     << "B)";
+  return os.str();
+}
+
+}  // namespace laps

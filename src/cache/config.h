@@ -1,0 +1,55 @@
+#pragma once
+/// \file config.h
+/// \brief Cache geometry and latency configuration.
+///
+/// Defaults match the paper's Table 2: 8 KB, 2-way, 2-cycle access.
+/// The "cache page" (paper footnote 1: cache size / associativity) is the
+/// address granularity at which the data re-layout of Fig. 4 operates.
+
+#include <cstdint>
+#include <string>
+
+namespace laps {
+
+/// Geometry and timing of one set-associative cache.
+struct CacheConfig {
+  std::int64_t sizeBytes = 8 * 1024;  ///< total capacity (Table 2: 8 KB)
+  std::int64_t assoc = 2;             ///< ways per set (Table 2: 2-way)
+  std::int64_t lineBytes = 32;        ///< cache line size
+  std::int64_t hitLatencyCycles = 2;  ///< Table 2: 2-cycle access
+
+  /// Number of sets (sizeBytes / (assoc * lineBytes)).
+  [[nodiscard]] std::int64_t numSets() const {
+    return sizeBytes / (assoc * lineBytes);
+  }
+
+  /// Number of lines the cache can hold.
+  [[nodiscard]] std::int64_t numLines() const { return sizeBytes / lineBytes; }
+
+  /// The paper's cache page: size / associativity. Two addresses whose
+  /// offsets within a cache page differ can never map to the same set.
+  [[nodiscard]] std::int64_t cachePageBytes() const {
+    return sizeBytes / assoc;
+  }
+
+  /// Set index of a byte address.
+  [[nodiscard]] std::int64_t setIndexOf(std::uint64_t addr) const {
+    return static_cast<std::int64_t>(
+        (addr / static_cast<std::uint64_t>(lineBytes)) %
+        static_cast<std::uint64_t>(numSets()));
+  }
+
+  /// Tag of a byte address (line address divided by number of sets).
+  [[nodiscard]] std::uint64_t tagOf(std::uint64_t addr) const {
+    return (addr / static_cast<std::uint64_t>(lineBytes)) /
+           static_cast<std::uint64_t>(numSets());
+  }
+
+  /// Throws laps::Error when the geometry is inconsistent (non-positive
+  /// fields, capacity not divisible into sets, non-power-of-two sizes).
+  void validate() const;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+}  // namespace laps

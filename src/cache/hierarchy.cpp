@@ -1,0 +1,48 @@
+#include "cache/hierarchy.h"
+
+namespace laps {
+
+MemorySystem::MemorySystem(const MemoryConfig& config)
+    : config_(config), dcache_(config.l1d), icache_(config.l1i) {
+  if (config_.classifyMisses) {
+    classifier_.emplace(config_.l1d);
+  }
+}
+
+std::int64_t MemorySystem::dataAccess(std::uint64_t addr, bool isWrite) {
+  const AccessOutcome outcome = dcache_.access(addr, isWrite);
+  if (classifier_) {
+    classifier_->record(addr, outcome == AccessOutcome::Miss);
+  }
+  if (outcome == AccessOutcome::Hit) {
+    return config_.l1d.hitLatencyCycles;
+  }
+  return config_.l1d.hitLatencyCycles + config_.memLatencyCycles;
+}
+
+std::int64_t MemorySystem::instrFetch(std::uint64_t addr) {
+  if (!config_.modelICache) return 0;
+  const AccessOutcome outcome = icache_.access(addr, /*isWrite=*/false);
+  if (outcome == AccessOutcome::Hit) {
+    return config_.l1i.hitLatencyCycles;
+  }
+  return config_.l1i.hitLatencyCycles + config_.memLatencyCycles;
+}
+
+void MemorySystem::flushAll() {
+  dcache_.flush();
+  icache_.flush();
+  if (classifier_) classifier_->flushShadow();
+}
+
+MissBreakdown MemorySystem::dataMissBreakdown() const {
+  return classifier_ ? classifier_->breakdown() : MissBreakdown{};
+}
+
+void MemorySystem::resetStats() {
+  dcache_.resetStats();
+  icache_.resetStats();
+  if (classifier_) classifier_->resetStats();
+}
+
+}  // namespace laps

@@ -1,0 +1,60 @@
+#pragma once
+/// \file hierarchy.h
+/// \brief Per-core memory system: split L1 I/D caches over off-chip memory.
+///
+/// Table 2 of the paper: 8 KB 2-way data and instruction caches per
+/// processor, 2-cycle cache access, 75-cycle off-chip access. Each core
+/// of the MPSoC owns one MemorySystem; there is no shared L2 (the paper
+/// models none).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "cache/cache.h"
+#include "cache/miss_class.h"
+
+namespace laps {
+
+/// Configuration of one core's memory system.
+struct MemoryConfig {
+  CacheConfig l1d{};                  ///< data cache (Table 2 defaults)
+  CacheConfig l1i{};                  ///< instruction cache
+  std::int64_t memLatencyCycles = 75; ///< off-chip access (Table 2)
+  bool modelICache = true;            ///< simulate instruction fetches
+  bool classifyMisses = false;        ///< enable 3C classification (slower)
+};
+
+/// One core's private L1s plus the off-chip latency model. Returns the
+/// latency of each access in cycles; keeps hit/miss statistics.
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MemoryConfig& config);
+
+  /// One data reference; returns its latency in cycles.
+  std::int64_t dataAccess(std::uint64_t addr, bool isWrite);
+
+  /// One instruction fetch; returns its latency in cycles
+  /// (0 when instruction modeling is disabled).
+  std::int64_t instrFetch(std::uint64_t addr);
+
+  /// Invalidates both caches (used by the flush-on-switch ablation).
+  void flushAll();
+
+  [[nodiscard]] const SetAssocCache& dcache() const { return dcache_; }
+  [[nodiscard]] const SetAssocCache& icache() const { return icache_; }
+  [[nodiscard]] const MemoryConfig& config() const { return config_; }
+
+  /// Data-miss classification; zeros unless classifyMisses was set.
+  [[nodiscard]] MissBreakdown dataMissBreakdown() const;
+
+  void resetStats();
+
+ private:
+  MemoryConfig config_;
+  SetAssocCache dcache_;
+  SetAssocCache icache_;
+  std::optional<MissClassifier> classifier_;
+};
+
+}  // namespace laps

@@ -1,0 +1,50 @@
+#include "cache/miss_class.h"
+
+namespace laps {
+
+MissClassifier::MissClassifier(const CacheConfig& config)
+    : lineBytes_(config.lineBytes),
+      capacityLines_(static_cast<std::size_t>(config.numLines())) {}
+
+bool MissClassifier::shadowAccess(std::uint64_t line) {
+  const auto it = where_.find(line);
+  if (it != where_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
+    return true;
+  }
+  lru_.push_front(line);
+  where_[line] = lru_.begin();
+  if (lru_.size() > capacityLines_) {
+    where_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return false;
+}
+
+std::optional<MissKind> MissClassifier::record(std::uint64_t addr,
+                                               bool realMiss) {
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(lineBytes_);
+  const bool seenBefore = !everSeen_.insert(line).second;
+  const bool shadowHit = shadowAccess(line);
+  if (!realMiss) return std::nullopt;
+
+  MissKind kind;
+  if (!seenBefore) {
+    kind = MissKind::Compulsory;
+    ++breakdown_.compulsory;
+  } else if (shadowHit) {
+    kind = MissKind::Conflict;
+    ++breakdown_.conflict;
+  } else {
+    kind = MissKind::Capacity;
+    ++breakdown_.capacity;
+  }
+  return kind;
+}
+
+void MissClassifier::flushShadow() {
+  lru_.clear();
+  where_.clear();
+}
+
+}  // namespace laps

@@ -1,0 +1,102 @@
+#include "core/experiment.h"
+
+#include "sched/locality.h"
+#include "taskgraph/validate.h"
+
+namespace laps {
+
+std::vector<SchedulerKind> paperSchedulers() {
+  return {SchedulerKind::Random, SchedulerKind::RoundRobin,
+          SchedulerKind::Locality, SchedulerKind::LocalityMapping};
+}
+
+ExperimentResult runExperiment(const Workload& workload, SchedulerKind kind,
+                               const ExperimentConfig& config) {
+  validateWorkload(workload);
+
+  // §2: exact per-process data sets and the sharing matrix.
+  const std::vector<Footprint> footprints = workload.footprints();
+  const SharingMatrix sharing = SharingMatrix::compute(footprints);
+
+  AddressSpace space(workload.arrays, config.addressSpace);
+
+  ExperimentResult result;
+  result.kind = kind;
+
+  if (kind == SchedulerKind::LocalityMapping) {
+    // LSM pipeline (§3): build the LS plan first — the re-layout
+    // eligibility relation depends on which processes run back-to-back
+    // on a core — then re-layout the conflicting arrays and simulate
+    // with the transformed address mapping.
+    LocalityOptions lsOptions;
+    lsOptions.initialMinSharingRound = config.sched.lsInitialMinSharingRound;
+    const LocalityPlan plan = buildLocalityPlan(
+        workload.graph, sharing, config.mpsoc.coreCount, lsOptions);
+    const PairEligibility eligible = scheduleEligibility(
+        plan.perCore, footprints, workload.arrays.size());
+    // Total dynamic references per array (weights the conflict matrix
+    // toward hot, repeatedly-referenced data).
+    std::vector<std::int64_t> refCounts(workload.arrays.size(), 0);
+    for (const ProcessSpec& p : workload.graph.processes()) {
+      for (const LoopNest& nest : p.nests) {
+        for (const ArrayAccess& access : nest.accesses) {
+          refCounts[access.array] += nest.space.numPoints();
+        }
+      }
+    }
+    const ConflictMatrix conflicts = ConflictMatrix::compute(
+        workload.arrays, footprints, space, config.mpsoc.memory.l1d,
+        refCounts);
+    // Size guard: interleaving confines an array to half the cache sets,
+    // so the *per-process working set* of a transformed array (what one
+    // process keeps hot at a time) must leave slack in that half —
+    // 3/4 of a cache page in practice. The whole array may be far larger;
+    // congruent twin arrays (the paper's K1/K2 of Fig. 4) are exactly
+    // large arrays whose per-process blocks are small.
+    RelayoutLimits limits;
+    limits.maxFootprintBytes = config.mpsoc.memory.l1d.cachePageBytes() * 3 / 4;
+    limits.arrayFootprintBytes.assign(workload.arrays.size(), 0);
+    for (const Footprint& fp : footprints) {
+      for (const auto& [id, elems] : fp.perArray()) {
+        limits.arrayFootprintBytes[id] =
+            std::max(limits.arrayFootprintBytes[id],
+                     elems.cardinality() * workload.arrays.at(id).elemSize);
+      }
+    }
+    const RelayoutPlan relayout =
+        planRelayout(conflicts, config.mpsoc.memory.l1d, eligible,
+                     config.relayoutThreshold, limits);
+    for (ArrayId a = 0; a < relayout.transforms.size(); ++a) {
+      if (!relayout.transforms[a].isIdentity()) {
+        space.setTransform(a, relayout.transforms[a]);
+      }
+    }
+    result.relayoutedArrays = relayout.relayoutCount();
+    result.relayoutThreshold = relayout.threshold;
+  }
+
+  const std::unique_ptr<SchedulerPolicy> policy =
+      makeScheduler(kind, config.sched);
+  result.schedulerName = policy->name();
+  if (kind == SchedulerKind::LocalityMapping) {
+    result.schedulerName = "LSM";  // distinguish from plain LS
+  }
+
+  MpsocSimulator simulator(workload, space, sharing, *policy, config.mpsoc);
+  result.sim = simulator.run();
+  result.energyMj = config.energy.totalMj(result.sim);
+  return result;
+}
+
+std::vector<ExperimentResult> compareSchedulers(
+    const Workload& workload, std::span<const SchedulerKind> kinds,
+    const ExperimentConfig& config) {
+  std::vector<ExperimentResult> results;
+  results.reserve(kinds.size());
+  for (const SchedulerKind kind : kinds) {
+    results.push_back(runExperiment(workload, kind, config));
+  }
+  return results;
+}
+
+}  // namespace laps

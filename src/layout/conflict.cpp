@@ -1,0 +1,119 @@
+#include "layout/conflict.h"
+
+#include "util/error.h"
+
+namespace laps {
+
+std::vector<std::int64_t> setOccupancy(const IntervalSet& byteIntervals,
+                                       const CacheConfig& cache) {
+  const std::int64_t line = cache.lineBytes;
+  const std::int64_t sets = cache.numSets();
+  // First collapse byte intervals to distinct line indices (coalesced so a
+  // line straddled by two intervals is counted once).
+  IntervalSet::Builder lineBuilder(byteIntervals.pieceCount());
+  for (const Interval& iv : byteIntervals.pieces()) {
+    lineBuilder.add(iv.lo / line, (iv.hi - 1) / line + 1);
+  }
+  const IntervalSet lines = lineBuilder.build();
+
+  std::vector<std::int64_t> occupancy(static_cast<std::size_t>(sets), 0);
+  for (const Interval& iv : lines.pieces()) {
+    const std::int64_t count = iv.length();
+    const std::int64_t full = count / sets;  // whole wraps touch every set
+    if (full > 0) {
+      for (auto& o : occupancy) o += full;
+    }
+    const std::int64_t rest = count % sets;
+    std::int64_t s = iv.lo % sets;
+    for (std::int64_t k = 0; k < rest; ++k) {
+      occupancy[static_cast<std::size_t>(s)] += 1;
+      s = (s + 1) % sets;
+    }
+  }
+  return occupancy;
+}
+
+ConflictMatrix::ConflictMatrix(std::size_t n) : n_(n), cells_(n * n, 0) {}
+
+std::size_t ConflictMatrix::idx(std::size_t x, std::size_t y) const {
+  check(x < n_ && y < n_, "ConflictMatrix: index out of range");
+  return x * n_ + y;
+}
+
+std::int64_t ConflictMatrix::at(std::size_t x, std::size_t y) const {
+  return cells_[idx(x, y)];
+}
+
+void ConflictMatrix::set(std::size_t x, std::size_t y, std::int64_t value) {
+  cells_[idx(x, y)] = value;
+}
+
+ConflictMatrix ConflictMatrix::compute(
+    const ArrayTable& arrays, std::span<const Footprint> processFootprints,
+    const AddressSpace& space, const CacheConfig& cache,
+    std::span<const std::int64_t> arrayRefCounts) {
+  const std::size_t n = arrays.size();
+  // Union footprint of each array over all processes.
+  std::vector<IntervalSet> elements(n);
+  for (const Footprint& fp : processFootprints) {
+    for (const auto& [id, set] : fp.perArray()) {
+      elements[id] = elements[id].unite(set);
+    }
+  }
+  // Per-array set occupancy under the current layout, plus reference
+  // density (average dynamic references per distinct line).
+  std::vector<std::vector<std::int64_t>> occupancy(n);
+  std::vector<std::int64_t> density(n, 1);
+  for (std::size_t a = 0; a < n; ++a) {
+    occupancy[a] = setOccupancy(
+        space.byteIntervals(static_cast<ArrayId>(a), elements[a]), cache);
+    if (!arrayRefCounts.empty()) {
+      std::int64_t lines = 0;
+      for (const auto o : occupancy[a]) lines += o;
+      density[a] = std::max<std::int64_t>(
+          1, arrayRefCounts[a] / std::max<std::int64_t>(1, lines));
+    }
+  }
+
+  ConflictMatrix m(n);
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = x + 1; y < n; ++y) {
+      std::int64_t conflicts = 0;
+      for (std::size_t s = 0; s < occupancy[x].size(); ++s) {
+        conflicts += occupancy[x][s] * occupancy[y][s];
+      }
+      conflicts *= std::min(density[x], density[y]);
+      m.set(x, y, conflicts);
+      m.set(y, x, conflicts);
+    }
+  }
+  return m;
+}
+
+std::int64_t ConflictMatrix::averagePairConflicts() const {
+  if (n_ < 2) return 0;
+  std::int64_t total = 0;
+  std::int64_t pairs = 0;
+  for (std::size_t x = 0; x < n_; ++x) {
+    for (std::size_t y = x + 1; y < n_; ++y) {
+      total += at(x, y);
+      ++pairs;
+    }
+  }
+  return total / pairs;
+}
+
+Table ConflictMatrix::toTable(const ArrayTable& arrays) const {
+  std::vector<std::string> headers{""};
+  for (std::size_t y = 0; y < n_; ++y) headers.push_back(arrays.at(static_cast<ArrayId>(y)).name);
+  Table t(std::move(headers));
+  for (std::size_t x = 0; x < n_; ++x) {
+    t.row().cell(arrays.at(static_cast<ArrayId>(x)).name);
+    for (std::size_t y = 0; y < n_; ++y) {
+      t.cell(at(x, y));
+    }
+  }
+  return t;
+}
+
+}  // namespace laps

@@ -1,0 +1,68 @@
+#pragma once
+/// \file conflict.h
+/// \brief Pairwise array conflict analysis (input to paper Fig. 5).
+///
+/// Two arrays conflict when lines of both map to the same cache set: if
+/// they are live on one core at the same time (same process, or
+/// successive processes on the same core), each co-mapped line pair can
+/// produce conflict misses. The conflict matrix entry M[x][y] counts the
+/// pairs of (x-line, y-line) that share a cache set under the current
+/// address layout — an exact, geometry-derived proxy for the paper's
+/// "number of conflicts".
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cache/config.h"
+#include "layout/address_space.h"
+#include "region/footprint.h"
+#include "util/table.h"
+
+namespace laps {
+
+/// Per-set line occupancy of one array's footprint under a layout.
+/// occupancy[s] = number of distinct cache lines of the array that map to
+/// set s.
+[[nodiscard]] std::vector<std::int64_t> setOccupancy(
+    const IntervalSet& byteIntervals, const CacheConfig& cache);
+
+/// Symmetric array-by-array conflict-count matrix.
+class ConflictMatrix {
+ public:
+  ConflictMatrix() = default;
+  explicit ConflictMatrix(std::size_t n);
+
+  /// Computes conflicts from the union footprint of every array across
+  /// \p processFootprints, placed by \p space, indexed by \p cache.
+  ///
+  /// When \p arrayRefCounts is provided (total dynamic references per
+  /// array, indexed by ArrayId), each pair's geometric collision count is
+  /// weighted by the smaller of the two arrays' reference densities
+  /// (references per distinct line). Co-mapped lines only thrash when
+  /// both are re-referenced, so this steers the Fig. 5 selection toward
+  /// hot tables rather than single-pass streams.
+  static ConflictMatrix compute(const ArrayTable& arrays,
+                                std::span<const Footprint> processFootprints,
+                                const AddressSpace& space,
+                                const CacheConfig& cache,
+                                std::span<const std::int64_t> arrayRefCounts = {});
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] std::int64_t at(std::size_t x, std::size_t y) const;
+  void set(std::size_t x, std::size_t y, std::int64_t value);
+
+  /// Mean over unordered pairs x < y — the paper's default threshold T.
+  [[nodiscard]] std::int64_t averagePairConflicts() const;
+
+  /// Renders as a table labelled by array names.
+  [[nodiscard]] Table toTable(const ArrayTable& arrays) const;
+
+ private:
+  [[nodiscard]] std::size_t idx(std::size_t x, std::size_t y) const;
+
+  std::size_t n_ = 0;
+  std::vector<std::int64_t> cells_;
+};
+
+}  // namespace laps

@@ -1,0 +1,160 @@
+#include "layout/relayout.h"
+
+#include <memory>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace laps {
+
+std::size_t RelayoutPlan::relayoutCount() const {
+  std::size_t count = 0;
+  for (const auto& t : transforms) {
+    if (!t.isIdentity()) ++count;
+  }
+  return count;
+}
+
+PairEligibility alwaysEligible() {
+  return [](ArrayId, ArrayId) { return true; };
+}
+
+RelayoutPlan planRelayout(const ConflictMatrix& conflicts,
+                          const CacheConfig& cache,
+                          const PairEligibility& eligible,
+                          std::optional<std::int64_t> thresholdOverride,
+                          const RelayoutLimits& limits) {
+  const std::size_t n = conflicts.size();
+  RelayoutPlan plan;
+  plan.transforms.assign(n, LayoutTransform{});
+  if (thresholdOverride) {
+    plan.threshold = *thresholdOverride;
+  } else if (n >= 2) {
+    // The paper sets T to the average conflict count over all pairs. We
+    // average over the *actionable* pairs (eligible and within the size
+    // guard): pairs the algorithm can never transform — e.g. two large
+    // streaming arrays — would otherwise inflate T and starve every
+    // actionable pair. With fewer than two actionable pairs the
+    // actionable mean degenerates (a single pair would block itself), so
+    // we fall back to the paper's plain all-pairs mean.
+    std::int64_t total = 0;
+    std::int64_t count = 0;
+    for (std::size_t x = 0; x < n; ++x) {
+      for (std::size_t y = x + 1; y < n; ++y) {
+        if (!eligible(static_cast<ArrayId>(x), static_cast<ArrayId>(y))) continue;
+        if (!limits.fits(static_cast<ArrayId>(x)) ||
+            !limits.fits(static_cast<ArrayId>(y))) {
+          continue;
+        }
+        total += conflicts.at(x, y);
+        ++count;
+      }
+    }
+    plan.threshold =
+        count > 1 ? total / count : conflicts.averagePairConflicts();
+  }
+  if (n < 2) return plan;
+
+  const std::int64_t page = cache.cachePageBytes();
+  const std::int64_t half = page / 2;
+  std::vector<bool> relayouted(n, false);
+
+  // Working copy of the matrix (entries are zeroed as pairs are consumed).
+  ConflictMatrix m(n);
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = 0; y < n; ++y) {
+      m.set(x, y, conflicts.at(x, y));
+    }
+  }
+
+  // Picks the max-conflict pair among pairs with at least one fresh array;
+  // returns false when none remains.
+  const auto selectMax = [&](std::size_t& outX, std::size_t& outY) {
+    std::int64_t best = -1;
+    for (std::size_t x = 0; x < n; ++x) {
+      for (std::size_t y = x + 1; y < n; ++y) {
+        if (relayouted[x] && relayouted[y]) continue;
+        if (m.at(x, y) > best) {
+          best = m.at(x, y);
+          outX = x;
+          outY = y;
+        }
+      }
+    }
+    return best >= 0;
+  };
+
+  std::size_t x = 0;
+  std::size_t y = 0;
+  if (!selectMax(x, y)) return plan;
+  while (m.at(x, y) > plan.threshold) {
+    m.set(x, y, 0);
+    m.set(y, x, 0);
+    plan.examinedPairs.emplace_back(static_cast<ArrayId>(x),
+                                    static_cast<ArrayId>(y));
+    if (eligible(static_cast<ArrayId>(x), static_cast<ArrayId>(y)) &&
+        limits.fits(static_cast<ArrayId>(x)) &&
+        limits.fits(static_cast<ArrayId>(y))) {
+      const auto opposite = [&](std::int64_t phase) {
+        return phase == 0 ? half : std::int64_t{0};
+      };
+      if (relayouted[x] && !relayouted[y]) {
+        plan.transforms[y] = LayoutTransform::interleave(
+            page, opposite(plan.transforms[x].phase()));
+        relayouted[y] = true;
+      } else if (relayouted[y] && !relayouted[x]) {
+        plan.transforms[x] = LayoutTransform::interleave(
+            page, opposite(plan.transforms[y].phase()));
+        relayouted[x] = true;
+      } else if (!relayouted[x] && !relayouted[y]) {
+        plan.transforms[x] = LayoutTransform::interleave(page, 0);
+        plan.transforms[y] = LayoutTransform::interleave(page, half);
+        relayouted[x] = true;
+        relayouted[y] = true;
+      }
+      // Both already re-layouted: their layouts were fixed by pairs with
+      // higher conflict counts; leave them as-is (paper Fig. 5).
+    }
+    if (!selectMax(x, y)) break;
+  }
+  return plan;
+}
+
+PairEligibility scheduleEligibility(
+    const std::vector<std::vector<std::uint32_t>>& corePlans,
+    std::span<const Footprint> footprints, std::size_t arrayCount) {
+  // Collect eligible unordered pairs into a flat hash set of packed keys.
+  auto packed = std::make_shared<std::unordered_set<std::uint64_t>>();
+  const auto addPairs = [&](const std::vector<ArrayId>& a,
+                            const std::vector<ArrayId>& b) {
+    for (const ArrayId x : a) {
+      for (const ArrayId y : b) {
+        if (x == y) continue;
+        const std::uint64_t lo = std::min(x, y);
+        const std::uint64_t hi = std::max(x, y);
+        packed->insert(lo * arrayCount + hi);
+      }
+    }
+  };
+  for (const auto& plan : corePlans) {
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      check(plan[i] < footprints.size(),
+            "scheduleEligibility: process id out of range");
+      const auto arrays = footprints[plan[i]].arrays();
+      // Arrays within the same process compete with each other.
+      addPairs(arrays, arrays);
+      // Arrays of successively scheduled processes compete.
+      if (i + 1 < plan.size()) {
+        addPairs(arrays, footprints[plan[i + 1]].arrays());
+      }
+    }
+  }
+  return [packed, arrayCount](ArrayId x, ArrayId y) {
+    if (x == y) return false;
+    const std::uint64_t lo = std::min(x, y);
+    const std::uint64_t hi = std::max(x, y);
+    return packed->contains(lo * arrayCount + hi);
+  };
+}
+
+}  // namespace laps

@@ -1,0 +1,14 @@
+#include "layout/transform.h"
+
+namespace laps {
+
+LayoutTransform LayoutTransform::interleave(std::int64_t pageBytes,
+                                            std::int64_t phase) {
+  check(pageBytes > 0 && pageBytes % 2 == 0,
+        "LayoutTransform: pageBytes must be positive and even");
+  check(phase == 0 || phase == pageBytes / 2,
+        "LayoutTransform: phase must be 0 or pageBytes/2");
+  return LayoutTransform(pageBytes, phase);
+}
+
+}  // namespace laps

@@ -1,0 +1,61 @@
+#pragma once
+/// \file transform.h
+/// \brief The data re-layout transformation of paper Fig. 4.
+///
+/// A transformed array is split into chunks of half a cache page
+/// (C = cache size / associativity) and the chunks are spread one cache
+/// page apart:
+///     addr'(e) = 2·addr(e) − addr(e) mod (C/2) + b,   b ∈ {0, C/2}.
+/// Writing addr = q·(C/2) + r this is addr' = q·C + r + b, i.e. chunk q
+/// occupies byte range [qC + b, qC + b + C/2). Arrays with different b
+/// therefore occupy disjoint set-index ranges and can never conflict —
+/// at the price of doubling the array's address span.
+
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace laps {
+
+/// Per-array address transformation (identity or half-page interleave).
+class LayoutTransform {
+ public:
+  /// Identity layout (the default for every array).
+  LayoutTransform() = default;
+
+  /// Interleaved layout with cache page \p pageBytes and phase \p phase
+  /// (must be 0 or pageBytes/2).
+  static LayoutTransform interleave(std::int64_t pageBytes, std::int64_t phase);
+
+  [[nodiscard]] bool isIdentity() const { return pageBytes_ == 0; }
+  [[nodiscard]] std::int64_t pageBytes() const { return pageBytes_; }
+  [[nodiscard]] std::int64_t phase() const { return phase_; }
+
+  /// Maps a byte offset relative to the array base. The array base must
+  /// itself be aligned to pageBytes for the no-conflict guarantee.
+  [[nodiscard]] std::int64_t apply(std::int64_t byteOffset) const {
+    if (pageBytes_ == 0) return byteOffset;
+    const std::int64_t half = pageBytes_ / 2;
+    return 2 * byteOffset - byteOffset % half + phase_;
+  }
+
+  /// Bytes of address space the transformed array needs when its natural
+  /// size is \p naturalBytes (≈ 2x for interleaved layouts).
+  [[nodiscard]] std::int64_t spanBytes(std::int64_t naturalBytes) const {
+    if (pageBytes_ == 0) return naturalBytes;
+    const std::int64_t half = pageBytes_ / 2;
+    const std::int64_t chunks = (naturalBytes + half - 1) / half;
+    return chunks * pageBytes_;
+  }
+
+  friend bool operator==(const LayoutTransform&, const LayoutTransform&) = default;
+
+ private:
+  LayoutTransform(std::int64_t pageBytes, std::int64_t phase)
+      : pageBytes_(pageBytes), phase_(phase) {}
+
+  std::int64_t pageBytes_ = 0;  // 0 = identity
+  std::int64_t phase_ = 0;
+};
+
+}  // namespace laps

@@ -1,0 +1,23 @@
+#pragma once
+/// \file access.h
+/// \brief A single array reference inside a loop nest.
+
+#include <cstdint>
+
+#include "region/affine.h"
+#include "region/array.h"
+
+namespace laps {
+
+/// Whether a reference reads or writes the array.
+enum class AccessKind : std::uint8_t { Read, Write };
+
+/// One textual array reference, e.g. `A[i1*1000+i2][5]` is
+/// {array=A, map=(1000*i0 + i1, 5), kind=Read}.
+struct ArrayAccess {
+  ArrayId array = 0;
+  AffineMap map;
+  AccessKind kind = AccessKind::Read;
+};
+
+}  // namespace laps

@@ -1,0 +1,95 @@
+#include "region/affine.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace laps {
+
+AffineExpr::AffineExpr(std::vector<std::int64_t> coeffs, std::int64_t constant)
+    : coeffs_(std::move(coeffs)), c0_(constant) {}
+
+AffineExpr AffineExpr::var(std::size_t dim, std::size_t rank) {
+  check(dim < rank, "AffineExpr::var: dim out of range");
+  std::vector<std::int64_t> coeffs(rank, 0);
+  coeffs[dim] = 1;
+  return AffineExpr(std::move(coeffs), 0);
+}
+
+std::int64_t AffineExpr::eval(std::span<const std::int64_t> point) const {
+  check(point.size() >= coeffs_.size(),
+        "AffineExpr::eval: point rank too small");
+  std::int64_t acc = c0_;
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    acc += coeffs_[k] * point[k];
+  }
+  return acc;
+}
+
+bool AffineExpr::isConstant() const {
+  for (const std::int64_t c : coeffs_) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+AffineExpr AffineExpr::plus(const AffineExpr& other) const {
+  std::vector<std::int64_t> coeffs(std::max(coeffs_.size(), other.coeffs_.size()), 0);
+  for (std::size_t k = 0; k < coeffs.size(); ++k) {
+    coeffs[k] = coeff(k) + other.coeff(k);
+  }
+  return AffineExpr(std::move(coeffs), c0_ + other.c0_);
+}
+
+AffineExpr AffineExpr::times(std::int64_t factor) const {
+  std::vector<std::int64_t> coeffs = coeffs_;
+  for (auto& c : coeffs) c *= factor;
+  return AffineExpr(std::move(coeffs), c0_ * factor);
+}
+
+AffineExpr AffineExpr::shift(std::int64_t delta) const {
+  return AffineExpr(coeffs_, c0_ + delta);
+}
+
+std::string AffineExpr::toString() const {
+  std::ostringstream os;
+  bool any = false;
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    if (coeffs_[k] == 0) continue;
+    if (any) os << " + ";
+    if (coeffs_[k] != 1) os << coeffs_[k] << '*';
+    os << 'i' << k;
+    any = true;
+  }
+  if (c0_ != 0 || !any) {
+    if (any) os << " + ";
+    os << c0_;
+  }
+  return os.str();
+}
+
+const AffineExpr& AffineMap::expr(std::size_t d) const {
+  check(d < exprs_.size(), "AffineMap::expr out of range");
+  return exprs_[d];
+}
+
+void AffineMap::eval(std::span<const std::int64_t> point,
+                     std::vector<std::int64_t>& out) const {
+  out.resize(exprs_.size());
+  for (std::size_t d = 0; d < exprs_.size(); ++d) {
+    out[d] = exprs_[d].eval(point);
+  }
+}
+
+std::string AffineMap::toString() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t d = 0; d < exprs_.size(); ++d) {
+    if (d) os << ", ";
+    os << exprs_[d].toString();
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace laps

@@ -1,0 +1,79 @@
+#pragma once
+/// \file affine.h
+/// \brief Affine expressions and maps over loop index vectors.
+///
+/// Paper §2 example: the access A[i1*1000 + i2][5] is the affine map
+///   (i1, i2) -> (1000*i1 + 1*i2 + 0, 5).
+/// AffineExpr is one output coordinate; AffineMap is the full index map.
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace laps {
+
+/// c0 + sum_k coeffs[k] * i_k over an iteration vector i.
+class AffineExpr {
+ public:
+  AffineExpr() = default;
+
+  /// \p coeffs has one entry per loop dimension (outermost first).
+  AffineExpr(std::vector<std::int64_t> coeffs, std::int64_t constant);
+
+  /// Constant expression (no loop dependence).
+  static AffineExpr constant(std::int64_t c) { return AffineExpr({}, c); }
+
+  /// The single loop variable \p dim of a \p rank -dimensional nest.
+  static AffineExpr var(std::size_t dim, std::size_t rank);
+
+  [[nodiscard]] std::int64_t eval(std::span<const std::int64_t> point) const;
+
+  [[nodiscard]] std::int64_t coeff(std::size_t k) const {
+    return k < coeffs_.size() ? coeffs_[k] : 0;
+  }
+  [[nodiscard]] std::int64_t constantTerm() const { return c0_; }
+  [[nodiscard]] std::size_t rank() const { return coeffs_.size(); }
+  [[nodiscard]] bool isConstant() const;
+
+  /// Returns this + other (ranks must match or one side constant).
+  [[nodiscard]] AffineExpr plus(const AffineExpr& other) const;
+  /// Returns this scaled by \p factor.
+  [[nodiscard]] AffineExpr times(std::int64_t factor) const;
+  /// Returns this + \p delta.
+  [[nodiscard]] AffineExpr shift(std::int64_t delta) const;
+
+  [[nodiscard]] std::string toString() const;
+
+  friend bool operator==(const AffineExpr&, const AffineExpr&) = default;
+
+ private:
+  std::vector<std::int64_t> coeffs_;
+  std::int64_t c0_ = 0;
+};
+
+/// One AffineExpr per array dimension.
+class AffineMap {
+ public:
+  AffineMap() = default;
+  AffineMap(std::initializer_list<AffineExpr> exprs) : exprs_(exprs) {}
+  explicit AffineMap(std::vector<AffineExpr> exprs) : exprs_(std::move(exprs)) {}
+
+  [[nodiscard]] std::size_t results() const { return exprs_.size(); }
+  [[nodiscard]] const AffineExpr& expr(std::size_t d) const;
+  [[nodiscard]] const std::vector<AffineExpr>& exprs() const { return exprs_; }
+
+  /// Evaluates all coordinates at \p point into \p out (resized).
+  void eval(std::span<const std::int64_t> point,
+            std::vector<std::int64_t>& out) const;
+
+  [[nodiscard]] std::string toString() const;
+
+  friend bool operator==(const AffineMap&, const AffineMap&) = default;
+
+ private:
+  std::vector<AffineExpr> exprs_;
+};
+
+}  // namespace laps

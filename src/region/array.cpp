@@ -1,0 +1,61 @@
+#include "region/array.h"
+
+#include "util/error.h"
+
+namespace laps {
+
+std::int64_t ArrayInfo::numElements() const {
+  std::int64_t total = 1;
+  for (const std::int64_t e : extents) {
+    check(e >= 0, "ArrayInfo extent must be non-negative");
+    total *= e;
+  }
+  return total;
+}
+
+std::vector<std::int64_t> ArrayInfo::rowMajorStrides() const {
+  std::vector<std::int64_t> strides(extents.size(), 1);
+  for (std::size_t d = extents.size(); d-- > 1;) {
+    strides[d - 1] = strides[d] * extents[d];
+  }
+  return strides;
+}
+
+std::int64_t ArrayInfo::linearize(std::span<const std::int64_t> index) const {
+  check(index.size() == extents.size(), "linearize: index rank mismatch");
+  std::int64_t offset = 0;
+  std::int64_t stride = 1;
+  for (std::size_t d = extents.size(); d-- > 0;) {
+    check(index[d] >= 0 && index[d] < extents[d],
+          "linearize: index out of bounds for array " + name);
+    offset += index[d] * stride;
+    stride *= extents[d];
+  }
+  return offset;
+}
+
+ArrayId ArrayTable::add(std::string name, std::vector<std::int64_t> extents,
+                        std::int64_t elemSize) {
+  check(elemSize > 0, "ArrayTable::add: elemSize must be positive");
+  check(!extents.empty(), "ArrayTable::add: arrays need at least one dimension");
+  ArrayInfo info;
+  info.id = static_cast<ArrayId>(arrays_.size());
+  info.name = std::move(name);
+  info.extents = std::move(extents);
+  info.elemSize = elemSize;
+  arrays_.push_back(std::move(info));
+  return arrays_.back().id;
+}
+
+const ArrayInfo& ArrayTable::at(ArrayId id) const {
+  check(id < arrays_.size(), "ArrayTable::at: unknown array id");
+  return arrays_[id];
+}
+
+std::int64_t ArrayTable::totalBytes() const {
+  std::int64_t total = 0;
+  for (const auto& a : arrays_) total += a.sizeBytes();
+  return total;
+}
+
+}  // namespace laps

@@ -1,0 +1,56 @@
+#pragma once
+/// \file array.h
+/// \brief Array metadata and the per-application array table.
+///
+/// Arrays are the unit of data mapping in the paper: footprints, the
+/// sharing matrix, the conflict matrix and re-layout all operate on
+/// whole arrays identified by ArrayId.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace laps {
+
+/// Stable identifier of an array within an ArrayTable.
+using ArrayId = std::uint32_t;
+
+/// Shape and element size of one array. Indexing is row-major
+/// (last dimension contiguous), matching C layout.
+struct ArrayInfo {
+  ArrayId id = 0;
+  std::string name;
+  std::vector<std::int64_t> extents;  // per-dimension sizes
+  std::int64_t elemSize = 4;          // bytes per element
+
+  [[nodiscard]] std::size_t rank() const { return extents.size(); }
+  [[nodiscard]] std::int64_t numElements() const;
+  [[nodiscard]] std::int64_t sizeBytes() const { return numElements() * elemSize; }
+
+  /// Row-major strides in elements (stride of last dim is 1).
+  [[nodiscard]] std::vector<std::int64_t> rowMajorStrides() const;
+
+  /// Linear element offset of a (bounds-checked) index vector.
+  [[nodiscard]] std::int64_t linearize(std::span<const std::int64_t> index) const;
+};
+
+/// Registry of arrays for one scenario. ArrayIds index into it densely.
+class ArrayTable {
+ public:
+  /// Registers an array and returns its id.
+  ArrayId add(std::string name, std::vector<std::int64_t> extents,
+              std::int64_t elemSize = 4);
+
+  [[nodiscard]] const ArrayInfo& at(ArrayId id) const;
+  [[nodiscard]] std::size_t size() const { return arrays_.size(); }
+  [[nodiscard]] const std::vector<ArrayInfo>& all() const { return arrays_; }
+
+  /// Total bytes across all arrays (natural, untransformed layout).
+  [[nodiscard]] std::int64_t totalBytes() const;
+
+ private:
+  std::vector<ArrayInfo> arrays_;
+};
+
+}  // namespace laps

@@ -1,0 +1,140 @@
+#include "region/footprint.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace laps {
+
+AffineExpr linearizeAccess(const ArrayAccess& access, const ArrayInfo& info) {
+  check(access.map.results() == info.rank(),
+        "linearizeAccess: access rank does not match array " + info.name);
+  const std::vector<std::int64_t> strides = info.rowMajorStrides();
+  AffineExpr linear = AffineExpr::constant(0);
+  for (std::size_t d = 0; d < info.rank(); ++d) {
+    linear = linear.plus(access.map.expr(d).times(strides[d]));
+  }
+  return linear;
+}
+
+IntervalSet accessFootprint(const IterationSpace& space,
+                            const ArrayAccess& access, const ArrayInfo& info,
+                            std::int64_t budget) {
+  if (space.empty()) return {};
+  const AffineExpr linear = linearizeAccess(access, info);
+
+  // Pick the "run" dimension: the loop whose per-iteration address step is
+  // smallest in magnitude. Its iterations become one strided run per
+  // combination of the remaining dimensions.
+  const std::size_t rank = space.rank();
+  std::size_t runDim = rank;  // sentinel: expression constant over the space
+  std::int64_t runStep = 0;
+  for (std::size_t d = 0; d < rank; ++d) {
+    const std::int64_t step = linear.coeff(d) * space.dim(d).step;
+    if (step == 0) continue;
+    if (runDim == rank || std::llabs(step) < std::llabs(runStep)) {
+      runDim = d;
+      runStep = step;
+    }
+  }
+
+  if (runDim == rank) {
+    // Address independent of every loop variable: a single element.
+    std::vector<std::int64_t> origin(rank);
+    for (std::size_t d = 0; d < rank; ++d) origin[d] = space.dim(d).lo;
+    const std::int64_t offset = linear.eval(origin);
+    return IntervalSet::point(offset);
+  }
+
+  const std::int64_t runCount = space.dim(runDim).tripCount();
+  std::int64_t outerCombos = 1;
+  for (std::size_t d = 0; d < rank; ++d) {
+    if (d != runDim) outerCombos *= space.dim(d).tripCount();
+  }
+  const std::int64_t fragmentsPerRun =
+      (std::llabs(runStep) == 1) ? 1 : runCount;
+  check(outerCombos * fragmentsPerRun <= budget,
+        "accessFootprint: enumeration budget exceeded; shrink the space or "
+        "raise the budget");
+
+  // Enumerate all dimensions except runDim with an odometer.
+  IntervalSet::Builder builder(
+      static_cast<std::size_t>(outerCombos * fragmentsPerRun));
+  std::vector<std::int64_t> point(rank);
+  for (std::size_t d = 0; d < rank; ++d) point[d] = space.dim(d).lo;
+
+  const std::int64_t spanLength = (runCount - 1) * runStep;  // signed
+  for (;;) {
+    const std::int64_t first = linear.eval(point);
+    const std::int64_t lo = runStep > 0 ? first : first + spanLength;
+    if (std::llabs(runStep) == 1) {
+      builder.add(lo, lo + runCount);
+    } else {
+      const std::int64_t stride = std::llabs(runStep);
+      for (std::int64_t k = 0; k < runCount; ++k) {
+        builder.addPoint(lo + k * stride);
+      }
+    }
+    // Advance the odometer, skipping runDim.
+    std::size_t d = rank;
+    for (;;) {
+      if (d == 0) return builder.build();
+      --d;
+      if (d == runDim) continue;
+      point[d] += space.dim(d).step;
+      if (point[d] < space.dim(d).hi) break;
+      point[d] = space.dim(d).lo;
+    }
+  }
+}
+
+void Footprint::add(ArrayId array, const IntervalSet& elements) {
+  if (elements.empty()) return;
+  auto [it, inserted] = perArray_.try_emplace(array, elements);
+  if (!inserted) {
+    it->second = it->second.unite(elements);
+  }
+}
+
+const IntervalSet& Footprint::of(ArrayId array) const {
+  static const IntervalSet kEmpty;
+  const auto it = perArray_.find(array);
+  return it == perArray_.end() ? kEmpty : it->second;
+}
+
+bool Footprint::touches(ArrayId array) const {
+  return perArray_.contains(array);
+}
+
+std::vector<ArrayId> Footprint::arrays() const {
+  std::vector<ArrayId> ids;
+  ids.reserve(perArray_.size());
+  for (const auto& [id, _] : perArray_) ids.push_back(id);
+  return ids;
+}
+
+std::int64_t Footprint::totalElements() const {
+  std::int64_t total = 0;
+  for (const auto& [_, set] : perArray_) total += set.cardinality();
+  return total;
+}
+
+std::int64_t Footprint::sharedElements(const Footprint& other) const {
+  std::int64_t total = 0;
+  for (const auto& [id, set] : perArray_) {
+    const auto it = other.perArray_.find(id);
+    if (it != other.perArray_.end()) {
+      total += set.intersectCardinality(it->second);
+    }
+  }
+  return total;
+}
+
+void Footprint::merge(const Footprint& other) {
+  for (const auto& [id, set] : other.perArray_) {
+    add(id, set);
+  }
+}
+
+}  // namespace laps

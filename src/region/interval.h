@@ -1,0 +1,38 @@
+#pragma once
+/// \file interval.h
+/// \brief Half-open integer interval [lo, hi), the atom of the region algebra.
+
+#include <algorithm>
+#include <cstdint>
+
+namespace laps {
+
+/// Half-open interval of int64 points: [lo, hi). Empty when lo >= hi.
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;  // exclusive
+
+  [[nodiscard]] constexpr bool empty() const { return lo >= hi; }
+  [[nodiscard]] constexpr std::int64_t length() const { return empty() ? 0 : hi - lo; }
+  [[nodiscard]] constexpr bool contains(std::int64_t x) const { return x >= lo && x < hi; }
+
+  /// True when the two intervals share at least one point.
+  [[nodiscard]] constexpr bool overlaps(const Interval& other) const {
+    return std::max(lo, other.lo) < std::min(hi, other.hi);
+  }
+
+  /// True when the union of the two intervals is itself an interval
+  /// (overlapping or exactly adjacent).
+  [[nodiscard]] constexpr bool touches(const Interval& other) const {
+    return std::max(lo, other.lo) <= std::min(hi, other.hi);
+  }
+
+  /// Intersection (possibly empty).
+  [[nodiscard]] constexpr Interval intersect(const Interval& other) const {
+    return Interval{std::max(lo, other.lo), std::min(hi, other.hi)};
+  }
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+};
+
+}  // namespace laps

@@ -1,0 +1,147 @@
+#include "region/interval_set.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace laps {
+
+IntervalSet::IntervalSet(std::vector<Interval> intervals)
+    : pieces_(std::move(intervals)) {
+  normalize();
+}
+
+void IntervalSet::normalize() {
+  std::erase_if(pieces_, [](const Interval& iv) { return iv.empty(); });
+  std::sort(pieces_.begin(), pieces_.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    if (out > 0 && pieces_[out - 1].touches(pieces_[i])) {
+      pieces_[out - 1].hi = std::max(pieces_[out - 1].hi, pieces_[i].hi);
+    } else {
+      pieces_[out++] = pieces_[i];
+    }
+  }
+  pieces_.resize(out);
+}
+
+void IntervalSet::insert(Interval iv) {
+  if (iv.empty()) return;
+  // Find the first piece that could touch iv, merge the whole run.
+  auto first = std::lower_bound(
+      pieces_.begin(), pieces_.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.hi < b.lo; });
+  auto last = first;
+  while (last != pieces_.end() && last->touches(iv)) {
+    iv.lo = std::min(iv.lo, last->lo);
+    iv.hi = std::max(iv.hi, last->hi);
+    ++last;
+  }
+  const auto pos = pieces_.erase(first, last);
+  pieces_.insert(pos, iv);
+}
+
+IntervalSet IntervalSet::unite(const IntervalSet& other) const {
+  Builder builder(pieces_.size() + other.pieces_.size());
+  for (const auto& iv : pieces_) builder.add(iv);
+  for (const auto& iv : other.pieces_) builder.add(iv);
+  return builder.build();
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
+  IntervalSet out;
+  out.pieces_.reserve(std::min(pieces_.size(), other.pieces_.size()));
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < pieces_.size() && j < other.pieces_.size()) {
+    const Interval overlap = pieces_[i].intersect(other.pieces_[j]);
+    if (!overlap.empty()) out.pieces_.push_back(overlap);
+    // Advance whichever interval ends first.
+    if (pieces_[i].hi < other.pieces_[j].hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;  // already sorted/disjoint; pieces of a valid set stay valid
+}
+
+IntervalSet IntervalSet::subtract(const IntervalSet& other) const {
+  IntervalSet out;
+  std::size_t j = 0;
+  for (Interval iv : pieces_) {
+    while (!iv.empty() && j < other.pieces_.size() &&
+           other.pieces_[j].lo < iv.hi) {
+      const Interval& cut = other.pieces_[j];
+      if (cut.hi <= iv.lo) {
+        ++j;
+        continue;
+      }
+      if (cut.lo > iv.lo) {
+        out.pieces_.push_back(Interval{iv.lo, std::min(cut.lo, iv.hi)});
+      }
+      if (cut.hi >= iv.hi) {
+        iv = Interval{};  // fully consumed
+      } else {
+        iv.lo = cut.hi;
+        // The cutter list may have more pieces inside iv; keep looping.
+        if (j + 1 < other.pieces_.size() && other.pieces_[j + 1].lo < iv.hi) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+    }
+    if (!iv.empty()) out.pieces_.push_back(iv);
+  }
+  return out;
+}
+
+std::int64_t IntervalSet::intersectCardinality(const IntervalSet& other) const {
+  std::int64_t total = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < pieces_.size() && j < other.pieces_.size()) {
+    total += pieces_[i].intersect(other.pieces_[j]).length();
+    if (pieces_[i].hi < other.pieces_[j].hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+std::int64_t IntervalSet::cardinality() const {
+  std::int64_t total = 0;
+  for (const auto& iv : pieces_) total += iv.length();
+  return total;
+}
+
+bool IntervalSet::contains(std::int64_t x) const {
+  auto it = std::upper_bound(
+      pieces_.begin(), pieces_.end(), x,
+      [](std::int64_t value, const Interval& iv) { return value < iv.lo; });
+  if (it == pieces_.begin()) return false;
+  return std::prev(it)->contains(x);
+}
+
+bool IntervalSet::containsAll(const IntervalSet& other) const {
+  return other.intersectCardinality(*this) == other.cardinality();
+}
+
+Interval IntervalSet::bounds() const {
+  if (pieces_.empty()) return Interval{};
+  return Interval{pieces_.front().lo, pieces_.back().hi};
+}
+
+IntervalSet IntervalSet::Builder::build() {
+  IntervalSet out;
+  out.pieces_ = std::move(raw_);
+  out.normalize();
+  raw_.clear();
+  return out;
+}
+
+}  // namespace laps

@@ -1,0 +1,93 @@
+#pragma once
+/// \file interval_set.h
+/// \brief Exact sets of integers as sorted, disjoint, coalesced intervals.
+///
+/// IntervalSet is the canonical representation of a data footprint over a
+/// row-major linearization of an array (paper §2: the data sets DS and
+/// their intersections SS). All operations are exact.
+
+#include <cstdint>
+#include <vector>
+
+#include "region/interval.h"
+
+namespace laps {
+
+/// An exact set of int64 points stored as sorted, pairwise-disjoint,
+/// non-adjacent (maximally coalesced) half-open intervals.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Constructs from arbitrary intervals (normalized internally).
+  explicit IntervalSet(std::vector<Interval> intervals);
+
+  /// Singleton set {x}.
+  static IntervalSet point(std::int64_t x) { return IntervalSet({Interval{x, x + 1}}); }
+
+  /// The set [lo, hi).
+  static IntervalSet range(std::int64_t lo, std::int64_t hi) {
+    return IntervalSet({Interval{lo, hi}});
+  }
+
+  /// Inserts one interval, preserving invariants. O(n) worst case; prefer
+  /// Builder for bulk construction.
+  void insert(Interval iv);
+
+  /// Set union, intersection and difference. All O(n + m).
+  [[nodiscard]] IntervalSet unite(const IntervalSet& other) const;
+  [[nodiscard]] IntervalSet intersect(const IntervalSet& other) const;
+  [[nodiscard]] IntervalSet subtract(const IntervalSet& other) const;
+
+  /// |this ∩ other| without materializing the intersection.
+  [[nodiscard]] std::int64_t intersectCardinality(const IntervalSet& other) const;
+
+  /// Number of points in the set.
+  [[nodiscard]] std::int64_t cardinality() const;
+
+  /// Number of stored intervals (fragmentation measure).
+  [[nodiscard]] std::size_t pieceCount() const { return pieces_.size(); }
+
+  [[nodiscard]] bool empty() const { return pieces_.empty(); }
+  [[nodiscard]] bool contains(std::int64_t x) const;
+
+  /// True when every point of \p other is in this set.
+  [[nodiscard]] bool containsAll(const IntervalSet& other) const;
+
+  /// Smallest enclosing interval; Interval{} (empty) for the empty set.
+  [[nodiscard]] Interval bounds() const;
+
+  [[nodiscard]] const std::vector<Interval>& pieces() const { return pieces_; }
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+  /// Accumulates many intervals and normalizes once — O(k log k) total,
+  /// the fast path for footprint enumeration.
+  class Builder {
+   public:
+    /// Pre-reserves capacity for \p expected intervals.
+    explicit Builder(std::size_t expected = 0) { raw_.reserve(expected); }
+
+    void add(Interval iv) {
+      if (!iv.empty()) raw_.push_back(iv);
+    }
+    void add(std::int64_t lo, std::int64_t hi) { add(Interval{lo, hi}); }
+    void addPoint(std::int64_t x) { add(Interval{x, x + 1}); }
+
+    /// Number of intervals buffered so far.
+    [[nodiscard]] std::size_t size() const { return raw_.size(); }
+
+    /// Produces the normalized set and resets the builder.
+    [[nodiscard]] IntervalSet build();
+
+   private:
+    std::vector<Interval> raw_;
+  };
+
+ private:
+  void normalize();
+
+  std::vector<Interval> pieces_;  // sorted, disjoint, coalesced, non-empty
+};
+
+}  // namespace laps

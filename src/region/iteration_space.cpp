@@ -1,0 +1,112 @@
+#include "region/iteration_space.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace laps {
+
+IterationSpace::IterationSpace(std::vector<LoopDim> dims) : dims_(std::move(dims)) {
+  for (const auto& d : dims_) {
+    check(d.step >= 1, "IterationSpace: loop step must be >= 1");
+  }
+}
+
+IterationSpace IterationSpace::box(
+    std::initializer_list<std::pair<std::int64_t, std::int64_t>> bounds) {
+  std::vector<LoopDim> dims;
+  dims.reserve(bounds.size());
+  for (const auto& [lo, hi] : bounds) {
+    dims.push_back(LoopDim{lo, hi, 1});
+  }
+  return IterationSpace(std::move(dims));
+}
+
+const LoopDim& IterationSpace::dim(std::size_t d) const {
+  check(d < dims_.size(), "IterationSpace::dim out of range");
+  return dims_[d];
+}
+
+std::int64_t IterationSpace::numPoints() const {
+  std::int64_t total = 1;
+  for (const auto& d : dims_) {
+    total *= d.tripCount();
+    if (total == 0) return 0;
+  }
+  return total;
+}
+
+IterationSpace IterationSpace::fixDim(std::size_t d, std::int64_t value) const {
+  check(d < dims_.size(), "fixDim: dimension out of range");
+  IterationSpace out = *this;
+  out.dims_[d] = LoopDim{value, value + 1, 1};
+  return out;
+}
+
+IterationSpace IterationSpace::clampDim(std::size_t d, std::int64_t lo,
+                                        std::int64_t hi) const {
+  check(d < dims_.size(), "clampDim: dimension out of range");
+  IterationSpace out = *this;
+  out.dims_[d].lo = std::max(out.dims_[d].lo, lo);
+  out.dims_[d].hi = std::min(out.dims_[d].hi, hi);
+  return out;
+}
+
+std::vector<IterationSpace> IterationSpace::splitOuter(std::size_t parts) const {
+  return splitDim(0, parts);
+}
+
+std::vector<IterationSpace> IterationSpace::splitDim(std::size_t d,
+                                                     std::size_t parts) const {
+  check(d < dims_.size(), "splitDim: dimension out of range");
+  check(parts >= 1, "splitDim requires parts >= 1");
+  const LoopDim& dim = dims_[d];
+  const std::int64_t trips = dim.tripCount();
+  std::vector<IterationSpace> out;
+  out.reserve(parts);
+  // Distribute trip counts as evenly as possible: the first (trips % parts)
+  // blocks get one extra iteration.
+  const std::int64_t baseCount = trips / static_cast<std::int64_t>(parts);
+  const std::int64_t extra = trips % static_cast<std::int64_t>(parts);
+  std::int64_t cursor = dim.lo;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::int64_t take =
+        baseCount + (static_cast<std::int64_t>(p) < extra ? 1 : 0);
+    IterationSpace block = *this;
+    block.dims_[d] = LoopDim{cursor, cursor + take * dim.step, dim.step};
+    cursor += take * dim.step;
+    out.push_back(std::move(block));
+  }
+  return out;
+}
+
+void IterationSpace::forEachPoint(
+    const std::function<void(std::span<const std::int64_t>)>& visitor) const {
+  if (empty()) return;
+  std::vector<std::int64_t> point(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) point[d] = dims_[d].lo;
+  for (;;) {
+    visitor(point);
+    // Odometer increment, innermost dimension fastest.
+    std::size_t d = dims_.size();
+    for (;;) {
+      if (d == 0) return;  // wrapped past outermost: done
+      --d;
+      point[d] += dims_[d].step;
+      if (point[d] < dims_[d].hi) break;
+      point[d] = dims_[d].lo;
+    }
+  }
+}
+
+std::string IterationSpace::toString() const {
+  std::ostringstream os;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    if (d) os << 'x';
+    os << '[' << dims_[d].lo << ".." << dims_[d].hi << ')';
+    if (dims_[d].step != 1) os << "/" << dims_[d].step;
+  }
+  return os.str();
+}
+
+}  // namespace laps

@@ -1,0 +1,81 @@
+#pragma once
+/// \file iteration_space.h
+/// \brief Rectangular (optionally strided) iteration spaces of loop nests.
+///
+/// Paper §2 describes process iteration sets such as
+///   IS1,k = {[i1,i2] : i1 = k && 0 <= i2 < 3000}.
+/// lapsched represents these as rectangular spaces: an ordered list of
+/// dimensions, each an independent range with a step. Block partitioning
+/// helpers model the paper's "each process receives a set of successive
+/// loop iterations".
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace laps {
+
+/// One loop dimension: values lo, lo+step, ..., < hi.
+struct LoopDim {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;  // exclusive
+  std::int64_t step = 1;
+
+  [[nodiscard]] std::int64_t tripCount() const {
+    if (hi <= lo) return 0;
+    return (hi - lo + step - 1) / step;
+  }
+};
+
+/// A rectangular iteration space (outermost dimension first).
+class IterationSpace {
+ public:
+  IterationSpace() = default;
+  explicit IterationSpace(std::vector<LoopDim> dims);
+
+  /// Space with unit steps from bound pairs {lo, hi}.
+  static IterationSpace box(std::initializer_list<std::pair<std::int64_t, std::int64_t>> bounds);
+
+  [[nodiscard]] std::size_t rank() const { return dims_.size(); }
+  [[nodiscard]] const LoopDim& dim(std::size_t d) const;
+  [[nodiscard]] const std::vector<LoopDim>& dims() const { return dims_; }
+
+  /// Total number of iteration points (product of trip counts).
+  [[nodiscard]] std::int64_t numPoints() const;
+
+  [[nodiscard]] bool empty() const { return numPoints() == 0; }
+
+  /// Restricts dimension \p d to the single value \p value
+  /// (e.g. the paper's i1 = k). Returns the restricted space.
+  [[nodiscard]] IterationSpace fixDim(std::size_t d, std::int64_t value) const;
+
+  /// Restricts dimension \p d to [lo, hi).
+  [[nodiscard]] IterationSpace clampDim(std::size_t d, std::int64_t lo,
+                                        std::int64_t hi) const;
+
+  /// Splits the outermost dimension into \p parts contiguous blocks of
+  /// near-equal trip count — the paper's parallelization scheme. The
+  /// returned spaces partition this space (blocks may be empty when
+  /// parts > trip count).
+  [[nodiscard]] std::vector<IterationSpace> splitOuter(std::size_t parts) const;
+
+  /// Same as splitOuter but partitions dimension \p d. Used when a
+  /// process keeps an outer sweep loop (temporal reuse of its whole
+  /// block) around the partitioned dimension.
+  [[nodiscard]] std::vector<IterationSpace> splitDim(std::size_t d,
+                                                     std::size_t parts) const;
+
+  /// Invokes \p visitor for every point in lexicographic order. The span
+  /// is valid only during the call.
+  void forEachPoint(const std::function<void(std::span<const std::int64_t>)>& visitor) const;
+
+  /// Human-readable form, e.g. "[0..8)x[0..3000)".
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  std::vector<LoopDim> dims_;
+};
+
+}  // namespace laps

@@ -1,0 +1,74 @@
+#include "region/sharing.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace laps {
+
+SharingMatrix::SharingMatrix(std::size_t n) : n_(n), cells_(n * n, 0) {}
+
+std::size_t SharingMatrix::idx(std::size_t p, std::size_t q) const {
+  check(p < n_ && q < n_, "SharingMatrix: index out of range");
+  return p * n_ + q;
+}
+
+SharingMatrix SharingMatrix::compute(std::span<const Footprint> footprints) {
+  SharingMatrix m(footprints.size());
+  for (std::size_t p = 0; p < footprints.size(); ++p) {
+    m.set(p, p, footprints[p].totalElements());
+    for (std::size_t q = p + 1; q < footprints.size(); ++q) {
+      const std::int64_t shared = footprints[p].sharedElements(footprints[q]);
+      m.set(p, q, shared);
+      m.set(q, p, shared);
+    }
+  }
+  return m;
+}
+
+std::int64_t SharingMatrix::at(std::size_t p, std::size_t q) const {
+  return cells_[idx(p, q)];
+}
+
+void SharingMatrix::set(std::size_t p, std::size_t q, std::int64_t value) {
+  cells_[idx(p, q)] = value;
+}
+
+std::int64_t SharingMatrix::rowSum(std::size_t p,
+                                   std::span<const std::size_t> candidates) const {
+  std::int64_t total = 0;
+  if (candidates.empty()) {
+    for (std::size_t q = 0; q < n_; ++q) {
+      if (q != p) total += at(p, q);
+    }
+  } else {
+    for (const std::size_t q : candidates) {
+      if (q != p) total += at(p, q);
+    }
+  }
+  return total;
+}
+
+bool SharingMatrix::isDiagonal() const {
+  for (std::size_t p = 0; p < n_; ++p) {
+    for (std::size_t q = 0; q < n_; ++q) {
+      if (p != q && at(p, q) != 0) return false;
+    }
+  }
+  return true;
+}
+
+Table SharingMatrix::toTable() const {
+  std::vector<std::string> headers{""};
+  for (std::size_t q = 0; q < n_; ++q) headers.push_back("P" + std::to_string(q));
+  Table t(std::move(headers));
+  for (std::size_t p = 0; p < n_; ++p) {
+    t.row().cell("P" + std::to_string(p));
+    for (std::size_t q = 0; q < n_; ++q) {
+      t.cell(at(p, q));
+    }
+  }
+  return t;
+}
+
+}  // namespace laps

@@ -1,0 +1,51 @@
+#pragma once
+/// \file sharing.h
+/// \brief The inter-process sharing matrix (paper §2, Fig. 2(a)).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "region/footprint.h"
+#include "util/table.h"
+
+namespace laps {
+
+/// Symmetric matrix M where M[p][q] = |SS_{p,q}| = number of array
+/// elements processes p and q both touch. Diagonal entries hold each
+/// process's own footprint size.
+class SharingMatrix {
+ public:
+  SharingMatrix() = default;
+
+  /// n x n zero matrix.
+  explicit SharingMatrix(std::size_t n);
+
+  /// Computes the full matrix from per-process footprints (exact).
+  static SharingMatrix compute(std::span<const Footprint> footprints);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  [[nodiscard]] std::int64_t at(std::size_t p, std::size_t q) const;
+  void set(std::size_t p, std::size_t q, std::int64_t value);
+
+  /// Sum over q != p of M[p][q] (how much p shares with everyone else);
+  /// if \p candidates is non-empty, restricted to that set. Used by the
+  /// Fig. 3 initial round ("remove the candidate with maximum sharing").
+  [[nodiscard]] std::int64_t rowSum(std::size_t p,
+                                    std::span<const std::size_t> candidates = {}) const;
+
+  /// True when no off-diagonal entry is positive.
+  [[nodiscard]] bool isDiagonal() const;
+
+  /// Renders as a table (for examples / debugging), labels P0..Pn-1.
+  [[nodiscard]] Table toTable() const;
+
+ private:
+  [[nodiscard]] std::size_t idx(std::size_t p, std::size_t q) const;
+
+  std::size_t n_ = 0;
+  std::vector<std::int64_t> cells_;  // row-major n x n
+};
+
+}  // namespace laps

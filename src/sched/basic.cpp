@@ -1,0 +1,121 @@
+#include "sched/basic.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace laps {
+
+// ---------------------------------------------------------------- Random
+
+RandomScheduler::RandomScheduler(std::uint64_t seed)
+    : seed_(seed), rng_(seed) {}
+
+void RandomScheduler::reset(const SchedContext& /*context*/) {
+  rng_ = Rng(seed_);
+  ready_.clear();
+}
+
+void RandomScheduler::onReady(ProcessId process) {
+  ready_.push_back(process);
+}
+
+std::optional<ProcessId> RandomScheduler::pickNext(
+    std::size_t /*core*/, std::optional<ProcessId> /*previous*/) {
+  if (ready_.empty()) return std::nullopt;
+  const std::size_t pick = rng_.index(ready_.size());
+  const ProcessId chosen = ready_[pick];
+  ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(pick));
+  return chosen;
+}
+
+// ------------------------------------------------------------ RoundRobin
+
+RoundRobinScheduler::RoundRobinScheduler(std::int64_t quantumCycles)
+    : quantum_(quantumCycles) {
+  check(quantumCycles > 0, "RoundRobinScheduler: quantum must be positive");
+}
+
+void RoundRobinScheduler::reset(const SchedContext& /*context*/) {
+  queue_.clear();
+}
+
+void RoundRobinScheduler::onReady(ProcessId process) {
+  queue_.push_back(process);
+}
+
+void RoundRobinScheduler::onPreempt(ProcessId process) {
+  queue_.push_back(process);  // tail of the common FIFO (paper §4)
+}
+
+std::optional<ProcessId> RoundRobinScheduler::pickNext(
+    std::size_t /*core*/, std::optional<ProcessId> /*previous*/) {
+  if (queue_.empty()) return std::nullopt;
+  const ProcessId head = queue_.front();
+  queue_.pop_front();
+  return head;
+}
+
+// ------------------------------------------------------------------ FCFS
+
+void FcfsScheduler::reset(const SchedContext& /*context*/) { queue_.clear(); }
+
+void FcfsScheduler::onReady(ProcessId process) { queue_.push_back(process); }
+
+std::optional<ProcessId> FcfsScheduler::pickNext(
+    std::size_t /*core*/, std::optional<ProcessId> /*previous*/) {
+  if (queue_.empty()) return std::nullopt;
+  const ProcessId head = queue_.front();
+  queue_.pop_front();
+  return head;
+}
+
+// ------------------------------------------------------------------- SJF
+
+void SjfScheduler::reset(const SchedContext& context) {
+  check(context.graph != nullptr, "SjfScheduler: graph required");
+  graph_ = context.graph;
+  ready_.clear();
+}
+
+void SjfScheduler::onReady(ProcessId process) { ready_.push_back(process); }
+
+std::optional<ProcessId> SjfScheduler::pickNext(
+    std::size_t /*core*/, std::optional<ProcessId> /*previous*/) {
+  if (ready_.empty()) return std::nullopt;
+  const auto best = std::min_element(
+      ready_.begin(), ready_.end(), [&](ProcessId a, ProcessId b) {
+        const auto ca = graph_->process(a).estimatedCycles();
+        const auto cb = graph_->process(b).estimatedCycles();
+        return ca != cb ? ca < cb : a < b;
+      });
+  const ProcessId chosen = *best;
+  ready_.erase(best);
+  return chosen;
+}
+
+// ---------------------------------------------------------- CriticalPath
+
+void CriticalPathScheduler::reset(const SchedContext& context) {
+  check(context.graph != nullptr, "CriticalPathScheduler: graph required");
+  rank_ = context.graph->criticalPathCycles();
+  ready_.clear();
+}
+
+void CriticalPathScheduler::onReady(ProcessId process) {
+  ready_.push_back(process);
+}
+
+std::optional<ProcessId> CriticalPathScheduler::pickNext(
+    std::size_t /*core*/, std::optional<ProcessId> /*previous*/) {
+  if (ready_.empty()) return std::nullopt;
+  const auto best = std::max_element(
+      ready_.begin(), ready_.end(), [&](ProcessId a, ProcessId b) {
+        return rank_[a] != rank_[b] ? rank_[a] < rank_[b] : a > b;
+      });
+  const ProcessId chosen = *best;
+  ready_.erase(best);
+  return chosen;
+}
+
+}  // namespace laps

@@ -1,0 +1,99 @@
+#pragma once
+/// \file basic.h
+/// \brief The paper's baselines (RS, RRS) and classic extensions
+///        (FCFS, SJF, critical-path-first).
+
+#include <deque>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "util/rng.h"
+
+namespace laps {
+
+/// RS (paper §4): each ready process is assigned to an available core at
+/// random; once scheduled it runs to completion.
+class RandomScheduler final : public SchedulerPolicy {
+ public:
+  explicit RandomScheduler(std::uint64_t seed = 1);
+
+  void reset(const SchedContext& context) override;
+  void onReady(ProcessId process) override;
+  std::optional<ProcessId> pickNext(std::size_t core,
+                                    std::optional<ProcessId> previous) override;
+  [[nodiscard]] std::string name() const override { return "RS"; }
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+  std::vector<ProcessId> ready_;
+};
+
+/// RRS (paper §4): preemptive FCFS. One common FIFO ready queue feeds all
+/// cores; a running process is suspended when its time quantum expires
+/// and re-enters the queue at the tail.
+class RoundRobinScheduler final : public SchedulerPolicy {
+ public:
+  explicit RoundRobinScheduler(std::int64_t quantumCycles);
+
+  void reset(const SchedContext& context) override;
+  void onReady(ProcessId process) override;
+  void onPreempt(ProcessId process) override;
+  std::optional<ProcessId> pickNext(std::size_t core,
+                                    std::optional<ProcessId> previous) override;
+  [[nodiscard]] std::optional<std::int64_t> quantum() const override {
+    return quantum_;
+  }
+  [[nodiscard]] std::string name() const override { return "RRS"; }
+
+ private:
+  std::int64_t quantum_;
+  std::deque<ProcessId> queue_;
+};
+
+/// Extension: non-preemptive first-come-first-served (RRS without the
+/// timer). Isolates the effect of preemption from the effect of ordering.
+class FcfsScheduler final : public SchedulerPolicy {
+ public:
+  void reset(const SchedContext& context) override;
+  void onReady(ProcessId process) override;
+  std::optional<ProcessId> pickNext(std::size_t core,
+                                    std::optional<ProcessId> previous) override;
+  [[nodiscard]] std::string name() const override { return "FCFS"; }
+
+ private:
+  std::deque<ProcessId> queue_;
+};
+
+/// Extension: shortest-job-first over estimated cycles, non-preemptive.
+class SjfScheduler final : public SchedulerPolicy {
+ public:
+  void reset(const SchedContext& context) override;
+  void onReady(ProcessId process) override;
+  std::optional<ProcessId> pickNext(std::size_t core,
+                                    std::optional<ProcessId> previous) override;
+  [[nodiscard]] std::string name() const override { return "SJF"; }
+
+ private:
+  const ExtendedProcessGraph* graph_ = nullptr;
+  std::vector<ProcessId> ready_;
+};
+
+/// Extension: critical-path-first list scheduling — the ready process
+/// with the longest downstream dependence chain (by estimated cycles)
+/// runs first. A classic makespan-oriented baseline that ignores
+/// locality entirely.
+class CriticalPathScheduler final : public SchedulerPolicy {
+ public:
+  void reset(const SchedContext& context) override;
+  void onReady(ProcessId process) override;
+  std::optional<ProcessId> pickNext(std::size_t core,
+                                    std::optional<ProcessId> previous) override;
+  [[nodiscard]] std::string name() const override { return "CPATH"; }
+
+ private:
+  std::vector<std::int64_t> rank_;
+  std::vector<ProcessId> ready_;
+};
+
+}  // namespace laps

@@ -1,0 +1,39 @@
+#include "sched/dynamic_locality.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace laps {
+
+void DynamicLocalityScheduler::reset(const SchedContext& context) {
+  check(context.sharing != nullptr, "DynamicLocalityScheduler: sharing required");
+  sharing_ = context.sharing;
+  ready_.clear();
+}
+
+void DynamicLocalityScheduler::onReady(ProcessId process) {
+  ready_.push_back(process);
+}
+
+std::optional<ProcessId> DynamicLocalityScheduler::pickNext(
+    std::size_t /*core*/, std::optional<ProcessId> previous) {
+  if (ready_.empty()) return std::nullopt;
+  std::size_t bestIdx = 0;
+  if (previous) {
+    std::int64_t bestSharing = -1;
+    for (std::size_t i = 0; i < ready_.size(); ++i) {
+      const std::int64_t s = sharing_->at(*previous, ready_[i]);
+      // Ties fall to the earliest-ready (FIFO) process.
+      if (s > bestSharing) {
+        bestSharing = s;
+        bestIdx = i;
+      }
+    }
+  }
+  const ProcessId chosen = ready_[bestIdx];
+  ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(bestIdx));
+  return chosen;
+}
+
+}  // namespace laps

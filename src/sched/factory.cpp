@@ -1,0 +1,49 @@
+#include "sched/factory.h"
+
+#include "sched/basic.h"
+#include "sched/dynamic_locality.h"
+#include "sched/locality.h"
+#include "util/error.h"
+
+namespace laps {
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::Random: return "RS";
+    case SchedulerKind::RoundRobin: return "RRS";
+    case SchedulerKind::Locality: return "LS";
+    case SchedulerKind::LocalityMapping: return "LSM";
+    case SchedulerKind::Fcfs: return "FCFS";
+    case SchedulerKind::Sjf: return "SJF";
+    case SchedulerKind::CriticalPath: return "CPATH";
+    case SchedulerKind::DynamicLocality: return "DLS";
+  }
+  fail("to_string: unknown SchedulerKind");
+}
+
+std::unique_ptr<SchedulerPolicy> makeScheduler(SchedulerKind kind,
+                                               const SchedulerParams& params) {
+  switch (kind) {
+    case SchedulerKind::Random:
+      return std::make_unique<RandomScheduler>(params.randomSeed);
+    case SchedulerKind::RoundRobin:
+      return std::make_unique<RoundRobinScheduler>(params.rrsQuantumCycles);
+    case SchedulerKind::Locality:
+    case SchedulerKind::LocalityMapping: {
+      LocalityOptions options;
+      options.initialMinSharingRound = params.lsInitialMinSharingRound;
+      return std::make_unique<LocalityScheduler>(options);
+    }
+    case SchedulerKind::Fcfs:
+      return std::make_unique<FcfsScheduler>();
+    case SchedulerKind::Sjf:
+      return std::make_unique<SjfScheduler>();
+    case SchedulerKind::CriticalPath:
+      return std::make_unique<CriticalPathScheduler>();
+    case SchedulerKind::DynamicLocality:
+      return std::make_unique<DynamicLocalityScheduler>();
+  }
+  fail("makeScheduler: unknown SchedulerKind");
+}
+
+}  // namespace laps

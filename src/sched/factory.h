@@ -1,0 +1,25 @@
+#pragma once
+/// \file factory.h
+/// \brief Construction of scheduler policies by kind.
+
+#include <memory>
+
+#include "sched/scheduler.h"
+
+namespace laps {
+
+/// Tunables consumed by individual policies.
+struct SchedulerParams {
+  std::int64_t rrsQuantumCycles = 8'000;  ///< RRS time slice
+  std::uint64_t randomSeed = 1;            ///< RS seed
+  bool lsInitialMinSharingRound = true;    ///< LS ablation switch
+};
+
+/// Creates the policy implementing \p kind. Note that
+/// SchedulerKind::LocalityMapping returns the same policy as Locality:
+/// the data re-layout half of LSM is applied to the AddressSpace by the
+/// experiment harness before simulation (see core/experiment.h).
+[[nodiscard]] std::unique_ptr<SchedulerPolicy> makeScheduler(
+    SchedulerKind kind, const SchedulerParams& params = {});
+
+}  // namespace laps

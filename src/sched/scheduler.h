@@ -1,0 +1,75 @@
+#pragma once
+/// \file scheduler.h
+/// \brief Scheduling policy interface and the four strategies of §4.
+///
+/// The simulation engine drives a SchedulerPolicy through three events:
+///  * onReady(p)      — all of p's predecessors completed;
+///  * pickNext(core)  — the core is idle, choose its next process;
+///  * onPreempt(p)    — p's quantum expired, p was suspended.
+/// Policies with a quantum() are preemptive (the paper's RRS); the others
+/// run every process to completion.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "region/sharing.h"
+#include "taskgraph/graph.h"
+
+namespace laps {
+
+/// The schedulers evaluated in the paper (§4) plus the extensions this
+/// library adds (paper §6 future work: "compare to other OS scheduling
+/// strategies").
+enum class SchedulerKind {
+  Random,           ///< RS: random core assignment, run to completion
+  RoundRobin,       ///< RRS: preemptive FCFS, common ready queue
+  Locality,         ///< LS: Fig. 3 locality-aware plan
+  LocalityMapping,  ///< LSM: LS plus Fig. 4/5 data re-layout
+  Fcfs,             ///< extension: non-preemptive first-come-first-served
+  Sjf,              ///< extension: shortest job first (estimated cycles)
+  CriticalPath,     ///< extension: longest-critical-path-first
+  DynamicLocality,  ///< extension: online greedy locality (no static plan)
+};
+
+/// Short stable name ("RS", "RRS", "LS", "LSM", ...).
+[[nodiscard]] std::string to_string(SchedulerKind kind);
+
+/// Everything a policy may consult when (re)initialized.
+struct SchedContext {
+  const ExtendedProcessGraph* graph = nullptr;
+  const SharingMatrix* sharing = nullptr;
+  std::size_t coreCount = 0;
+};
+
+/// Dynamic scheduling policy; implementations must be deterministic.
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  /// Called once before simulation with the full context.
+  virtual void reset(const SchedContext& context) = 0;
+
+  /// A process became dependence-free (fires exactly once per process).
+  virtual void onReady(ProcessId process) = 0;
+
+  /// Core \p core is idle; \p previous is the process that last ran on
+  /// it. Return the next process (must have been announced via onReady
+  /// and not yet run to completion) or nullopt to leave the core idle
+  /// until the next completion event.
+  virtual std::optional<ProcessId> pickNext(
+      std::size_t core, std::optional<ProcessId> previous) = 0;
+
+  /// A running process was suspended after its quantum; it is immediately
+  /// eligible to run again (possibly on another core).
+  virtual void onPreempt(ProcessId process) { onReady(process); }
+
+  /// Quantum in cycles; nullopt = non-preemptive.
+  [[nodiscard]] virtual std::optional<std::int64_t> quantum() const {
+    return std::nullopt;
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace laps

@@ -1,0 +1,27 @@
+#pragma once
+/// \file config.h
+/// \brief MPSoC platform configuration (paper Table 2 defaults).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cache/hierarchy.h"
+
+namespace laps {
+
+/// The simulated platform. Defaults reproduce Table 2 of the paper:
+/// 8 processors, 8 KB 2-way data/instruction caches, 2-cycle cache
+/// access, 75-cycle off-chip access, 200 MHz cores.
+struct MpsocConfig {
+  std::size_t coreCount = 8;
+  MemoryConfig memory{};            ///< replicated per core (private L1s)
+  double clockHz = 200e6;           ///< Table 2: 200 MHz
+  std::int64_t switchCycles = 400;  ///< context-switch overhead per switch
+  bool flushOnSwitch = false;       ///< ablation: cold caches after switch
+
+  [[nodiscard]] double cyclesToSeconds(std::int64_t cycles) const {
+    return static_cast<double>(cycles) / clockHz;
+  }
+};
+
+}  // namespace laps

@@ -1,0 +1,20 @@
+#include "sim/energy.h"
+
+namespace laps {
+
+double EnergyModel::totalMj(const SimResult& result) const {
+  const double l1Accesses = static_cast<double>(result.dcacheTotal.accesses) +
+                            static_cast<double>(result.icacheTotal.accesses);
+  const double offChip = static_cast<double>(result.dcacheTotal.misses) +
+                         static_cast<double>(result.icacheTotal.misses) +
+                         static_cast<double>(result.dcacheTotal.dirtyEvictions);
+  double busy = 0.0;
+  double idle = 0.0;
+  for (const auto c : result.coreBusyCycles) busy += static_cast<double>(c);
+  for (const auto c : result.coreIdleCycles) idle += static_cast<double>(c);
+  const double nj = l1Accesses * l1AccessNj + offChip * offChipAccessNj +
+                    busy * coreBusyNjPerCycle + idle * coreIdleNjPerCycle;
+  return nj * 1e-6;  // nJ -> mJ
+}
+
+}  // namespace laps

@@ -1,0 +1,29 @@
+#pragma once
+/// \file energy.h
+/// \brief First-order energy accounting (extension).
+///
+/// The paper motivates locality-aware scheduling by performance *and
+/// power*, but reports only execution times. This model makes the power
+/// claim measurable: off-chip accesses dominate (nJ each), so removing
+/// misses saves energy roughly proportionally. Default per-event energies
+/// are in the range embedded 180 nm-era literature reports (order of
+/// magnitude is what matters for A/B comparisons, not the absolute mJ).
+
+#include <cstdint>
+
+#include "sim/result.h"
+
+namespace laps {
+
+/// Per-event and per-cycle energies in nanojoules.
+struct EnergyModel {
+  double l1AccessNj = 0.2;       ///< one L1 (I or D) access
+  double offChipAccessNj = 6.0;  ///< one off-chip read or write-back
+  double coreBusyNjPerCycle = 0.15;
+  double coreIdleNjPerCycle = 0.015;
+
+  /// Total energy of a run in millijoules.
+  [[nodiscard]] double totalMj(const SimResult& result) const;
+};
+
+}  // namespace laps

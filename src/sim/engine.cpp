@@ -1,0 +1,193 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.h"
+
+namespace laps {
+
+double SimResult::utilization() const {
+  if (makespanCycles <= 0 || coreBusyCycles.empty()) return 0.0;
+  double busy = 0.0;
+  for (const auto c : coreBusyCycles) busy += static_cast<double>(c);
+  return busy / (static_cast<double>(makespanCycles) *
+                 static_cast<double>(coreBusyCycles.size()));
+}
+
+MpsocSimulator::MpsocSimulator(const Workload& workload,
+                               const AddressSpace& space,
+                               const SharingMatrix& sharing,
+                               SchedulerPolicy& policy, MpsocConfig config)
+    : workload_(&workload),
+      space_(&space),
+      sharing_(&sharing),
+      policy_(&policy),
+      config_(config) {
+  check(config_.coreCount >= 1, "MpsocSimulator: need at least one core");
+  check(sharing.size() == workload.graph.processCount(),
+        "MpsocSimulator: sharing matrix size mismatch");
+  config_.memory.l1d.validate();
+  if (config_.memory.modelICache) config_.memory.l1i.validate();
+}
+
+std::int64_t MpsocSimulator::runSegment(std::size_t coreIdx, ProcessId process,
+                                        std::int64_t now) {
+  Core& core = cores_[coreIdx];
+  std::int64_t cycles = 0;
+
+  const bool isSwitch = core.lastScheduled != std::optional<ProcessId>{process};
+  if (isSwitch) {
+    cycles += config_.switchCycles;
+    ++result_.contextSwitches;
+    if (config_.flushOnSwitch) core.memory->flushAll();
+  }
+  if (lastRanOn_[process] && *lastRanOn_[process] != coreIdx) {
+    ++result_.migrations;
+  }
+
+  if (!cursors_[process]) {
+    cursors_[process].emplace(workload_->graph.process(process),
+                              workload_->arrays, *space_);
+  }
+  ProcessTraceCursor& cursor = *cursors_[process];
+
+  auto& record = result_.processes[process];
+  if (record.firstStartCycle < 0) record.firstStartCycle = now;
+
+  const std::optional<std::int64_t> quantum = policy_->quantum();
+  const std::int64_t iHit = config_.memory.l1i.hitLatencyCycles;
+  MemorySystem& mem = *core.memory;
+
+  TraceStep step;
+  while (cursor.next(step)) {
+    // Fetch hits are pipelined (hidden); only the miss penalty stalls.
+    const std::int64_t iLat = mem.instrFetch(step.instrAddr);
+    if (iLat > iHit) cycles += iLat - iHit;
+    if (step.isRef) cycles += mem.dataAccess(step.dataAddr, step.isWrite);
+    cycles += step.computeCycles;
+    if (quantum && cycles >= *quantum && !cursor.done()) break;
+  }
+
+  core.current = process;
+  core.lastScheduled = process;
+  core.busyCycles += cycles;
+  lastRanOn_[process] = coreIdx;
+  ++record.segments;
+  return now + cycles;
+}
+
+void MpsocSimulator::complete(ProcessId process, std::size_t coreIdx,
+                              std::int64_t now) {
+  completed_[process] = true;
+  ++completedCount_;
+  auto& record = result_.processes[process];
+  record.completionCycle = now;
+  record.lastCore = coreIdx;
+  for (const ProcessId succ : workload_->graph.successors(process)) {
+    check(remainingPreds_[succ] > 0, "MpsocSimulator: dependence accounting");
+    if (--remainingPreds_[succ] == 0) {
+      policy_->onReady(succ);
+    }
+  }
+}
+
+SimResult MpsocSimulator::run() {
+  const std::size_t n = workload_->graph.processCount();
+
+  result_ = SimResult{};
+  result_.processes.resize(n);
+  for (ProcessId p = 0; p < n; ++p) result_.processes[p].id = p;
+  result_.coreBusyCycles.assign(config_.coreCount, 0);
+  result_.coreIdleCycles.assign(config_.coreCount, 0);
+
+  cores_.clear();
+  for (std::size_t c = 0; c < config_.coreCount; ++c) {
+    Core core;
+    core.memory = std::make_unique<MemorySystem>(config_.memory);
+    cores_.push_back(std::move(core));
+  }
+  cursors_.assign(n, std::nullopt);
+  completed_.assign(n, false);
+  completedCount_ = 0;
+  lastRanOn_.assign(n, std::nullopt);
+  remainingPreds_.resize(n);
+  std::vector<bool> running(n, false);
+  std::vector<bool> announced(n, false);
+
+  const SchedContext context{&workload_->graph, sharing_, config_.coreCount};
+  policy_->reset(context);
+  for (ProcessId p = 0; p < n; ++p) {
+    remainingPreds_[p] = workload_->graph.predecessors(p).size();
+    if (remainingPreds_[p] == 0) {
+      policy_->onReady(p);
+      announced[p] = true;
+    }
+  }
+
+  // Busy cores, ordered by segment end time (core index breaks ties).
+  using Event = std::pair<std::int64_t, std::size_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+  // Offers work to an idle core; returns true when a segment started.
+  const auto offer = [&](std::size_t coreIdx, std::int64_t now) {
+    const auto pick = policy_->pickNext(coreIdx, cores_[coreIdx].lastScheduled);
+    if (!pick) return false;
+    const ProcessId p = *pick;
+    check(p < n, "scheduler picked an unknown process");
+    check(!completed_[p], "scheduler picked a completed process");
+    check(!running[p], "scheduler picked a process already running");
+    check(remainingPreds_[p] == 0, "scheduler picked a dependent process");
+    result_.coreIdleCycles[coreIdx] += now - cores_[coreIdx].freeAt;
+    running[p] = true;
+    const std::int64_t end = runSegment(coreIdx, p, now);
+    events.emplace(end, coreIdx);
+    return true;
+  };
+
+  for (std::size_t c = 0; c < config_.coreCount; ++c) {
+    offer(c, 0);
+  }
+
+  std::int64_t now = 0;
+  while (!events.empty()) {
+    const auto [t, coreIdx] = events.top();
+    events.pop();
+    now = t;
+    Core& core = cores_[coreIdx];
+    const ProcessId p = *core.current;
+    core.current.reset();
+    core.freeAt = now;
+    running[p] = false;
+    if (cursors_[p]->done()) {
+      complete(p, coreIdx, now);
+    } else {
+      ++result_.preemptions;
+      policy_->onPreempt(p);
+    }
+    // The finishing core first, then any core that was starved — new
+    // readiness may have unblocked them.
+    offer(coreIdx, now);
+    for (std::size_t c = 0; c < config_.coreCount; ++c) {
+      if (!cores_[c].current) offer(c, now);
+    }
+  }
+
+  check(completedCount_ == n,
+        "MpsocSimulator: deadlock — " +
+            std::to_string(n - completedCount_) +
+            " process(es) never completed (policy stranded work)");
+
+  result_.makespanCycles = now;
+  result_.seconds = config_.cyclesToSeconds(now);
+  for (std::size_t c = 0; c < config_.coreCount; ++c) {
+    result_.coreBusyCycles[c] = cores_[c].busyCycles;
+    result_.coreIdleCycles[c] += now - cores_[c].freeAt;
+    result_.dcacheTotal.accumulate(cores_[c].memory->dcache().stats());
+    result_.icacheTotal.accumulate(cores_[c].memory->icache().stats());
+    result_.dataMisses.accumulate(cores_[c].memory->dataMissBreakdown());
+  }
+  return result_;
+}
+
+}  // namespace laps

@@ -1,0 +1,81 @@
+#pragma once
+/// \file engine.h
+/// \brief The discrete-event MPSoC simulator (Simics substitute).
+///
+/// Execution model (documented approximations in DESIGN.md §6):
+///  * every core owns a private MemorySystem (split L1 I/D); cache
+///    contents persist across context switches — the effect the paper's
+///    scheduler exploits;
+///  * a process trace step costs: instruction-fetch latency + data-access
+///    latency (2 on hit, 2+75 on miss with Table 2 defaults) + its
+///    compute cycles;
+///  * scheduling decisions happen when a core goes idle (process finished
+///    or quantum expired) and when new processes become ready;
+///  * a preempted process resumes where it stopped, on any core;
+///  * context switches cost MpsocConfig::switchCycles.
+///
+/// The simulation is fully deterministic: identical inputs (workload,
+/// layout, policy, config) produce identical results.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "layout/address_space.h"
+#include "sched/scheduler.h"
+#include "sim/config.h"
+#include "sim/result.h"
+#include "taskgraph/graph.h"
+#include "trace/cursor.h"
+
+namespace laps {
+
+/// Runs one workload under one scheduling policy on the simulated MPSoC.
+class MpsocSimulator {
+ public:
+  /// \p workload, \p space and \p policy must outlive the simulator.
+  /// \p sharing is handed to the policy (may be empty for policies that
+  /// ignore it, but sizes must match when present).
+  MpsocSimulator(const Workload& workload, const AddressSpace& space,
+                 const SharingMatrix& sharing, SchedulerPolicy& policy,
+                 MpsocConfig config);
+
+  /// Simulates to completion and returns the metrics. Throws laps::Error
+  /// if the policy strands work (deadlock) or schedules an ineligible
+  /// process.
+  SimResult run();
+
+ private:
+  struct Core {
+    std::unique_ptr<MemorySystem> memory;
+    std::optional<ProcessId> current;       // running this segment
+    std::optional<ProcessId> lastScheduled; // last process that ran here
+    std::int64_t freeAt = 0;                // cycle the core becomes free
+    std::int64_t busyCycles = 0;
+  };
+
+  /// Executes one segment of \p process on \p core starting at \p now;
+  /// returns the segment's end cycle.
+  std::int64_t runSegment(std::size_t coreIdx, ProcessId process,
+                          std::int64_t now);
+
+  /// Marks \p process complete at \p now and announces newly ready
+  /// successors to the policy.
+  void complete(ProcessId process, std::size_t coreIdx, std::int64_t now);
+
+  const Workload* workload_;
+  const AddressSpace* space_;
+  const SharingMatrix* sharing_;
+  SchedulerPolicy* policy_;
+  MpsocConfig config_;
+
+  std::vector<Core> cores_;
+  std::vector<std::optional<ProcessTraceCursor>> cursors_;
+  std::vector<std::size_t> remainingPreds_;
+  std::vector<std::optional<std::size_t>> lastRanOn_;  // migration detection
+  std::vector<bool> completed_;
+  std::size_t completedCount_ = 0;
+  SimResult result_;
+};
+
+}  // namespace laps

@@ -1,0 +1,53 @@
+#pragma once
+/// \file result.h
+/// \brief Metrics produced by one MPSoC simulation run.
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cache/miss_class.h"
+#include "taskgraph/process.h"
+
+namespace laps {
+
+/// Execution record of one process.
+struct ProcessRunRecord {
+  ProcessId id = 0;
+  std::int64_t firstStartCycle = -1;  ///< -1 = never ran
+  std::int64_t completionCycle = -1;  ///< -1 = did not complete
+  std::size_t lastCore = 0;           ///< core that ran the final segment
+  std::uint32_t segments = 0;         ///< 1 = ran uninterrupted
+};
+
+/// Everything a simulation run reports.
+struct SimResult {
+  std::int64_t makespanCycles = 0;  ///< completion of the last process
+  double seconds = 0.0;             ///< makespan / clock
+
+  CacheStats dcacheTotal;  ///< summed over cores
+  CacheStats icacheTotal;
+  MissBreakdown dataMisses;  ///< populated when classification enabled
+
+  std::uint64_t contextSwitches = 0;  ///< segments that changed the process
+  std::uint64_t preemptions = 0;      ///< quantum expirations
+  std::uint64_t migrations = 0;       ///< resumes on a different core
+
+  std::vector<std::int64_t> coreBusyCycles;  ///< per core
+  std::vector<std::int64_t> coreIdleCycles;  ///< per core (until makespan)
+
+  std::vector<ProcessRunRecord> processes;  ///< indexed by ProcessId
+
+  /// Total data references simulated.
+  [[nodiscard]] std::uint64_t dataReferences() const {
+    return dcacheTotal.accesses;
+  }
+
+  /// Overall data-cache miss rate.
+  [[nodiscard]] double dataMissRate() const { return dcacheTotal.missRate(); }
+
+  /// Mean core utilization in [0, 1].
+  [[nodiscard]] double utilization() const;
+};
+
+}  // namespace laps

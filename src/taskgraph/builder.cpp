@@ -1,0 +1,91 @@
+#include "taskgraph/builder.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace laps {
+
+std::vector<ProcessId> addParallelLoop(Workload& workload, TaskId task,
+                                       const std::string& namePrefix,
+                                       const LoopNest& nest,
+                                       std::size_t parts,
+                                       std::size_t splitDim) {
+  check(parts >= 1, "addParallelLoop: parts must be >= 1");
+  std::vector<ProcessId> ids;
+  const auto blocks = nest.space.splitDim(splitDim, parts);
+  for (std::size_t k = 0; k < blocks.size(); ++k) {
+    if (blocks[k].empty()) continue;
+    ProcessSpec spec;
+    spec.task = task;
+    spec.name = namePrefix + "." + std::to_string(k);
+    spec.nests.push_back(
+        LoopNest{blocks[k], nest.accesses, nest.computeCyclesPerIter});
+    ids.push_back(workload.graph.addProcess(std::move(spec)));
+  }
+  return ids;
+}
+
+void linkStages(ExtendedProcessGraph& graph,
+                const std::vector<ProcessId>& from,
+                const std::vector<ProcessId>& to, StageLink link) {
+  switch (link) {
+    case StageLink::AllToAll:
+      for (const ProcessId f : from) {
+        for (const ProcessId t : to) {
+          graph.addDependence(f, t);
+        }
+      }
+      break;
+    case StageLink::OneToOne:
+      check(from.size() == to.size(),
+            "linkStages(OneToOne): stage sizes differ");
+      for (std::size_t i = 0; i < from.size(); ++i) {
+        graph.addDependence(from[i], to[i]);
+      }
+      break;
+    case StageLink::Neighborhood:
+      check(from.size() == to.size(),
+            "linkStages(Neighborhood): stage sizes differ");
+      for (std::size_t i = 0; i < to.size(); ++i) {
+        if (i > 0) graph.addDependence(from[i - 1], to[i]);
+        graph.addDependence(from[i], to[i]);
+        if (i + 1 < from.size()) graph.addDependence(from[i + 1], to[i]);
+      }
+      break;
+  }
+}
+
+ProcessId appendWorkload(Workload& dst, const Workload& src) {
+  // Array ids in dst are dense, so the remap is a constant offset.
+  const auto arrayOffset = static_cast<ArrayId>(dst.arrays.size());
+  for (const ArrayInfo& a : src.arrays.all()) {
+    dst.arrays.add(a.name, a.extents, a.elemSize);
+  }
+
+  // Task ids are remapped past the largest task id already present.
+  TaskId taskOffset = 0;
+  for (const auto& p : dst.graph.processes()) {
+    taskOffset = std::max(taskOffset, p.task + 1);
+  }
+
+  const auto processOffset = static_cast<ProcessId>(dst.graph.processCount());
+  for (const ProcessSpec& p : src.graph.processes()) {
+    ProcessSpec copy = p;
+    copy.task += taskOffset;
+    for (auto& nest : copy.nests) {
+      for (auto& access : nest.accesses) {
+        access.array += arrayOffset;
+      }
+    }
+    dst.graph.addProcess(std::move(copy));
+  }
+  for (ProcessId id = 0; id < src.graph.processCount(); ++id) {
+    for (const ProcessId succ : src.graph.successors(id)) {
+      dst.graph.addDependence(id + processOffset, succ + processOffset);
+    }
+  }
+  return processOffset;
+}
+
+}  // namespace laps

@@ -1,0 +1,54 @@
+#pragma once
+/// \file builder.h
+/// \brief Convenience helpers for composing workloads.
+///
+/// The paper builds tasks by parallelizing loop nests into processes over
+/// successive iteration blocks (Fig. 1) and by staging pipelines with
+/// dependences. These helpers encode those recurring patterns and the
+/// merging of several applications into one EPG (the concurrent-workload
+/// scenarios of Fig. 7).
+
+#include <string>
+#include <vector>
+
+#include "taskgraph/graph.h"
+
+namespace laps {
+
+/// How two consecutive pipeline stages are wired.
+enum class StageLink {
+  /// Every process of the next stage depends on every process of the
+  /// previous stage (global barrier).
+  AllToAll,
+  /// Process i of the next stage depends on process i of the previous
+  /// stage (sizes must match).
+  OneToOne,
+  /// Process i depends on processes i-1, i, i+1 of the previous stage
+  /// (halo exchange, clamped at the borders).
+  Neighborhood,
+};
+
+/// Parallelizes one loop nest into \p parts processes by splitting loop
+/// dimension \p splitDim into successive blocks (paper Fig. 1) and adds
+/// them to \p workload under \p task. Returns the created process ids
+/// (empty blocks are skipped). Splitting a non-outermost dimension keeps
+/// any outer sweep loop per process, giving each process temporal reuse
+/// of its whole block.
+std::vector<ProcessId> addParallelLoop(Workload& workload, TaskId task,
+                                       const std::string& namePrefix,
+                                       const LoopNest& nest,
+                                       std::size_t parts,
+                                       std::size_t splitDim = 0);
+
+/// Adds dependence edges between two stages according to \p link.
+void linkStages(ExtendedProcessGraph& graph,
+                const std::vector<ProcessId>& from,
+                const std::vector<ProcessId>& to, StageLink link);
+
+/// Appends every array, process and dependence of \p src to \p dst,
+/// remapping array ids, process ids and task ids so the two workloads
+/// stay fully independent (no accidental sharing). Returns the process-id
+/// offset applied to src's processes.
+ProcessId appendWorkload(Workload& dst, const Workload& src);
+
+}  // namespace laps

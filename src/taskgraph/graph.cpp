@@ -1,0 +1,172 @@
+#include "taskgraph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace laps {
+
+ProcessId ExtendedProcessGraph::addProcess(ProcessSpec spec) {
+  const auto id = static_cast<ProcessId>(processes_.size());
+  spec.id = id;
+  processes_.push_back(std::move(spec));
+  preds_.emplace_back();
+  succs_.emplace_back();
+  return id;
+}
+
+void ExtendedProcessGraph::checkId(ProcessId id) const {
+  check(id < processes_.size(), "ExtendedProcessGraph: unknown process id");
+}
+
+void ExtendedProcessGraph::addDependence(ProcessId from, ProcessId to) {
+  checkId(from);
+  checkId(to);
+  check(from != to, "ExtendedProcessGraph: self-dependence not allowed");
+  auto& succ = succs_[from];
+  if (std::find(succ.begin(), succ.end(), to) != succ.end()) {
+    return;  // duplicate edge
+  }
+  succ.push_back(to);
+  preds_[to].push_back(from);
+  ++edgeCount_;
+}
+
+const ProcessSpec& ExtendedProcessGraph::process(ProcessId id) const {
+  checkId(id);
+  return processes_[id];
+}
+
+const std::vector<ProcessId>& ExtendedProcessGraph::predecessors(
+    ProcessId id) const {
+  checkId(id);
+  return preds_[id];
+}
+
+const std::vector<ProcessId>& ExtendedProcessGraph::successors(
+    ProcessId id) const {
+  checkId(id);
+  return succs_[id];
+}
+
+std::vector<ProcessId> ExtendedProcessGraph::roots() const {
+  std::vector<ProcessId> out;
+  for (ProcessId id = 0; id < processes_.size(); ++id) {
+    if (preds_[id].empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ProcessId> ExtendedProcessGraph::processesOfTask(TaskId task) const {
+  std::vector<ProcessId> out;
+  for (const auto& p : processes_) {
+    if (p.task == task) out.push_back(p.id);
+  }
+  return out;
+}
+
+std::vector<TaskId> ExtendedProcessGraph::tasks() const {
+  std::vector<TaskId> out;
+  for (const auto& p : processes_) {
+    if (std::find(out.begin(), out.end(), p.task) == out.end()) {
+      out.push_back(p.task);
+    }
+  }
+  return out;
+}
+
+std::vector<ProcessId> ExtendedProcessGraph::topologicalOrder() const {
+  std::vector<std::size_t> remaining(processes_.size());
+  std::vector<ProcessId> ready;
+  for (ProcessId id = 0; id < processes_.size(); ++id) {
+    remaining[id] = preds_[id].size();
+    if (remaining[id] == 0) ready.push_back(id);
+  }
+  std::vector<ProcessId> order;
+  order.reserve(processes_.size());
+  // Kahn's algorithm; FIFO over `ready` keeps the order stable.
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const ProcessId id = ready[head];
+    order.push_back(id);
+    for (const ProcessId succ : succs_[id]) {
+      if (--remaining[succ] == 0) ready.push_back(succ);
+    }
+  }
+  check(order.size() == processes_.size(),
+        "ExtendedProcessGraph: dependence cycle detected");
+  return order;
+}
+
+bool ExtendedProcessGraph::isAcyclic() const {
+  try {
+    (void)topologicalOrder();
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+bool ExtendedProcessGraph::respectsDependences(
+    const std::vector<ProcessId>& order) const {
+  if (order.size() != processes_.size()) return false;
+  std::vector<std::int64_t> position(processes_.size(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] >= processes_.size()) return false;
+    if (position[order[i]] != -1) return false;  // duplicate
+    position[order[i]] = static_cast<std::int64_t>(i);
+  }
+  for (ProcessId id = 0; id < processes_.size(); ++id) {
+    for (const ProcessId pred : preds_[id]) {
+      if (position[pred] > position[id]) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::int64_t> ExtendedProcessGraph::criticalPathCycles() const {
+  const std::vector<ProcessId> order = topologicalOrder();
+  std::vector<std::int64_t> longest(processes_.size(), 0);
+  // Process in reverse topological order: longest[p] = cost(p) + max(succ).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const ProcessId id = *it;
+    std::int64_t tail = 0;
+    for (const ProcessId succ : succs_[id]) {
+      tail = std::max(tail, longest[succ]);
+    }
+    longest[id] = processes_[id].estimatedCycles() + tail;
+  }
+  return longest;
+}
+
+std::vector<Footprint> ExtendedProcessGraph::footprints(
+    const ArrayTable& arrays) const {
+  std::vector<Footprint> out;
+  out.reserve(processes_.size());
+  for (const auto& p : processes_) {
+    out.push_back(p.footprint(arrays));
+  }
+  return out;
+}
+
+std::string ExtendedProcessGraph::toDot() const {
+  std::ostringstream os;
+  os << "digraph epg {\n  rankdir=TB;\n";
+  for (const TaskId task : tasks()) {
+    os << "  subgraph cluster_task" << task << " {\n";
+    os << "    label=\"task " << task << "\";\n";
+    for (const ProcessId id : processesOfTask(task)) {
+      os << "    p" << id << " [label=\"" << processes_[id].name << "\"];\n";
+    }
+    os << "  }\n";
+  }
+  for (ProcessId id = 0; id < processes_.size(); ++id) {
+    for (const ProcessId succ : succs_[id]) {
+      os << "  p" << id << " -> p" << succ << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace laps

@@ -1,0 +1,40 @@
+#include "taskgraph/process.h"
+
+namespace laps {
+
+std::int64_t ProcessSpec::totalIterations() const {
+  std::int64_t total = 0;
+  for (const auto& nest : nests) total += nest.space.numPoints();
+  return total;
+}
+
+std::int64_t ProcessSpec::totalReferences() const {
+  std::int64_t total = 0;
+  for (const auto& nest : nests) total += nest.totalReferences();
+  return total;
+}
+
+std::int64_t ProcessSpec::totalComputeCycles() const {
+  std::int64_t total = 0;
+  for (const auto& nest : nests) {
+    total += nest.space.numPoints() * nest.computeCyclesPerIter;
+  }
+  return total;
+}
+
+std::int64_t ProcessSpec::estimatedCycles(std::int64_t refLatency) const {
+  return totalComputeCycles() + totalReferences() * refLatency;
+}
+
+Footprint ProcessSpec::footprint(const ArrayTable& arrays) const {
+  Footprint fp;
+  for (const auto& nest : nests) {
+    for (const auto& access : nest.accesses) {
+      fp.add(access.array,
+             accessFootprint(nest.space, access, arrays.at(access.array)));
+    }
+  }
+  return fp;
+}
+
+}  // namespace laps

@@ -1,0 +1,20 @@
+#pragma once
+/// \file validate.h
+/// \brief Whole-workload consistency checks.
+///
+/// Run once per scenario (tests and the experiment harness do) to catch
+/// malformed workloads early: out-of-bounds accesses, unknown arrays,
+/// dependence cycles.
+
+#include "taskgraph/graph.h"
+
+namespace laps {
+
+/// Throws laps::Error with a descriptive message when \p workload is
+/// inconsistent:
+///  * a process references an array id not in the table,
+///  * an access's footprint falls outside its array's bounds,
+///  * the dependence graph has a cycle.
+void validateWorkload(const Workload& workload);
+
+}  // namespace laps

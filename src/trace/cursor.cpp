@@ -1,0 +1,117 @@
+#include "trace/cursor.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace laps {
+namespace {
+
+/// Fetch granularity of the synthetic instruction stream.
+constexpr std::uint64_t kInstrLineBytes = 32;
+
+}  // namespace
+
+ProcessTraceCursor::ProcessTraceCursor(const ProcessSpec& spec,
+                                       const ArrayTable& arrays,
+                                       const AddressSpace& space)
+    : spec_(&spec), space_(&space) {
+  nestStates_.reserve(spec.nests.size());
+  for (std::size_t n = 0; n < spec.nests.size(); ++n) {
+    const LoopNest& nest = spec.nests[n];
+    NestState state;
+    state.linear.reserve(nest.accesses.size());
+    for (const ArrayAccess& access : nest.accesses) {
+      state.linear.push_back(linearizeAccess(access, arrays.at(access.array)));
+    }
+    // Loop bodies are keyed by (task, nest index) so sibling processes of
+    // one task run the same code.
+    state.codeBase = kCodeSegmentBase +
+                     (static_cast<std::uint64_t>(spec.task) * 16 + n) *
+                         kCodeBodyStride;
+    const std::int64_t wanted =
+        32 * static_cast<std::int64_t>(nest.accesses.size() + 1);
+    state.bodyBytes = std::clamp<std::int64_t>(wanted, 64, 2048);
+    nestStates_.push_back(std::move(state));
+  }
+  seekRunnableNest();
+}
+
+void ProcessTraceCursor::seekRunnableNest() {
+  while (nestIdx_ < spec_->nests.size() &&
+         spec_->nests[nestIdx_].space.empty()) {
+    ++nestIdx_;
+  }
+  if (nestIdx_ >= spec_->nests.size()) {
+    done_ = true;
+    return;
+  }
+  const IterationSpace& space = spec_->nests[nestIdx_].space;
+  point_.resize(space.rank());
+  for (std::size_t d = 0; d < space.rank(); ++d) {
+    point_[d] = space.dim(d).lo;
+  }
+  accIdx_ = 0;
+  bodyCursor_ = 0;
+}
+
+bool ProcessTraceCursor::advanceIteration() {
+  const IterationSpace& space = spec_->nests[nestIdx_].space;
+  std::size_t d = space.rank();
+  for (;;) {
+    if (d == 0) return false;  // exhausted this nest
+    --d;
+    point_[d] += space.dim(d).step;
+    if (point_[d] < space.dim(d).hi) return true;
+    point_[d] = space.dim(d).lo;
+  }
+}
+
+std::uint64_t ProcessTraceCursor::nextInstrAddr() {
+  const NestState& state = nestStates_[nestIdx_];
+  const std::uint64_t addr =
+      state.codeBase + bodyCursor_ % static_cast<std::uint64_t>(state.bodyBytes);
+  bodyCursor_ += kInstrLineBytes;
+  return addr;
+}
+
+bool ProcessTraceCursor::next(TraceStep& step) {
+  if (done_) return false;
+  const LoopNest& nest = spec_->nests[nestIdx_];
+  const NestState& state = nestStates_[nestIdx_];
+
+  step.instrAddr = nextInstrAddr();
+  if (nest.accesses.empty()) {
+    // Pure-compute nest: one step per iteration.
+    step.isRef = false;
+    step.isWrite = false;
+    step.dataAddr = 0;
+    step.computeCycles = nest.computeCyclesPerIter;
+    if (!advanceIteration()) {
+      ++nestIdx_;
+      seekRunnableNest();
+    }
+  } else {
+    const ArrayAccess& access = nest.accesses[accIdx_];
+    const std::int64_t elem = state.linear[accIdx_].eval(point_);
+    step.isRef = true;
+    step.isWrite = access.kind == AccessKind::Write;
+    step.dataAddr = space_->elementAddress(access.array, elem);
+    // Compute cycles are attributed to the last reference of an iteration.
+    const bool lastInIteration = accIdx_ + 1 == nest.accesses.size();
+    step.computeCycles = lastInIteration ? nest.computeCyclesPerIter : 0;
+    if (lastInIteration) {
+      accIdx_ = 0;
+      if (!advanceIteration()) {
+        ++nestIdx_;
+        seekRunnableNest();
+      }
+    } else {
+      ++accIdx_;
+    }
+  }
+  ++stepsEmitted_;
+  return true;
+}
+
+}  // namespace laps

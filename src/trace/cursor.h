@@ -1,0 +1,74 @@
+#pragma once
+/// \file cursor.h
+/// \brief Resumable per-process trace generation.
+///
+/// A ProcessTraceCursor walks a process's loop nests and yields one
+/// TraceStep per data reference (or per iteration for pure-compute
+/// nests). The cursor's state is a loop index vector plus counters, so it
+/// is cheap to copy and can be suspended/resumed at any step — exactly
+/// what preemptive scheduling (RRS) needs, including migration of a
+/// half-finished process to another core.
+///
+/// Instruction stream model: each (task, nest-index) pair owns a small
+/// synthetic loop body in the code segment; every step fetches the next
+/// line of that body, wrapping around. Processes of the same task and
+/// stage therefore share instruction cache lines (they run the same
+/// code), and a context switch naturally cools the I-cache.
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/address_space.h"
+#include "region/footprint.h"
+#include "taskgraph/process.h"
+#include "trace/trace.h"
+
+namespace laps {
+
+/// Generates the reference trace of one process under a given data layout.
+class ProcessTraceCursor {
+ public:
+  /// \p spec and \p arrays and \p space must outlive the cursor.
+  ProcessTraceCursor(const ProcessSpec& spec, const ArrayTable& arrays,
+                     const AddressSpace& space);
+
+  /// Produces the next step. Returns false (and leaves \p step untouched)
+  /// when the process has finished.
+  bool next(TraceStep& step);
+
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] ProcessId processId() const { return spec_->id; }
+
+  /// Steps generated so far (for tests and progress accounting).
+  [[nodiscard]] std::uint64_t stepsEmitted() const { return stepsEmitted_; }
+
+ private:
+  struct NestState {
+    std::vector<AffineExpr> linear;  ///< linearized exprs, one per access
+    std::uint64_t codeBase = 0;
+    std::int64_t bodyBytes = 0;
+  };
+
+  /// Positions the cursor at the start of the first non-empty nest at or
+  /// after nestIdx_; sets done_ when none remains.
+  void seekRunnableNest();
+
+  /// Advances the iteration odometer of the current nest; returns false
+  /// when the nest is exhausted.
+  bool advanceIteration();
+
+  [[nodiscard]] std::uint64_t nextInstrAddr();
+
+  const ProcessSpec* spec_;
+  const AddressSpace* space_;
+  std::vector<NestState> nestStates_;
+
+  std::size_t nestIdx_ = 0;
+  std::size_t accIdx_ = 0;
+  std::vector<std::int64_t> point_;
+  std::uint64_t stepsEmitted_ = 0;
+  std::uint64_t bodyCursor_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace laps

@@ -1,0 +1,27 @@
+#pragma once
+/// \file trace.h
+/// \brief Elementary events of a process's execution trace.
+
+#include <cstdint>
+
+namespace laps {
+
+/// Base of the (synthetic) code segment; loop bodies of processes live
+/// here. Data arrays are placed from AddressSpaceOptions::dataBase
+/// (0x1000'0000 by default), far above, so code and data never alias.
+inline constexpr std::uint64_t kCodeSegmentBase = 0x0040'0000;
+
+/// Address-space stride between the code bodies of distinct loop nests.
+inline constexpr std::uint64_t kCodeBodyStride = 4096;
+
+/// One step of a process trace: an instruction fetch plus, usually, one
+/// data reference, plus any compute cycles attributed to this step.
+struct TraceStep {
+  std::uint64_t instrAddr = 0;   ///< instruction fetch for this step
+  std::uint64_t dataAddr = 0;    ///< valid when isRef
+  std::int64_t computeCycles = 0;  ///< pure-compute cycles after the step
+  bool isRef = false;            ///< step performs a data reference
+  bool isWrite = false;          ///< data reference is a store
+};
+
+}  // namespace laps

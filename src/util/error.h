@@ -1,0 +1,35 @@
+#pragma once
+/// \file error.h
+/// \brief Error type and precondition helpers used across lapsched.
+///
+/// The library reports unrecoverable API misuse and internal invariant
+/// violations through laps::Error (derived from std::runtime_error), so
+/// callers can catch a single type at the top level.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace laps {
+
+/// Exception thrown for all lapsched error conditions (API misuse,
+/// malformed inputs, violated invariants).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws laps::Error with \p message when \p condition is false.
+/// Used to validate public API preconditions; never compiled out.
+inline void check(bool condition, std::string_view message) {
+  if (!condition) {
+    throw Error(std::string(message));
+  }
+}
+
+/// Throws laps::Error unconditionally; convenience for unreachable paths.
+[[noreturn]] inline void fail(std::string_view message) {
+  throw Error(std::string(message));
+}
+
+}  // namespace laps

@@ -1,0 +1,36 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace laps {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info:  return "INFO ";
+    case LogLevel::Warn:  return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off:   return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
+
+LogLevel setLogLevel(LogLevel level) {
+  return g_level.exchange(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void logLine(LogLevel level, const std::string& message) {
+  std::cerr << "[laps " << levelName(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace laps

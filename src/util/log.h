@@ -1,0 +1,39 @@
+#pragma once
+/// \file log.h
+/// \brief Minimal leveled logging to stderr.
+///
+/// Logging is off by default (level Warn) so library users and benchmarks
+/// see clean output; tests and debugging sessions can raise the level.
+/// There is intentionally no global mutable configuration besides the
+/// level itself.
+
+#include <sstream>
+#include <string>
+
+namespace laps {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Returns the current global level (default: Warn).
+[[nodiscard]] LogLevel logLevel();
+
+/// Sets the global level; returns the previous level.
+LogLevel setLogLevel(LogLevel level);
+
+namespace detail {
+void logLine(LogLevel level, const std::string& message);
+}
+
+/// Logs \p message if \p level >= the global level.
+inline void log(LogLevel level, const std::string& message) {
+  if (level >= logLevel() && logLevel() != LogLevel::Off) {
+    detail::logLine(level, message);
+  }
+}
+
+inline void logDebug(const std::string& m) { log(LogLevel::Debug, m); }
+inline void logInfo(const std::string& m) { log(LogLevel::Info, m); }
+inline void logWarn(const std::string& m) { log(LogLevel::Warn, m); }
+inline void logError(const std::string& m) { log(LogLevel::Error, m); }
+
+}  // namespace laps

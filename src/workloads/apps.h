@@ -1,0 +1,65 @@
+#pragma once
+/// \file apps.h
+/// \brief The six applications of paper Table 1 as workload generators.
+///
+/// The original benchmarks are proprietary; these generators reproduce
+/// the properties the scheduler actually observes (see DESIGN.md §2):
+///  * array-intensive affine loop nests from image/video processing,
+///  * 9-37 processes per task (paper §4), staged with dependences,
+///  * heavy intra-application data sharing (shared read arrays, halo
+///    overlap, producer-consumer rows),
+///  * zero inter-application sharing.
+///
+/// | Task     | Description (Table 1)                    | Processes |
+/// |----------|------------------------------------------|-----------|
+/// | Med-Im04 | medical image reconstruction             | 25        |
+/// | MxM      | triple matrix multiplication             | 20        |
+/// | Radar    | radar imaging                            | 33        |
+/// | Shape    | pattern recognition and shape analysis   | 9         |
+/// | Track    | visual tracking control                  | 13        |
+/// | Usonic   | feature-based object recognition         | 37        |
+
+#include <string>
+#include <vector>
+
+#include "taskgraph/builder.h"
+#include "taskgraph/graph.h"
+
+namespace laps {
+
+/// Generation parameters shared by all applications.
+struct AppParams {
+  /// Scales the primary problem dimensions (and thus trace length).
+  /// 1.0 keeps full-suite simulations in the seconds range on a laptop.
+  double scale = 1.0;
+};
+
+/// A generated application: one task's workload plus its Table 1 row.
+struct Application {
+  std::string name;
+  std::string description;
+  Workload workload;  ///< single task with task id 0
+
+  [[nodiscard]] std::size_t processCount() const {
+    return workload.graph.processCount();
+  }
+};
+
+Application makeMedIm04(const AppParams& params = {});
+Application makeMxM(const AppParams& params = {});
+Application makeRadar(const AppParams& params = {});
+Application makeShape(const AppParams& params = {});
+Application makeTrack(const AppParams& params = {});
+Application makeUsonic(const AppParams& params = {});
+
+/// All six applications in the paper's Table 1 order (the order Fig. 7
+/// accumulates them in).
+std::vector<Application> standardSuite(const AppParams& params = {});
+
+/// Merges the first \p count applications of \p suite into one workload
+/// whose tasks run concurrently (paper Fig. 7's |T| axis). Arrays and
+/// task ids are remapped; there is no inter-application sharing.
+Workload concurrentScenario(const std::vector<Application>& suite,
+                            std::size_t count);
+
+}  // namespace laps

@@ -1,0 +1,42 @@
+#pragma once
+/// \file common.h
+/// \brief Internal helpers shared by the application generators.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "region/access.h"
+#include "region/affine.h"
+
+namespace laps::workloads {
+
+/// Loop variable \p dim of a rank-\p rank nest.
+inline AffineExpr v(std::size_t dim, std::size_t rank) {
+  return AffineExpr::var(dim, rank);
+}
+
+/// Constant index expression.
+inline AffineExpr c(std::int64_t value) { return AffineExpr::constant(value); }
+
+/// Read access with explicit index expressions.
+inline ArrayAccess read(ArrayId array, std::initializer_list<AffineExpr> idx) {
+  return ArrayAccess{array, AffineMap(std::vector<AffineExpr>(idx)),
+                     AccessKind::Read};
+}
+
+/// Write access with explicit index expressions.
+inline ArrayAccess write(ArrayId array, std::initializer_list<AffineExpr> idx) {
+  return ArrayAccess{array, AffineMap(std::vector<AffineExpr>(idx)),
+                     AccessKind::Write};
+}
+
+/// Scales \p base by \p scale, rounded to a multiple of \p multiple and
+/// at least 2*multiple (keeps split/partition arithmetic exact and stage
+/// stencils non-empty even at tiny scales).
+inline std::int64_t scaled(std::int64_t base, double scale,
+                           std::int64_t multiple) {
+  const auto raw = static_cast<std::int64_t>(static_cast<double>(base) * scale);
+  return std::max(2 * multiple, raw / multiple * multiple);
+}
+
+}  // namespace laps::workloads

@@ -1,0 +1,102 @@
+/// Med-Im04 — medical image reconstruction (paper Table 1).
+///
+/// Filtered backprojection structure (37 processes, the paper's upper
+/// bound):
+///   calibrate -> filter(12) -> backproject(12) -> smooth(12)
+///  * filter: convolve projection blocks with a shared kernel; the taps
+///    reach into neighbouring projections, so adjacent processes share
+///    boundary rows (halo sharing);
+///  * backproject: every image-row process reads the same slice of the
+///    filtered sinogram — all backproject pairs share ~1.5 KB, and with
+///    12 processes on 8 cores some of them queue, which is exactly the
+///    reuse the locality scheduler exploits;
+///  * smooth: vertical stencil aligned one-to-one with backproject rows.
+///
+/// Stage widths exceed the 8-core platform and per-process footprints
+/// (3-7 KB) fit the 8 KB L1, so data brought by one process is still
+/// resident when a well-chosen successor runs.
+
+#include "workloads/apps.h"
+#include "workloads/common.h"
+
+namespace laps {
+
+using workloads::read;
+using workloads::scaled;
+using workloads::v;
+using workloads::write;
+
+Application makeMedIm04(const AppParams& params) {
+  Application app;
+  app.name = "Med-Im04";
+  app.description = "medical image reconstruction";
+  Workload& w = app.workload;
+
+  const std::int64_t proj = scaled(144, params.scale, 12);  // projections
+  const std::int64_t det = scaled(64, params.scale, 8);     // detectors
+  const std::int64_t imgN = scaled(96, params.scale, 12);   // image size
+  constexpr std::int64_t kTaps = 4;
+
+  const ArrayId sino = w.arrays.add("sino", {proj, det}, 4);
+  const ArrayId filt = w.arrays.add("filt", {proj, det}, 4);
+  const ArrayId img = w.arrays.add("img", {imgN, imgN}, 4);
+  // Per-detector filter coefficient table (2 KB at scale 1): every
+  // filter process sweeps the whole table once per row — the kind of hot
+  // lookup table whose cache residency the Fig. 4 re-layout protects.
+  const std::int64_t kernLen = det * 8;
+  const ArrayId kern = w.arrays.add("kern", {kernLen}, 4);
+
+  // calibrate: fills the kernel table (single root process).
+  ProcessSpec calib;
+  calib.name = "MedIm04.calibrate";
+  calib.nests.push_back(LoopNest{IterationSpace::box({{0, kernLen}}),
+                                 {write(kern, {v(0, 1)})},
+                                 /*computeCyclesPerIter=*/4});
+  const ProcessId calibId = w.graph.addProcess(std::move(calib));
+
+  // filter: (s, p, d, t) — filt[p][d] += sino[p+t][d] * kern[8d+t],
+  // iterated over 3 refinement sweeps (s, outermost, so every sweep
+  // re-reads the process's whole row block). The p+t halo makes adjacent
+  // row-block processes share kTaps rows; the sweeps give each process
+  // temporal reuse of its ~7 KB block — a preemption that cools the
+  // cache costs a block re-fetch on the next quantum.
+  const LoopNest filterNest{
+      IterationSpace::box({{0, 3}, {0, proj - kTaps}, {0, det}, {0, kTaps}}),
+      {read(sino, {v(1, 4).plus(v(3, 4)), v(2, 4)}),
+       read(kern, {v(2, 4).times(8).plus(v(3, 4))}),
+       write(filt, {v(1, 4), v(2, 4)})},
+      1};
+  const auto filterStage =
+      addParallelLoop(w, 0, "MedIm04.filter", filterNest, 12, /*splitDim=*/1);
+  linkStages(w.graph, {calibId}, filterStage, StageLink::AllToAll);
+
+  // backproject: (r, cpx, a) — img[r][cpx] += filt[a][cpx]. All
+  // processes read the same 6 filtered rows (1.5 KB): strong pairwise
+  // sharing, and the slice stays L1-resident for an aligned successor.
+  const std::int64_t angles =
+      std::max<std::int64_t>(1, std::min<std::int64_t>(6, proj / 24));
+  const LoopNest backNest{
+      IterationSpace::box({{0, imgN}, {0, imgN}, {0, angles}}),
+      {read(filt, {v(2, 3), v(1, 3)}),
+       write(img, {v(0, 3), v(1, 3)})},
+      1};
+  const auto backStage =
+      addParallelLoop(w, 0, "MedIm04.backproject", backNest, 12);
+  linkStages(w.graph, filterStage, backStage, StageLink::AllToAll);
+
+  // smooth: (s, r, cpx) — img[r][cpx] = f(img[r][cpx], img[r+1][cpx]),
+  // two block-level sweeps. Reads exactly the rows its aligned
+  // backproject process wrote.
+  const LoopNest smoothNest{
+      IterationSpace::box({{0, 2}, {0, imgN - 8}, {0, imgN}}),
+      {read(img, {v(1, 3), v(2, 3)}), read(img, {v(1, 3).shift(1), v(2, 3)}),
+       write(img, {v(1, 3), v(2, 3)})},
+      1};
+  const auto smoothStage =
+      addParallelLoop(w, 0, "MedIm04.smooth", smoothNest, 12, /*splitDim=*/1);
+  linkStages(w.graph, backStage, smoothStage, StageLink::OneToOne);
+
+  return app;
+}
+
+}  // namespace laps

@@ -1,0 +1,68 @@
+/// MxM — triple matrix multiplication (paper Table 1).
+///
+/// Computes C = A x B then E = C x D as row-block processes (36 total):
+///   pack(4) -> multiply1(16) -> multiply2(16)
+///  * pack: transposes B into Bt for stride-1 inner products;
+///  * multiply1: every process reads all of Bt (4 KB — it stays resident
+///    across back-to-back multiply1 processes on one core, which is what
+///    the locality scheduler arranges when 16 processes queue on 8
+///    cores);
+///  * multiply2: process i consumes exactly the C rows process i of
+///    multiply1 produced (one-to-one dependences) and all of D.
+
+#include "workloads/apps.h"
+#include "workloads/common.h"
+
+namespace laps {
+
+using workloads::read;
+using workloads::scaled;
+using workloads::v;
+using workloads::write;
+
+Application makeMxM(const AppParams& params) {
+  Application app;
+  app.name = "MxM";
+  app.description = "triple matrix multiplication";
+  Workload& w = app.workload;
+
+  const std::int64_t n = scaled(32, params.scale, 16);
+
+  const ArrayId a = w.arrays.add("A", {n, n}, 4);
+  const ArrayId b = w.arrays.add("B", {n, n}, 4);
+  const ArrayId bt = w.arrays.add("Bt", {n, n}, 4);
+  const ArrayId cm = w.arrays.add("C", {n, n}, 4);
+  const ArrayId d = w.arrays.add("D", {n, n}, 4);
+  const ArrayId e = w.arrays.add("E", {n, n}, 4);
+
+  // pack: (s, j, k) — Bt[j][k] = B[k][j] (transpose; column reads are
+  // strided), two block-level sweeps for internal reuse.
+  const LoopNest packNest{IterationSpace::box({{0, 2}, {0, n}, {0, n}}),
+                          {read(b, {v(2, 3), v(1, 3)}),
+                           write(bt, {v(1, 3), v(2, 3)})},
+                          1};
+  const auto packStage =
+      addParallelLoop(w, 0, "MxM.pack", packNest, 4, /*splitDim=*/1);
+
+  // multiply1: (i, j, k) — C[i][j] += A[i][k] * Bt[j][k].
+  const LoopNest mul1Nest{
+      IterationSpace::box({{0, n}, {0, n}, {0, n}}),
+      {read(a, {v(0, 3), v(2, 3)}), read(bt, {v(1, 3), v(2, 3)}),
+       write(cm, {v(0, 3), v(1, 3)})},
+      1};
+  const auto mul1Stage = addParallelLoop(w, 0, "MxM.mul1", mul1Nest, 16);
+  linkStages(w.graph, packStage, mul1Stage, StageLink::AllToAll);
+
+  // multiply2: (i, j, k) — E[i][j] += C[i][k] * D[k][j].
+  const LoopNest mul2Nest{
+      IterationSpace::box({{0, n}, {0, n}, {0, n}}),
+      {read(cm, {v(0, 3), v(2, 3)}), read(d, {v(2, 3), v(1, 3)}),
+       write(e, {v(0, 3), v(1, 3)})},
+      1};
+  const auto mul2Stage = addParallelLoop(w, 0, "MxM.mul2", mul2Nest, 16);
+  linkStages(w.graph, mul1Stage, mul2Stage, StageLink::OneToOne);
+
+  return app;
+}
+
+}  // namespace laps

@@ -1,0 +1,101 @@
+/// Radar — radar imaging (paper Table 1).
+///
+/// Classic pulse-Doppler pipeline (33 processes):
+///   compress(12) -> cornerturn(12) -> doppler(4) -> cfar(4) -> merge(1)
+///  * compress: per-pulse matched filter against a shared chirp; the tap
+///    reach gives adjacent pulse blocks a halo overlap;
+///  * cornerturn: transpose (strided column reads — inherently
+///    locality-hostile, as on real radar pipelines);
+///  * doppler: wide row blocks with shared twiddles;
+///  * cfar: guard-cell stencil aligned one-to-one with doppler blocks;
+///  * merge: scans the detection map.
+
+#include "workloads/apps.h"
+#include "workloads/common.h"
+
+namespace laps {
+
+using workloads::read;
+using workloads::scaled;
+using workloads::v;
+using workloads::write;
+
+Application makeRadar(const AppParams& params) {
+  Application app;
+  app.name = "Radar";
+  app.description = "radar imaging";
+  Workload& w = app.workload;
+
+  const std::int64_t pulses = scaled(96, params.scale, 12);
+  const std::int64_t bins = scaled(72, params.scale, 12);
+  constexpr std::int64_t kTaps = 4;
+
+  const ArrayId raw = w.arrays.add("raw", {pulses, bins}, 4);
+  // Matched-filter coefficients per range bin (~1.1 KB, re-swept by
+  // every compress process row) and FFT twiddles per pulse (~1.5 KB):
+  // the hot lookup tables of the pipeline.
+  const ArrayId chirp = w.arrays.add("chirp", {bins * kTaps}, 4);
+  const ArrayId rc = w.arrays.add("rc", {pulses, bins}, 4);
+  const ArrayId ct = w.arrays.add("ct", {bins, pulses}, 4);
+  const ArrayId twiddle = w.arrays.add("twiddle", {pulses * kTaps}, 4);
+  const ArrayId dop = w.arrays.add("dop", {bins, pulses}, 4);
+  const ArrayId det = w.arrays.add("det", {bins, pulses}, 4);
+
+  // compress: (s, p, b, t) — rc[p][b] += raw[p+t][b] * chirp[t], two
+  // block-level sweeps; the p+t halo is shared with the neighbouring
+  // pulse block.
+  const LoopNest compressNest{
+      IterationSpace::box({{0, 2}, {0, pulses - kTaps}, {0, bins}, {0, kTaps}}),
+      {read(raw, {v(1, 4).plus(v(3, 4)), v(2, 4)}),
+       read(chirp, {v(2, 4).times(kTaps).plus(v(3, 4))}),
+       write(rc, {v(1, 4), v(2, 4)})},
+      1};
+  const auto compressStage =
+      addParallelLoop(w, 0, "Radar.compress", compressNest, 12, /*splitDim=*/1);
+
+  // cornerturn: (s, b, p) — ct[b][p] = rc[p][b], two block-level sweeps.
+  const LoopNest turnNest{IterationSpace::box({{0, 2}, {0, bins}, {0, pulses}}),
+                          {read(rc, {v(2, 3), v(1, 3)}),
+                           write(ct, {v(1, 3), v(2, 3)})},
+                          1};
+  const auto turnStage =
+      addParallelLoop(w, 0, "Radar.cornerturn", turnNest, 12, /*splitDim=*/1);
+  linkStages(w.graph, compressStage, turnStage, StageLink::AllToAll);
+
+  // doppler: (s, b, p, t) — dop[b][p] += ct[b][p] * twiddle[t], two
+  // block-level sweeps over each process's ~7 KB row block.
+  const LoopNest dopplerNest{
+      IterationSpace::box({{0, 2}, {0, bins}, {0, pulses}, {0, kTaps}}),
+      {read(ct, {v(1, 4), v(2, 4)}),
+       read(twiddle, {v(2, 4).times(kTaps).plus(v(3, 4))}),
+       write(dop, {v(1, 4), v(2, 4)})},
+      1};
+  const auto dopplerStage =
+      addParallelLoop(w, 0, "Radar.doppler", dopplerNest, 4, /*splitDim=*/1);
+  linkStages(w.graph, turnStage, dopplerStage, StageLink::AllToAll);
+
+  // cfar: (b, p) — det[b][p] = f(dop[b][p], dop[b][p+1], dop[b][p+2]).
+  const LoopNest cfarNest{
+      IterationSpace::box({{0, bins}, {0, pulses - 2}}),
+      {read(dop, {v(0, 2), v(1, 2)}), read(dop, {v(0, 2), v(1, 2).shift(1)}),
+       read(dop, {v(0, 2), v(1, 2).shift(2)}),
+       write(det, {v(0, 2), v(1, 2)})},
+      1};
+  const auto cfarStage = addParallelLoop(w, 0, "Radar.cfar", cfarNest, 4);
+  linkStages(w.graph, dopplerStage, cfarStage, StageLink::OneToOne);
+
+  // merge: subsampled scan of the detection map.
+  ProcessSpec merge;
+  merge.name = "Radar.merge";
+  const std::int64_t mergeStep = std::max<std::int64_t>(1, pulses / 16);
+  merge.nests.push_back(LoopNest{
+      IterationSpace::box({{0, bins}, {0, 16}}),
+      {read(det, {v(0, 2), v(1, 2).times(mergeStep)})},
+      2});
+  const ProcessId mergeId = w.graph.addProcess(std::move(merge));
+  linkStages(w.graph, cfarStage, {mergeId}, StageLink::AllToAll);
+
+  return app;
+}
+
+}  // namespace laps

@@ -1,0 +1,77 @@
+/// Shape — pattern recognition and shape analysis (paper Table 1).
+///
+/// The smallest task of the suite (9 processes, matching the paper's
+/// lower bound):
+///   threshold(4) -> contour(4) -> moments(1)
+///  * threshold: binarize image row blocks (~2.3 KB per block, so a
+///    block survives in the 8 KB L1 until the aligned contour process
+///    consumes it);
+///  * contour: 2D edge stencil with halo dependences, one-to-one aligned
+///    with threshold blocks;
+///  * moments: global reduction over a subsampled contour map.
+
+#include "workloads/apps.h"
+#include "workloads/common.h"
+
+namespace laps {
+
+using workloads::read;
+using workloads::scaled;
+using workloads::v;
+using workloads::write;
+
+Application makeShape(const AppParams& params) {
+  Application app;
+  app.name = "Shape";
+  app.description = "pattern recognition and shape analysis";
+  Workload& w = app.workload;
+
+  const std::int64_t n = scaled(48, params.scale, 4);
+
+  const ArrayId image = w.arrays.add("image", {n, n}, 4);
+  const ArrayId edge = w.arrays.add("edge", {n, n}, 4);
+  const ArrayId contour = w.arrays.add("contour", {n, n}, 4);
+  const ArrayId moments = w.arrays.add("moments", {16}, 4);
+  // Per-column gamma correction table (~700 B), swept once per row.
+  const ArrayId gamma = w.arrays.add("gamma", {(n - 4) * 4}, 4);
+
+  // threshold: (s, r, cpx, t) — edge[r][cpx] = gamma(image[r][cpx+t]),
+  // two block-level sweeps.
+  const LoopNest thresholdNest{
+      IterationSpace::box({{0, 2}, {0, n}, {0, n - 4}, {0, 4}}),
+      {read(image, {v(1, 4), v(2, 4).plus(v(3, 4))}),
+       read(gamma, {v(2, 4).times(4).plus(v(3, 4))}),
+       write(edge, {v(1, 4), v(2, 4)})},
+      1};
+  const auto thresholdStage =
+      addParallelLoop(w, 0, "Shape.threshold", thresholdNest, 4, /*splitDim=*/1);
+
+  // contour: (s, r, cpx) — contour[r][cpx] = f(edge r/r+1, cpx/cpx+1),
+  // two block-level sweeps; reads the edge rows its aligned threshold
+  // block wrote.
+  const LoopNest contourNest{
+      IterationSpace::box({{0, 2}, {0, n - 4}, {0, n - 1}}),
+      {read(edge, {v(1, 3), v(2, 3)}), read(edge, {v(1, 3).shift(1), v(2, 3)}),
+       read(edge, {v(1, 3), v(2, 3).shift(1)}),
+       write(contour, {v(1, 3), v(2, 3)})},
+      1};
+  const auto contourStage =
+      addParallelLoop(w, 0, "Shape.contour", contourNest, 4, /*splitDim=*/1);
+  linkStages(w.graph, thresholdStage, contourStage, StageLink::OneToOne);
+
+  // moments: (r, m) — moments[m] += contour[r][m*step] * r^k.
+  ProcessSpec momentsProc;
+  momentsProc.name = "Shape.moments";
+  const std::int64_t colStep = std::max<std::int64_t>(1, n / 16);
+  momentsProc.nests.push_back(LoopNest{
+      IterationSpace::box({{0, n - 4}, {0, 16}}),
+      {read(contour, {v(0, 2), v(1, 2).times(colStep)}),
+       write(moments, {v(1, 2)})},
+      2});
+  const ProcessId momentsId = w.graph.addProcess(std::move(momentsProc));
+  linkStages(w.graph, contourStage, {momentsId}, StageLink::AllToAll);
+
+  return app;
+}
+
+}  // namespace laps

@@ -1,0 +1,28 @@
+#include "util/error.h"
+#include "workloads/apps.h"
+
+namespace laps {
+
+std::vector<Application> standardSuite(const AppParams& params) {
+  std::vector<Application> suite;
+  suite.push_back(makeMedIm04(params));
+  suite.push_back(makeMxM(params));
+  suite.push_back(makeRadar(params));
+  suite.push_back(makeShape(params));
+  suite.push_back(makeTrack(params));
+  suite.push_back(makeUsonic(params));
+  return suite;
+}
+
+Workload concurrentScenario(const std::vector<Application>& suite,
+                            std::size_t count) {
+  check(count >= 1 && count <= suite.size(),
+        "concurrentScenario: count out of range");
+  Workload merged;
+  for (std::size_t i = 0; i < count; ++i) {
+    appendWorkload(merged, suite[i].workload);
+  }
+  return merged;
+}
+
+}  // namespace laps

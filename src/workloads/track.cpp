@@ -1,0 +1,75 @@
+/// Track — visual tracking control (paper Table 1).
+///
+///   diff(6) -> correlate(6) -> update(1)   = 13 processes
+///  * diff: frame differencing over row blocks (reads both frames;
+///    ~4.7 KB per block keeps a block L1-resident);
+///  * correlate: subsampled window matching that re-reads the current
+///    frame and the diff map — exactly the rows its aligned diff process
+///    produced (strong producer-consumer sharing, halo dependences);
+///  * update: track state update from the score map.
+
+#include "workloads/apps.h"
+#include "workloads/common.h"
+
+namespace laps {
+
+using workloads::read;
+using workloads::scaled;
+using workloads::v;
+using workloads::write;
+
+Application makeTrack(const AppParams& params) {
+  Application app;
+  app.name = "Track";
+  app.description = "visual tracking control";
+  Workload& w = app.workload;
+
+  const std::int64_t n = scaled(60, params.scale, 6);  // frame rows
+  const std::int64_t half = n / 2;
+
+  const ArrayId prev = w.arrays.add("prev", {n, n}, 4);
+  const ArrayId cur = w.arrays.add("cur", {n, n}, 4);
+  const ArrayId diff = w.arrays.add("diff", {n, n}, 4);
+  const ArrayId score = w.arrays.add("score", {half, half}, 4);
+  const ArrayId state = w.arrays.add("state", {64}, 4);
+  // Correlation gain table (~900 B), swept by every correlate row.
+  const ArrayId gain = w.arrays.add("gain", {(half - 2) * 8}, 4);
+
+  // diff: (s, r, cpx) — diff[r][cpx] = |cur[r][cpx] - prev[r][cpx]|,
+  // two block-level sweeps.
+  const LoopNest diffNest{
+      IterationSpace::box({{0, 2}, {0, n}, {0, n}}),
+      {read(cur, {v(1, 3), v(2, 3)}), read(prev, {v(1, 3), v(2, 3)}),
+       write(diff, {v(1, 3), v(2, 3)})},
+      1};
+  const auto diffStage =
+      addParallelLoop(w, 0, "Track.diff", diffNest, 6, /*splitDim=*/1);
+
+  // correlate: (s, r, cpx, t) —
+  // score[r][cpx] += f(cur[2r][2cpx+t], diff[2r][2cpx+t]), two sweeps.
+  const LoopNest correlateNest{
+      IterationSpace::box({{0, 2}, {0, half}, {0, half - 2}, {0, 4}}),
+      {read(cur, {v(1, 4).times(2), v(2, 4).times(2).plus(v(3, 4))}),
+       read(diff, {v(1, 4).times(2), v(2, 4).times(2).plus(v(3, 4))}),
+       read(gain, {v(2, 4).times(8).plus(v(3, 4))}),
+       write(score, {v(1, 4), v(2, 4)})},
+      1};
+  const auto correlateStage =
+      addParallelLoop(w, 0, "Track.correlate", correlateNest, 6, /*splitDim=*/1);
+  linkStages(w.graph, diffStage, correlateStage, StageLink::OneToOne);
+
+  // update: (r, cpx) — state[2r] from the score map (subsampled).
+  ProcessSpec update;
+  update.name = "Track.update";
+  const std::int64_t stateRows = std::min<std::int64_t>(32, half);
+  update.nests.push_back(LoopNest{
+      IterationSpace::box({{0, stateRows}, {0, half}}),
+      {read(score, {v(0, 2), v(1, 2)}), write(state, {v(0, 2).times(2)})},
+      2});
+  const ProcessId updateId = w.graph.addProcess(std::move(update));
+  linkStages(w.graph, correlateStage, {updateId}, StageLink::AllToAll);
+
+  return app;
+}
+
+}  // namespace laps

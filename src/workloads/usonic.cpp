@@ -1,0 +1,105 @@
+/// Usonic — feature-based object recognition (paper Table 1).
+///
+/// The largest task of the suite (37 processes, matching the paper's
+/// upper bound):
+///   preprocess(8) -> extract(8) -> match(16) -> aggregate(4) -> decide(1)
+///  * preprocess: in-place signal conditioning over row blocks;
+///  * extract: windowed feature computation, one-to-one aligned with
+///    preprocess blocks (re-reads the same signal rows);
+///  * match: 16 processes each score ALL features (4 KB, L1-resident)
+///    against their own codebook block — the strongest read-sharing
+///    pattern in the suite, and with 16 processes on 8 cores half of
+///    them run as back-to-back successors;
+///  * aggregate: score reduction over feature-row blocks;
+///  * decide: final argmax scan.
+
+#include "workloads/apps.h"
+#include "workloads/common.h"
+
+namespace laps {
+
+using workloads::read;
+using workloads::scaled;
+using workloads::v;
+using workloads::write;
+
+Application makeUsonic(const AppParams& params) {
+  Application app;
+  app.name = "Usonic";
+  app.description = "feature-based object recognition";
+  Workload& w = app.workload;
+
+  const std::int64_t frames = scaled(128, params.scale, 16);  // signal rows
+  const std::int64_t width = scaled(64, params.scale, 8);     // samples/row
+  const std::int64_t cbRows = scaled(256, params.scale, 16);  // codebook
+  constexpr std::int64_t kFeat = 8;
+
+  const ArrayId signal = w.arrays.add("signal", {frames, width}, 4);
+  const ArrayId feat = w.arrays.add("feat", {frames, kFeat}, 4);
+  const ArrayId codebook = w.arrays.add("codebook", {cbRows, kFeat}, 4);
+  // scores is a per-codebook-entry reduction (one accumulator per row),
+  // so the match stage's output traffic is tiny compared with its reused
+  // inputs (feat and the codebook block).
+  const ArrayId scores = w.arrays.add("scores", {cbRows}, 4);
+  const ArrayId result = w.arrays.add("result", {frames}, 4);
+  // Per-frame distance weights (2 KB), swept once per codebook row.
+  const ArrayId weights = w.arrays.add("weights", {frames * 4}, 4);
+
+  // preprocess: (s, f, w) — signal[f][w] = g(signal[f][w]), two
+  // block-level sweeps.
+  const LoopNest preNest{IterationSpace::box({{0, 2}, {0, frames}, {0, width}}),
+                         {read(signal, {v(1, 3), v(2, 3)}),
+                          write(signal, {v(1, 3), v(2, 3)})},
+                         1};
+  const auto preStage =
+      addParallelLoop(w, 0, "Usonic.preprocess", preNest, 8, /*splitDim=*/1);
+
+  // extract: (f, d, t) — feat[f][d] += signal[f][d*(width/kFeat)+t].
+  const std::int64_t stride = std::max<std::int64_t>(1, width / kFeat);
+  const LoopNest extractNest{
+      IterationSpace::box({{0, frames}, {0, kFeat}, {0, 4}}),
+      {read(signal, {v(0, 3), v(1, 3).times(stride).plus(v(2, 3))}),
+       write(feat, {v(0, 3), v(1, 3)})},
+      1};
+  const auto extractStage =
+      addParallelLoop(w, 0, "Usonic.extract", extractNest, 8);
+  linkStages(w.graph, preStage, extractStage, StageLink::OneToOne);
+
+  // match: (cb, f, d) — scores[cb] += feat[f][4d] * codebook[cb][4d].
+  // Parallelized over codebook blocks: every process sweeps all features
+  // once per codebook row — the feature array (4 KB) is the hot resident
+  // block the locality scheduler keeps on a core.
+  const LoopNest matchNest{
+      IterationSpace({LoopDim{0, cbRows, 1}, LoopDim{0, frames, 2},
+                      LoopDim{0, 2, 1}}),
+      {read(feat, {v(1, 3), v(2, 3).times(4)}),
+       read(codebook, {v(0, 3), v(2, 3).times(4)}),
+       read(weights, {v(1, 3).times(4).plus(v(2, 3))}),
+       write(scores, {v(0, 3)})},
+      1};
+  const auto matchStage = addParallelLoop(w, 0, "Usonic.match", matchNest, 16);
+  linkStages(w.graph, extractStage, matchStage, StageLink::AllToAll);
+
+  // aggregate: (f, cb16) — result[f] = max(result[f], scores[cb16*s]).
+  const std::int64_t cbStep = std::max<std::int64_t>(1, cbRows / 16);
+  const LoopNest aggNest{
+      IterationSpace::box({{0, frames}, {0, 16}}),
+      {read(scores, {v(1, 2).times(cbStep)}),
+       write(result, {v(0, 2)})},
+      1};
+  const auto aggStage = addParallelLoop(w, 0, "Usonic.aggregate", aggNest, 4);
+  linkStages(w.graph, matchStage, aggStage, StageLink::AllToAll);
+
+  // decide: argmax over the result vector.
+  ProcessSpec decide;
+  decide.name = "Usonic.decide";
+  decide.nests.push_back(LoopNest{IterationSpace::box({{0, frames}}),
+                                  {read(result, {v(0, 1)})},
+                                  2});
+  const ProcessId decideId = w.graph.addProcess(std::move(decide));
+  linkStages(w.graph, aggStage, {decideId}, StageLink::AllToAll);
+
+  return app;
+}
+
+}  // namespace laps

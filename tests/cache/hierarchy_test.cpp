@@ -1,0 +1,84 @@
+#include "cache/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace laps {
+namespace {
+
+MemoryConfig paperDefaults() {
+  MemoryConfig cfg;
+  cfg.l1d = CacheConfig{8192, 2, 32, 2};
+  cfg.l1i = CacheConfig{8192, 2, 32, 2};
+  cfg.memLatencyCycles = 75;
+  return cfg;
+}
+
+TEST(MemorySystem, LatenciesMatchTable2) {
+  MemorySystem mem(paperDefaults());
+  // Cold miss: 2 + 75; warm hit: 2.
+  EXPECT_EQ(mem.dataAccess(0, false), 77);
+  EXPECT_EQ(mem.dataAccess(0, false), 2);
+  EXPECT_EQ(mem.instrFetch(1 << 20), 77);
+  EXPECT_EQ(mem.instrFetch(1 << 20), 2);
+}
+
+TEST(MemorySystem, ICacheDisabledCostsNothing) {
+  MemoryConfig cfg = paperDefaults();
+  cfg.modelICache = false;
+  MemorySystem mem(cfg);
+  EXPECT_EQ(mem.instrFetch(0), 0);
+  EXPECT_EQ(mem.icache().stats().accesses, 0u);
+}
+
+TEST(MemorySystem, SplitCachesAreIndependent) {
+  MemorySystem mem(paperDefaults());
+  mem.dataAccess(0, false);
+  EXPECT_EQ(mem.dcache().stats().accesses, 1u);
+  EXPECT_EQ(mem.icache().stats().accesses, 0u);
+  mem.instrFetch(0);
+  EXPECT_EQ(mem.icache().stats().accesses, 1u);
+  EXPECT_EQ(mem.dcache().stats().accesses, 1u);
+}
+
+TEST(MemorySystem, FlushAllColdsBothCaches) {
+  MemorySystem mem(paperDefaults());
+  mem.dataAccess(64, false);
+  mem.instrFetch(128);
+  mem.flushAll();
+  EXPECT_EQ(mem.dataAccess(64, false), 77);
+  EXPECT_EQ(mem.instrFetch(128), 77);
+}
+
+TEST(MemorySystem, ClassifierDisabledByDefault) {
+  MemorySystem mem(paperDefaults());
+  mem.dataAccess(0, false);
+  EXPECT_EQ(mem.dataMissBreakdown().total(), 0u);
+}
+
+TEST(MemorySystem, ClassifierCountsWhenEnabled) {
+  MemoryConfig cfg = paperDefaults();
+  cfg.classifyMisses = true;
+  MemorySystem mem(cfg);
+  mem.dataAccess(0, false);
+  mem.dataAccess(0, false);
+  EXPECT_EQ(mem.dataMissBreakdown().total(), 1u);
+  EXPECT_EQ(mem.dataMissBreakdown().compulsory, 1u);
+  // Instruction fetches are not classified (data cache focus).
+  mem.instrFetch(0);
+  EXPECT_EQ(mem.dataMissBreakdown().total(), 1u);
+}
+
+TEST(MemorySystem, ResetStats) {
+  MemoryConfig cfg = paperDefaults();
+  cfg.classifyMisses = true;
+  MemorySystem mem(cfg);
+  mem.dataAccess(0, false);
+  mem.instrFetch(0);
+  mem.resetStats();
+  EXPECT_EQ(mem.dcache().stats().accesses, 0u);
+  EXPECT_EQ(mem.icache().stats().accesses, 0u);
+  EXPECT_EQ(mem.dataMissBreakdown().total(), 0u);
+}
+
+}  // namespace
+}  // namespace laps

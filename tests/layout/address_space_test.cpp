@@ -1,0 +1,113 @@
+#include "layout/address_space.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace laps {
+namespace {
+
+ArrayTable twoArrays() {
+  ArrayTable t;
+  t.add("K1", {1000}, 4);  // 4000 B
+  t.add("K2", {500}, 8);   // 4000 B
+  return t;
+}
+
+TEST(AddressSpace, SequentialAlignedBases) {
+  const ArrayTable arrays = twoArrays();
+  const AddressSpace space(arrays, {.dataBase = 0x1000, .alignBytes = 64});
+  EXPECT_EQ(space.baseOf(0), 0x1000u);
+  // K1 is 4000 bytes; next base aligned up to 64.
+  EXPECT_EQ(space.baseOf(1), 0x1000u + 4032u);
+  EXPECT_EQ(space.arrayCount(), 2u);
+  EXPECT_EQ(space.end(), 0x1000u + 4032u + 4000u);
+}
+
+TEST(AddressSpace, ElementAddressIdentity) {
+  const ArrayTable arrays = twoArrays();
+  const AddressSpace space(arrays, {.dataBase = 0x1000, .alignBytes = 64});
+  EXPECT_EQ(space.elementAddress(0, 0), 0x1000u);
+  EXPECT_EQ(space.elementAddress(0, 10), 0x1000u + 40u);
+  EXPECT_EQ(space.elementAddress(1, 3), space.baseOf(1) + 24u);
+}
+
+TEST(AddressSpace, SetTransformRealignsToPage) {
+  const ArrayTable arrays = twoArrays();
+  AddressSpace space(arrays, {.dataBase = 0x1000, .alignBytes = 64});
+  space.setTransform(1, LayoutTransform::interleave(4096, 2048));
+  EXPECT_EQ(space.baseOf(1) % 4096, 0u);
+  // Span of transformed K2 (4000 natural bytes, 2048-byte chunks -> 2
+  // chunks -> 2 pages).
+  EXPECT_EQ(space.spanOf(1), 2 * 4096);
+  EXPECT_EQ(space.spanOf(0), 4000);
+}
+
+TEST(AddressSpace, TransformedElementAddress) {
+  const ArrayTable arrays = twoArrays();
+  AddressSpace space(arrays, {.dataBase = 0x1000, .alignBytes = 64});
+  space.setTransform(0, LayoutTransform::interleave(4096, 0));
+  const std::uint64_t base = space.baseOf(0);
+  // Element 0 -> offset 0; element at byte 2048 (elem 512) starts chunk 1
+  // which maps to page 1.
+  EXPECT_EQ(space.elementAddress(0, 0), base);
+  EXPECT_EQ(space.elementAddress(0, 512), base + 4096);
+}
+
+TEST(AddressSpace, UnknownArrayThrows) {
+  const ArrayTable arrays = twoArrays();
+  const AddressSpace space(arrays);
+  EXPECT_THROW((void)space.baseOf(2), Error);
+  EXPECT_THROW((void)space.transformOf(9), Error);
+  EXPECT_THROW((void)space.spanOf(5), Error);
+}
+
+TEST(AddressSpace, ByteIntervalsIdentity) {
+  const ArrayTable arrays = twoArrays();
+  const AddressSpace space(arrays, {.dataBase = 0x1000, .alignBytes = 64});
+  const IntervalSet elems({{0, 10}, {20, 30}});
+  const IntervalSet bytes = space.byteIntervals(0, elems);
+  EXPECT_EQ(bytes.cardinality(), 2 * 10 * 4);
+  EXPECT_TRUE(bytes.contains(0x1000));
+  EXPECT_TRUE(bytes.contains(0x1000 + 39));
+  EXPECT_FALSE(bytes.contains(0x1000 + 40));
+  EXPECT_TRUE(bytes.contains(0x1000 + 80));
+}
+
+TEST(AddressSpace, ByteIntervalsInterleavedSplitsAtChunks) {
+  ArrayTable arrays;
+  arrays.add("A", {2048}, 4);  // 8192 B = 4 chunks of 2048
+  AddressSpace space(arrays, {.dataBase = 0, .alignBytes = 64});
+  space.setTransform(0, LayoutTransform::interleave(4096, 2048));
+  const std::uint64_t base = space.baseOf(0);
+  // Elements [0, 1024) = bytes [0, 4096) = chunks 0 and 1.
+  const IntervalSet bytes = space.byteIntervals(0, IntervalSet::range(0, 1024));
+  EXPECT_EQ(bytes.cardinality(), 4096);
+  // Chunk 0 -> [2048, 4096), chunk 1 -> [4096+2048, 8192).
+  EXPECT_TRUE(bytes.contains(static_cast<std::int64_t>(base) + 2048));
+  EXPECT_FALSE(bytes.contains(static_cast<std::int64_t>(base) + 0));
+  EXPECT_TRUE(bytes.contains(static_cast<std::int64_t>(base) + 4096 + 2048));
+  EXPECT_FALSE(bytes.contains(static_cast<std::int64_t>(base) + 4096));
+}
+
+TEST(AddressSpace, RepackPreservesOrderAndDisjointness) {
+  ArrayTable arrays;
+  arrays.add("A", {1000}, 4);
+  arrays.add("B", {1000}, 4);
+  arrays.add("C", {1000}, 4);
+  AddressSpace space(arrays, {.dataBase = 0x2000, .alignBytes = 64});
+  space.setTransform(1, LayoutTransform::interleave(4096, 0));
+  // Spans must not overlap and must be ordered A < B < C.
+  for (ArrayId a = 0; a + 1 < 3; ++a) {
+    EXPECT_LE(space.baseOf(a) + static_cast<std::uint64_t>(space.spanOf(a)),
+              space.baseOf(a + 1));
+  }
+}
+
+TEST(AddressSpace, BadAlignmentRejected) {
+  const ArrayTable arrays = twoArrays();
+  EXPECT_THROW(AddressSpace(arrays, {.dataBase = 0, .alignBytes = 0}), Error);
+}
+
+}  // namespace
+}  // namespace laps

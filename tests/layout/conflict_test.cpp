@@ -1,0 +1,149 @@
+#include "layout/conflict.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace laps {
+namespace {
+
+CacheConfig paperCache() { return CacheConfig{8192, 2, 32, 2}; }  // 128 sets
+
+TEST(SetOccupancy, SingleLineInterval) {
+  const CacheConfig cache = paperCache();
+  // Bytes [0, 32) = line 0 = set 0.
+  const auto occ = setOccupancy(IntervalSet::range(0, 32), cache);
+  ASSERT_EQ(occ.size(), 128u);
+  EXPECT_EQ(occ[0], 1);
+  for (std::size_t s = 1; s < occ.size(); ++s) EXPECT_EQ(occ[s], 0);
+}
+
+TEST(SetOccupancy, StraddlingLineCountedOnce) {
+  const CacheConfig cache = paperCache();
+  // Bytes [30, 34) straddles lines 0 and 1.
+  const auto occ = setOccupancy(IntervalSet::range(30, 34), cache);
+  EXPECT_EQ(occ[0], 1);
+  EXPECT_EQ(occ[1], 1);
+}
+
+TEST(SetOccupancy, FullWrapTouchesEverySetOnce) {
+  const CacheConfig cache = paperCache();
+  // One full cache page: 128 sets * 32 B.
+  const auto occ = setOccupancy(IntervalSet::range(0, 128 * 32), cache);
+  for (const auto o : occ) EXPECT_EQ(o, 1);
+}
+
+TEST(SetOccupancy, TwoWrapsTouchEverySetTwice) {
+  const CacheConfig cache = paperCache();
+  const auto occ = setOccupancy(IntervalSet::range(0, 2 * 128 * 32), cache);
+  for (const auto o : occ) EXPECT_EQ(o, 2);
+}
+
+TEST(SetOccupancy, PartialWrapDistributesRemainder) {
+  const CacheConfig cache = paperCache();
+  // 1.5 wraps starting at set 0: sets [0,64) get 2 lines, rest get 1.
+  const auto occ = setOccupancy(IntervalSet::range(0, 192 * 32), cache);
+  for (std::size_t s = 0; s < 64; ++s) EXPECT_EQ(occ[s], 2) << s;
+  for (std::size_t s = 64; s < 128; ++s) EXPECT_EQ(occ[s], 1) << s;
+}
+
+TEST(SetOccupancy, StartsMidPage) {
+  const CacheConfig cache = paperCache();
+  // 4 lines starting at line 126: sets 126, 127, 0, 1.
+  const auto occ = setOccupancy(IntervalSet::range(126 * 32, 130 * 32), cache);
+  EXPECT_EQ(occ[126], 1);
+  EXPECT_EQ(occ[127], 1);
+  EXPECT_EQ(occ[0], 1);
+  EXPECT_EQ(occ[1], 1);
+  EXPECT_EQ(occ[5], 0);
+}
+
+/// Two same-size arrays at page-aligned bases fully collide; after
+/// re-layout with opposite phases they must not collide at all.
+TEST(ConflictMatrix, CollisionVanishesUnderOppositePhases) {
+  const CacheConfig cache = paperCache();
+  ArrayTable arrays;
+  const ArrayId k1 = arrays.add("K1", {1024}, 4);  // 4096 B = one page
+  const ArrayId k2 = arrays.add("K2", {1024}, 4);
+
+  std::vector<Footprint> fps(2);
+  fps[0].add(k1, IntervalSet::range(0, 1024));
+  fps[1].add(k2, IntervalSet::range(0, 1024));
+
+  AddressSpace space(arrays, {.dataBase = 0x10000, .alignBytes = 4096});
+  const ConflictMatrix before =
+      ConflictMatrix::compute(arrays, fps, space, cache);
+  // Both arrays cover every set once: 128 colliding line pairs.
+  EXPECT_EQ(before.at(0, 1), 128);
+  EXPECT_EQ(before.at(1, 0), 128);
+  EXPECT_EQ(before.at(0, 0), 0);  // self-conflicts not counted
+
+  space.setTransform(k1, LayoutTransform::interleave(4096, 0));
+  space.setTransform(k2, LayoutTransform::interleave(4096, 2048));
+  const ConflictMatrix after =
+      ConflictMatrix::compute(arrays, fps, space, cache);
+  EXPECT_EQ(after.at(0, 1), 0);
+}
+
+TEST(ConflictMatrix, DisjointSetRangesNoConflict) {
+  const CacheConfig cache = paperCache();
+  ArrayTable arrays;
+  const ArrayId a = arrays.add("A", {512}, 4);  // 2048 B: sets [0, 64)
+  const ArrayId b = arrays.add("B", {512}, 4);  // next 2048 B: sets [64, 128)
+  std::vector<Footprint> fps(2);
+  fps[0].add(a, IntervalSet::range(0, 512));
+  fps[1].add(b, IntervalSet::range(0, 512));
+  // Pack contiguously from a page boundary: B starts at set 64.
+  const AddressSpace space(arrays, {.dataBase = 0x10000, .alignBytes = 64});
+  const ConflictMatrix m = ConflictMatrix::compute(arrays, fps, space, cache);
+  EXPECT_EQ(m.at(0, 1), 0);
+}
+
+TEST(ConflictMatrix, AveragePairConflicts) {
+  ConflictMatrix m(3);
+  m.set(0, 1, 30);
+  m.set(1, 0, 30);
+  m.set(0, 2, 60);
+  m.set(2, 0, 60);
+  // pairs: (0,1)=30, (0,2)=60, (1,2)=0 -> mean 30.
+  EXPECT_EQ(m.averagePairConflicts(), 30);
+  EXPECT_EQ(ConflictMatrix(1).averagePairConflicts(), 0);
+  EXPECT_EQ(ConflictMatrix().averagePairConflicts(), 0);
+}
+
+TEST(ConflictMatrix, OnlyOverlappingFootprintPortionCounts) {
+  const CacheConfig cache = paperCache();
+  ArrayTable arrays;
+  const ArrayId a = arrays.add("A", {2048}, 4);
+  const ArrayId b = arrays.add("B", {2048}, 4);
+  std::vector<Footprint> fps(2);
+  // A's processes touch only its first 32 lines' worth of elements.
+  fps[0].add(a, IntervalSet::range(0, 32 * 8));  // 8 elems per 32B line
+  fps[1].add(b, IntervalSet::range(0, 32 * 8));
+  const AddressSpace space(arrays, {.dataBase = 0x10000, .alignBytes = 8192});
+  const ConflictMatrix m = ConflictMatrix::compute(arrays, fps, space, cache);
+  // Both footprints occupy sets [0,32) once each (8KB-aligned bases).
+  EXPECT_EQ(m.at(0, 1), 32);
+}
+
+TEST(ConflictMatrix, IndexChecks) {
+  ConflictMatrix m(2);
+  EXPECT_THROW((void)m.at(2, 0), Error);
+  EXPECT_THROW(m.set(0, 5, 1), Error);
+}
+
+TEST(ConflictMatrix, ToTableUsesArrayNames) {
+  ArrayTable arrays;
+  arrays.add("alpha", {16}, 4);
+  arrays.add("beta", {16}, 4);
+  ConflictMatrix m(2);
+  m.set(0, 1, 7);
+  m.set(1, 0, 7);
+  const std::string out = m.toTable(arrays).ascii();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace laps

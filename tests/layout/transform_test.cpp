@@ -1,0 +1,84 @@
+#include "layout/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.h"
+
+namespace laps {
+namespace {
+
+constexpr std::int64_t kPage = 4096;  // paper default: 8KB/2-way
+constexpr std::int64_t kHalf = kPage / 2;
+
+TEST(LayoutTransform, IdentityByDefault) {
+  const LayoutTransform t;
+  EXPECT_TRUE(t.isIdentity());
+  EXPECT_EQ(t.apply(0), 0);
+  EXPECT_EQ(t.apply(12345), 12345);
+  EXPECT_EQ(t.spanBytes(1000), 1000);
+}
+
+TEST(LayoutTransform, InterleaveFormulaMatchesPaper) {
+  // addr' = 2*addr - addr mod (C/2) + b
+  const LayoutTransform t0 = LayoutTransform::interleave(kPage, 0);
+  const LayoutTransform t1 = LayoutTransform::interleave(kPage, kHalf);
+  for (const std::int64_t addr : {std::int64_t{0}, std::int64_t{1},
+                                  kHalf - 1, kHalf, kHalf + 7, 3 * kHalf}) {
+    EXPECT_EQ(t0.apply(addr), 2 * addr - addr % kHalf + 0);
+    EXPECT_EQ(t1.apply(addr), 2 * addr - addr % kHalf + kHalf);
+  }
+}
+
+TEST(LayoutTransform, ChunkQMapsToPageQ) {
+  // Chunk q of the original array must land in [q*C + b, q*C + b + C/2).
+  const LayoutTransform t = LayoutTransform::interleave(kPage, kHalf);
+  for (std::int64_t q = 0; q < 5; ++q) {
+    const std::int64_t lo = t.apply(q * kHalf);
+    const std::int64_t hi = t.apply(q * kHalf + kHalf - 1);
+    EXPECT_EQ(lo, q * kPage + kHalf);
+    EXPECT_EQ(hi, q * kPage + kPage - 1);
+  }
+}
+
+TEST(LayoutTransform, OppositePhasesNeverSharePageOffsets) {
+  // The no-conflict guarantee: offsets mod C of phase-0 and phase-C/2
+  // arrays are disjoint halves of the page.
+  const LayoutTransform t0 = LayoutTransform::interleave(kPage, 0);
+  const LayoutTransform t1 = LayoutTransform::interleave(kPage, kHalf);
+  std::set<std::int64_t> res0;
+  std::set<std::int64_t> res1;
+  for (std::int64_t addr = 0; addr < 6 * kHalf; addr += 13) {
+    res0.insert(t0.apply(addr) % kPage);
+    res1.insert(t1.apply(addr) % kPage);
+  }
+  for (const auto r : res0) EXPECT_LT(r, kHalf);
+  for (const auto r : res1) EXPECT_GE(r, kHalf);
+}
+
+TEST(LayoutTransform, ApplyIsInjective) {
+  const LayoutTransform t = LayoutTransform::interleave(256, 0);
+  std::set<std::int64_t> images;
+  for (std::int64_t addr = 0; addr < 2048; ++addr) {
+    EXPECT_TRUE(images.insert(t.apply(addr)).second) << "addr=" << addr;
+  }
+}
+
+TEST(LayoutTransform, SpanBytesRoundsUpToChunks) {
+  const LayoutTransform t = LayoutTransform::interleave(kPage, 0);
+  EXPECT_EQ(t.spanBytes(kHalf), kPage);          // exactly one chunk
+  EXPECT_EQ(t.spanBytes(kHalf + 1), 2 * kPage);  // spills into chunk 2
+  EXPECT_EQ(t.spanBytes(10 * kHalf), 10 * kPage);
+}
+
+TEST(LayoutTransform, RejectsBadArguments) {
+  EXPECT_THROW(LayoutTransform::interleave(0, 0), Error);
+  EXPECT_THROW(LayoutTransform::interleave(-4, 0), Error);
+  EXPECT_THROW(LayoutTransform::interleave(kPage, 17), Error);  // bad phase
+  EXPECT_THROW(LayoutTransform::interleave(kPage, kPage), Error);
+  EXPECT_NO_THROW(LayoutTransform::interleave(kPage, kHalf));
+}
+
+}  // namespace
+}  // namespace laps

@@ -1,0 +1,89 @@
+#include "region/affine.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/error.h"
+
+namespace laps {
+namespace {
+
+TEST(AffineExpr, EvalPaperAccess) {
+  // d1 = i1*1000 + i2 from the paper's A[i1*1000+i2][5].
+  const AffineExpr d1({1000, 1}, 0);
+  const std::array<std::int64_t, 2> point{3, 42};
+  EXPECT_EQ(d1.eval(point), 3042);
+}
+
+TEST(AffineExpr, ConstantExpr) {
+  const AffineExpr c = AffineExpr::constant(5);
+  EXPECT_TRUE(c.isConstant());
+  const std::array<std::int64_t, 2> point{7, 9};
+  EXPECT_EQ(c.eval(point), 5);
+}
+
+TEST(AffineExpr, VarFactory) {
+  const AffineExpr v = AffineExpr::var(1, 3);
+  const std::array<std::int64_t, 3> point{10, 20, 30};
+  EXPECT_EQ(v.eval(point), 20);
+  EXPECT_FALSE(v.isConstant());
+  EXPECT_THROW(AffineExpr::var(3, 3), Error);
+}
+
+TEST(AffineExpr, Arithmetic) {
+  const AffineExpr a({2, 0}, 1);
+  const AffineExpr b({0, 3}, 4);
+  const AffineExpr sum = a.plus(b);
+  const std::array<std::int64_t, 2> p{5, 7};
+  EXPECT_EQ(sum.eval(p), 2 * 5 + 3 * 7 + 5);
+  EXPECT_EQ(a.times(3).eval(p), 3 * (2 * 5 + 1));
+  EXPECT_EQ(a.shift(-1).eval(p), 2 * 5);
+}
+
+TEST(AffineExpr, PlusDifferentRanks) {
+  const AffineExpr a({2}, 0);
+  const AffineExpr b({0, 3}, 1);
+  const AffineExpr sum = a.plus(b);
+  EXPECT_EQ(sum.rank(), 2u);
+  const std::array<std::int64_t, 2> p{4, 5};
+  EXPECT_EQ(sum.eval(p), 8 + 15 + 1);
+}
+
+TEST(AffineExpr, EvalRankMismatchThrows) {
+  const AffineExpr a({1, 1}, 0);
+  const std::array<std::int64_t, 1> tooSmall{3};
+  EXPECT_THROW(a.eval(tooSmall), Error);
+}
+
+TEST(AffineExpr, ToString) {
+  EXPECT_EQ(AffineExpr({1000, 1}, 0).toString(), "1000*i0 + i1");
+  EXPECT_EQ(AffineExpr::constant(5).toString(), "5");
+  EXPECT_EQ(AffineExpr({1, 0}, -2).toString(), "i0 + -2");
+  EXPECT_EQ(AffineExpr::constant(0).toString(), "0");
+}
+
+TEST(AffineMap, EvalAllCoordinates) {
+  // (i1*1000 + i2, 5)
+  const AffineMap map{AffineExpr({1000, 1}, 0), AffineExpr::constant(5)};
+  std::vector<std::int64_t> out;
+  const std::array<std::int64_t, 2> p{2, 30};
+  map.eval(p, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 2030);
+  EXPECT_EQ(out[1], 5);
+}
+
+TEST(AffineMap, ToString) {
+  const AffineMap map{AffineExpr({1, 0}, 0), AffineExpr({0, 1}, 1)};
+  EXPECT_EQ(map.toString(), "(i0, i1 + 1)");
+}
+
+TEST(AffineMap, ExprOutOfRange) {
+  const AffineMap map{AffineExpr::constant(0)};
+  EXPECT_NO_THROW(map.expr(0));
+  EXPECT_THROW(map.expr(1), Error);
+}
+
+}  // namespace
+}  // namespace laps

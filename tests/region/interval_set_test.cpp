@@ -1,0 +1,213 @@
+#include "region/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace laps {
+namespace {
+
+/// Reference model: explicit point set.
+std::set<std::int64_t> expand(const IntervalSet& s) {
+  std::set<std::int64_t> points;
+  for (const auto& iv : s.pieces()) {
+    for (std::int64_t x = iv.lo; x < iv.hi; ++x) points.insert(x);
+  }
+  return points;
+}
+
+IntervalSet randomSet(Rng& rng, int pieces, std::int64_t domain) {
+  IntervalSet::Builder b;
+  for (int i = 0; i < pieces; ++i) {
+    const std::int64_t lo = rng.range(0, domain);
+    const std::int64_t len = rng.range(0, domain / 4);
+    b.add(lo, lo + len);
+  }
+  return b.build();
+}
+
+void expectInvariants(const IntervalSet& s) {
+  const auto& p = s.pieces();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_LT(p[i].lo, p[i].hi) << "empty piece stored";
+    if (i > 0) {
+      EXPECT_LT(p[i - 1].hi, p[i].lo) << "pieces not disjoint/coalesced";
+    }
+  }
+}
+
+TEST(Interval, Basics) {
+  constexpr Interval iv{2, 5};
+  static_assert(!iv.empty());
+  static_assert(iv.length() == 3);
+  EXPECT_TRUE(iv.contains(2));
+  EXPECT_TRUE(iv.contains(4));
+  EXPECT_FALSE(iv.contains(5));
+  EXPECT_FALSE(iv.contains(1));
+  EXPECT_TRUE(Interval({5, 5}).empty());
+  EXPECT_TRUE(Interval({7, 3}).empty());
+}
+
+TEST(Interval, OverlapAndTouch) {
+  const Interval a{0, 10};
+  EXPECT_TRUE(a.overlaps(Interval{9, 20}));
+  EXPECT_FALSE(a.overlaps(Interval{10, 20}));
+  EXPECT_TRUE(a.touches(Interval{10, 20}));  // adjacent
+  EXPECT_FALSE(a.touches(Interval{11, 20}));
+  EXPECT_EQ(a.intersect(Interval{5, 15}), (Interval{5, 10}));
+  EXPECT_TRUE(a.intersect(Interval{20, 30}).empty());
+}
+
+TEST(IntervalSet, NormalizationMergesOverlapsAndAdjacency) {
+  const IntervalSet s({{0, 5}, {5, 10}, {12, 14}, {13, 20}, {30, 30}});
+  ASSERT_EQ(s.pieceCount(), 2u);
+  EXPECT_EQ(s.pieces()[0], (Interval{0, 10}));
+  EXPECT_EQ(s.pieces()[1], (Interval{12, 20}));
+  expectInvariants(s);
+}
+
+TEST(IntervalSet, EmptyBehaviour) {
+  const IntervalSet empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.cardinality(), 0);
+  EXPECT_FALSE(empty.contains(0));
+  EXPECT_TRUE(empty.bounds().empty());
+  EXPECT_TRUE(empty.intersect(IntervalSet::range(0, 10)).empty());
+  EXPECT_EQ(empty.unite(IntervalSet::range(0, 3)).cardinality(), 3);
+}
+
+TEST(IntervalSet, PointAndRangeFactories) {
+  EXPECT_EQ(IntervalSet::point(7).cardinality(), 1);
+  EXPECT_TRUE(IntervalSet::point(7).contains(7));
+  EXPECT_EQ(IntervalSet::range(3, 8).cardinality(), 5);
+  EXPECT_TRUE(IntervalSet::range(3, 3).empty());
+}
+
+TEST(IntervalSet, InsertMergesRuns) {
+  IntervalSet s;
+  s.insert({0, 2});
+  s.insert({4, 6});
+  s.insert({8, 10});
+  EXPECT_EQ(s.pieceCount(), 3u);
+  s.insert({1, 9});  // bridges all three
+  EXPECT_EQ(s.pieceCount(), 1u);
+  EXPECT_EQ(s.cardinality(), 10);
+  expectInvariants(s);
+}
+
+TEST(IntervalSet, InsertAdjacentCoalesces) {
+  IntervalSet s;
+  s.insert({0, 5});
+  s.insert({5, 10});
+  EXPECT_EQ(s.pieceCount(), 1u);
+}
+
+TEST(IntervalSet, InsertEmptyIsNoop) {
+  IntervalSet s = IntervalSet::range(0, 4);
+  s.insert({9, 9});
+  EXPECT_EQ(s.pieceCount(), 1u);
+  EXPECT_EQ(s.cardinality(), 4);
+}
+
+TEST(IntervalSet, Contains) {
+  const IntervalSet s({{0, 3}, {10, 12}});
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_FALSE(s.contains(9));
+  EXPECT_TRUE(s.contains(11));
+  EXPECT_FALSE(s.contains(12));
+  EXPECT_FALSE(s.contains(-1));
+}
+
+TEST(IntervalSet, SubtractKnownCases) {
+  const IntervalSet base = IntervalSet::range(0, 10);
+  EXPECT_EQ(base.subtract(IntervalSet::range(3, 5)),
+            IntervalSet({{0, 3}, {5, 10}}));
+  EXPECT_EQ(base.subtract(IntervalSet::range(0, 10)), IntervalSet());
+  EXPECT_EQ(base.subtract(IntervalSet::range(-5, 0)), base);
+  EXPECT_EQ(base.subtract(IntervalSet::range(10, 20)), base);
+  EXPECT_EQ(base.subtract(IntervalSet({{0, 1}, {9, 10}})),
+            IntervalSet::range(1, 9));
+  EXPECT_EQ(base.subtract(IntervalSet({{2, 3}, {5, 6}})),
+            IntervalSet({{0, 2}, {3, 5}, {6, 10}}));
+}
+
+TEST(IntervalSet, ContainsAll) {
+  const IntervalSet big({{0, 10}, {20, 30}});
+  EXPECT_TRUE(big.containsAll(IntervalSet({{2, 4}, {25, 28}})));
+  EXPECT_FALSE(big.containsAll(IntervalSet::range(8, 12)));
+  EXPECT_TRUE(big.containsAll(IntervalSet()));
+}
+
+TEST(IntervalSet, Bounds) {
+  const IntervalSet s({{5, 7}, {100, 120}});
+  EXPECT_EQ(s.bounds(), (Interval{5, 120}));
+}
+
+TEST(IntervalSet, NegativeDomain) {
+  const IntervalSet s({{-10, -5}, {-3, 2}});
+  EXPECT_EQ(s.cardinality(), 10);
+  EXPECT_TRUE(s.contains(-10));
+  EXPECT_TRUE(s.contains(-1));
+  EXPECT_FALSE(s.contains(-4));
+}
+
+/// Property tests: all binary ops agree with an explicit point-set model,
+/// across many random shapes.
+class IntervalSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetProperty, OpsMatchReferenceModel) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    const IntervalSet a = randomSet(rng, 6, 200);
+    const IntervalSet b = randomSet(rng, 6, 200);
+    expectInvariants(a);
+    expectInvariants(b);
+
+    const auto refA = expand(a);
+    const auto refB = expand(b);
+
+    std::set<std::int64_t> refUnion = refA;
+    refUnion.insert(refB.begin(), refB.end());
+    std::set<std::int64_t> refInter;
+    for (const auto x : refA) {
+      if (refB.count(x)) refInter.insert(x);
+    }
+    std::set<std::int64_t> refDiff;
+    for (const auto x : refA) {
+      if (!refB.count(x)) refDiff.insert(x);
+    }
+
+    const IntervalSet u = a.unite(b);
+    const IntervalSet i = a.intersect(b);
+    const IntervalSet d = a.subtract(b);
+    expectInvariants(u);
+    expectInvariants(i);
+    expectInvariants(d);
+
+    EXPECT_EQ(expand(u), refUnion);
+    EXPECT_EQ(expand(i), refInter);
+    EXPECT_EQ(expand(d), refDiff);
+    EXPECT_EQ(a.intersectCardinality(b),
+              static_cast<std::int64_t>(refInter.size()));
+    EXPECT_EQ(u.cardinality(), static_cast<std::int64_t>(refUnion.size()));
+
+    // Algebraic identities.
+    EXPECT_EQ(a.intersect(b), b.intersect(a));
+    EXPECT_EQ(a.unite(b), b.unite(a));
+    EXPECT_EQ(d.unite(i), a);
+    EXPECT_EQ(a.subtract(a), IntervalSet());
+    EXPECT_EQ(a.unite(a), a);
+    EXPECT_EQ(a.intersect(a), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace laps

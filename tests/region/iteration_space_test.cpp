@@ -1,0 +1,155 @@
+#include "region/iteration_space.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace laps {
+namespace {
+
+TEST(LoopDim, TripCount) {
+  EXPECT_EQ((LoopDim{0, 10, 1}).tripCount(), 10);
+  EXPECT_EQ((LoopDim{0, 10, 3}).tripCount(), 4);  // 0,3,6,9
+  EXPECT_EQ((LoopDim{5, 5, 1}).tripCount(), 0);
+  EXPECT_EQ((LoopDim{7, 3, 1}).tripCount(), 0);
+  EXPECT_EQ((LoopDim{-4, 4, 2}).tripCount(), 4);  // -4,-2,0,2
+}
+
+TEST(IterationSpace, NumPoints) {
+  const auto space = IterationSpace::box({{0, 8}, {0, 3000}});
+  EXPECT_EQ(space.rank(), 2u);
+  EXPECT_EQ(space.numPoints(), 24000);
+  EXPECT_FALSE(space.empty());
+}
+
+TEST(IterationSpace, EmptyWhenAnyDimEmpty) {
+  const auto space = IterationSpace::box({{0, 8}, {5, 5}});
+  EXPECT_EQ(space.numPoints(), 0);
+  EXPECT_TRUE(space.empty());
+}
+
+TEST(IterationSpace, RejectsNonPositiveStep) {
+  EXPECT_THROW(IterationSpace({LoopDim{0, 10, 0}}), Error);
+  EXPECT_THROW(IterationSpace({LoopDim{0, 10, -1}}), Error);
+}
+
+TEST(IterationSpace, FixDimMatchesPaperExample) {
+  // IS1,k = {[i1,i2] : i1 = k && 0 <= i2 < 3000}
+  const auto is1 = IterationSpace::box({{0, 8}, {0, 3000}});
+  const auto is1k = is1.fixDim(0, 3);
+  EXPECT_EQ(is1k.numPoints(), 3000);
+  EXPECT_EQ(is1k.dim(0).lo, 3);
+  EXPECT_EQ(is1k.dim(0).hi, 4);
+}
+
+TEST(IterationSpace, ClampDim) {
+  const auto space = IterationSpace::box({{0, 100}});
+  const auto clamped = space.clampDim(0, 20, 50);
+  EXPECT_EQ(clamped.numPoints(), 30);
+  // Clamp wider than original is a no-op.
+  const auto wide = space.clampDim(0, -10, 1000);
+  EXPECT_EQ(wide.numPoints(), 100);
+}
+
+TEST(IterationSpace, SplitOuterPartitionsExactly) {
+  const auto space = IterationSpace::box({{0, 10}, {0, 7}});
+  const auto blocks = space.splitOuter(3);
+  ASSERT_EQ(blocks.size(), 3u);
+  // 10 = 4 + 3 + 3.
+  EXPECT_EQ(blocks[0].dim(0).tripCount(), 4);
+  EXPECT_EQ(blocks[1].dim(0).tripCount(), 3);
+  EXPECT_EQ(blocks[2].dim(0).tripCount(), 3);
+  // Contiguous coverage.
+  EXPECT_EQ(blocks[0].dim(0).lo, 0);
+  EXPECT_EQ(blocks[0].dim(0).hi, blocks[1].dim(0).lo);
+  EXPECT_EQ(blocks[1].dim(0).hi, blocks[2].dim(0).lo);
+  EXPECT_EQ(blocks[2].dim(0).hi, 10);
+  // Inner dims untouched.
+  for (const auto& b : blocks) {
+    EXPECT_EQ(b.dim(1).tripCount(), 7);
+  }
+  std::int64_t total = 0;
+  for (const auto& b : blocks) total += b.numPoints();
+  EXPECT_EQ(total, space.numPoints());
+}
+
+TEST(IterationSpace, SplitOuterMorePartsThanTrips) {
+  const auto space = IterationSpace::box({{0, 2}});
+  const auto blocks = space.splitOuter(5);
+  ASSERT_EQ(blocks.size(), 5u);
+  std::int64_t total = 0;
+  int nonEmpty = 0;
+  for (const auto& b : blocks) {
+    total += b.numPoints();
+    if (!b.empty()) ++nonEmpty;
+  }
+  EXPECT_EQ(total, 2);
+  EXPECT_EQ(nonEmpty, 2);
+}
+
+TEST(IterationSpace, SplitOuterWithStep) {
+  IterationSpace space({LoopDim{0, 16, 2}});  // 8 trips
+  const auto blocks = space.splitOuter(4);
+  std::int64_t total = 0;
+  for (const auto& b : blocks) {
+    EXPECT_EQ(b.dim(0).step, 2);
+    total += b.numPoints();
+  }
+  EXPECT_EQ(total, 8);
+}
+
+TEST(IterationSpace, SplitOuterPaperScheme) {
+  // "parallelized over 8 cores, each process receives successive iterations"
+  const auto is1 = IterationSpace::box({{0, 8}, {0, 3000}});
+  const auto procs = is1.splitOuter(8);
+  ASSERT_EQ(procs.size(), 8u);
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(procs[k].dim(0).lo, static_cast<std::int64_t>(k));
+    EXPECT_EQ(procs[k].numPoints(), 3000);
+  }
+}
+
+TEST(IterationSpace, ForEachPointLexicographic) {
+  const auto space = IterationSpace::box({{0, 2}, {0, 3}});
+  std::vector<std::vector<std::int64_t>> seen;
+  space.forEachPoint([&](std::span<const std::int64_t> p) {
+    seen.emplace_back(p.begin(), p.end());
+  });
+  const std::vector<std::vector<std::int64_t>> expected{
+      {0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(IterationSpace, ForEachPointHonorsStep) {
+  IterationSpace space({LoopDim{1, 10, 4}});  // 1, 5, 9
+  std::vector<std::int64_t> seen;
+  space.forEachPoint(
+      [&](std::span<const std::int64_t> p) { seen.push_back(p[0]); });
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{1, 5, 9}));
+}
+
+TEST(IterationSpace, ForEachPointEmptySpace) {
+  const auto space = IterationSpace::box({{0, 0}, {0, 5}});
+  int count = 0;
+  space.forEachPoint([&](std::span<const std::int64_t>) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(IterationSpace, ToString) {
+  const auto space = IterationSpace::box({{0, 8}, {0, 3000}});
+  EXPECT_EQ(space.toString(), "[0..8)x[0..3000)");
+  IterationSpace strided({LoopDim{0, 16, 2}});
+  EXPECT_EQ(strided.toString(), "[0..16)/2");
+}
+
+TEST(IterationSpace, DimOutOfRangeThrows) {
+  const auto space = IterationSpace::box({{0, 2}});
+  EXPECT_THROW((void)space.dim(1), Error);
+  EXPECT_THROW((void)space.fixDim(3, 0), Error);
+  EXPECT_THROW((void)space.clampDim(3, 0, 1), Error);
+}
+
+}  // namespace
+}  // namespace laps

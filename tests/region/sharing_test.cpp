@@ -1,0 +1,106 @@
+#include "region/sharing.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace laps {
+namespace {
+
+/// Builds the paper's Prog1 per-process footprints (8 processes).
+std::vector<Footprint> prog1Footprints() {
+  ArrayTable arrays;
+  const ArrayId a = arrays.add("A", {10000, 16}, 4);
+  const ArrayAccess access{
+      a, AffineMap{AffineExpr({1000, 1}, 0), AffineExpr::constant(5)},
+      AccessKind::Read};
+  const auto space = IterationSpace::box({{0, 8}, {0, 3000}});
+  std::vector<Footprint> fps(8);
+  for (std::int64_t k = 0; k < 8; ++k) {
+    fps[static_cast<std::size_t>(k)].add(
+        a, accessFootprint(space.fixDim(0, k), access, arrays.at(a)));
+  }
+  return fps;
+}
+
+TEST(SharingMatrix, PaperFigure2aGolden) {
+  // Fig. 2(a): neighbors share 2000 elements, distance-2 pairs share 1000,
+  // farther pairs share nothing.
+  const auto fps = prog1Footprints();
+  const SharingMatrix m = SharingMatrix::compute(fps);
+  ASSERT_EQ(m.size(), 8u);
+  for (std::size_t k = 0; k < 8; ++k) {
+    for (std::size_t p = 0; p < 8; ++p) {
+      const auto dist = k > p ? k - p : p - k;
+      std::int64_t expected = 0;
+      if (dist == 0) expected = 3000;  // own footprint on the diagonal
+      if (dist == 1) expected = 2000;
+      if (dist == 2) expected = 1000;
+      EXPECT_EQ(m.at(k, p), expected) << "k=" << k << " p=" << p;
+    }
+  }
+}
+
+TEST(SharingMatrix, SymmetricByConstruction) {
+  const auto fps = prog1Footprints();
+  const SharingMatrix m = SharingMatrix::compute(fps);
+  for (std::size_t k = 0; k < m.size(); ++k) {
+    for (std::size_t p = 0; p < m.size(); ++p) {
+      EXPECT_EQ(m.at(k, p), m.at(p, k));
+    }
+  }
+}
+
+TEST(SharingMatrix, DisjointProcessesGiveDiagonalMatrix) {
+  std::vector<Footprint> fps(3);
+  fps[0].add(0, IntervalSet::range(0, 10));
+  fps[1].add(0, IntervalSet::range(10, 20));
+  fps[2].add(1, IntervalSet::range(0, 10));
+  const SharingMatrix m = SharingMatrix::compute(fps);
+  EXPECT_TRUE(m.isDiagonal());
+}
+
+TEST(SharingMatrix, NonDiagonalDetected) {
+  std::vector<Footprint> fps(2);
+  fps[0].add(0, IntervalSet::range(0, 10));
+  fps[1].add(0, IntervalSet::range(5, 15));
+  const SharingMatrix m = SharingMatrix::compute(fps);
+  EXPECT_FALSE(m.isDiagonal());
+  EXPECT_EQ(m.at(0, 1), 5);
+}
+
+TEST(SharingMatrix, RowSumAllAndRestricted) {
+  SharingMatrix m(4);
+  // Row 0 shares 10 with 1, 20 with 2, 30 with 3.
+  m.set(0, 1, 10);
+  m.set(0, 2, 20);
+  m.set(0, 3, 30);
+  m.set(0, 0, 999);  // diagonal must be excluded
+  EXPECT_EQ(m.rowSum(0), 60);
+  const std::vector<std::size_t> candidates{0, 1, 3};
+  EXPECT_EQ(m.rowSum(0, candidates), 40);
+}
+
+TEST(SharingMatrix, EmptyMatrix) {
+  const SharingMatrix m = SharingMatrix::compute({});
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.isDiagonal());
+}
+
+TEST(SharingMatrix, OutOfRangeThrows) {
+  SharingMatrix m(2);
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.set(0, 2, 1), Error);
+}
+
+TEST(SharingMatrix, ToTableShape) {
+  const auto fps = prog1Footprints();
+  const SharingMatrix m = SharingMatrix::compute(fps);
+  const Table t = m.toTable();
+  EXPECT_EQ(t.rowCount(), 8u);
+  EXPECT_EQ(t.headers().size(), 9u);  // label column + 8 processes
+  EXPECT_NE(t.ascii().find("2000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace laps

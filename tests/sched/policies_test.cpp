@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sched/basic.h"
+#include "sched/dynamic_locality.h"
+#include "sched/factory.h"
+#include "util/error.h"
+
+namespace laps {
+namespace {
+
+ExtendedProcessGraph nProcesses(std::size_t n,
+                                std::int64_t iterations = 10) {
+  ExtendedProcessGraph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    ProcessSpec p;
+    p.name = "P" + std::to_string(i);
+    p.nests.push_back(LoopNest{
+        IterationSpace::box({{0, iterations * static_cast<std::int64_t>(i + 1)}}),
+        {},
+        1});
+    g.addProcess(std::move(p));
+  }
+  return g;
+}
+
+TEST(ToString, AllKinds) {
+  EXPECT_EQ(to_string(SchedulerKind::Random), "RS");
+  EXPECT_EQ(to_string(SchedulerKind::RoundRobin), "RRS");
+  EXPECT_EQ(to_string(SchedulerKind::Locality), "LS");
+  EXPECT_EQ(to_string(SchedulerKind::LocalityMapping), "LSM");
+  EXPECT_EQ(to_string(SchedulerKind::Fcfs), "FCFS");
+  EXPECT_EQ(to_string(SchedulerKind::Sjf), "SJF");
+  EXPECT_EQ(to_string(SchedulerKind::CriticalPath), "CPATH");
+  EXPECT_EQ(to_string(SchedulerKind::DynamicLocality), "DLS");
+}
+
+TEST(Factory, CreatesEveryKind) {
+  for (const auto kind :
+       {SchedulerKind::Random, SchedulerKind::RoundRobin,
+        SchedulerKind::Locality, SchedulerKind::LocalityMapping,
+        SchedulerKind::Fcfs, SchedulerKind::Sjf, SchedulerKind::CriticalPath,
+        SchedulerKind::DynamicLocality}) {
+    const auto policy = makeScheduler(kind);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_FALSE(policy->name().empty());
+  }
+}
+
+TEST(Factory, OnlyRoundRobinIsPreemptive) {
+  EXPECT_TRUE(makeScheduler(SchedulerKind::RoundRobin)->quantum().has_value());
+  EXPECT_FALSE(makeScheduler(SchedulerKind::Random)->quantum().has_value());
+  EXPECT_FALSE(makeScheduler(SchedulerKind::Locality)->quantum().has_value());
+  EXPECT_FALSE(makeScheduler(SchedulerKind::Sjf)->quantum().has_value());
+}
+
+TEST(Factory, QuantumParamHonored) {
+  SchedulerParams params;
+  params.rrsQuantumCycles = 12345;
+  EXPECT_EQ(makeScheduler(SchedulerKind::RoundRobin, params)->quantum(),
+            12345);
+}
+
+TEST(RandomScheduler, DrainsAllReadyExactlyOnce) {
+  RandomScheduler policy(7);
+  policy.reset({});
+  for (ProcessId p = 0; p < 10; ++p) policy.onReady(p);
+  std::set<ProcessId> picked;
+  for (int i = 0; i < 10; ++i) {
+    const auto pick = policy.pickNext(0, std::nullopt);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_TRUE(picked.insert(*pick).second);
+  }
+  EXPECT_FALSE(policy.pickNext(0, std::nullopt).has_value());
+}
+
+TEST(RandomScheduler, SeedReproducible) {
+  const auto drain = [](std::uint64_t seed) {
+    RandomScheduler policy(seed);
+    policy.reset({});
+    for (ProcessId p = 0; p < 20; ++p) policy.onReady(p);
+    std::vector<ProcessId> order;
+    while (const auto pick = policy.pickNext(0, std::nullopt)) {
+      order.push_back(*pick);
+    }
+    return order;
+  };
+  EXPECT_EQ(drain(5), drain(5));
+  EXPECT_NE(drain(5), drain(6));
+}
+
+TEST(RandomScheduler, ResetRestartsStream) {
+  RandomScheduler policy(9);
+  policy.reset({});
+  for (ProcessId p = 0; p < 5; ++p) policy.onReady(p);
+  std::vector<ProcessId> first;
+  while (const auto pick = policy.pickNext(0, std::nullopt)) {
+    first.push_back(*pick);
+  }
+  policy.reset({});
+  for (ProcessId p = 0; p < 5; ++p) policy.onReady(p);
+  std::vector<ProcessId> second;
+  while (const auto pick = policy.pickNext(0, std::nullopt)) {
+    second.push_back(*pick);
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(RoundRobinScheduler, FifoOrder) {
+  RoundRobinScheduler policy(1000);
+  policy.reset({});
+  policy.onReady(3);
+  policy.onReady(1);
+  policy.onReady(2);
+  EXPECT_EQ(policy.pickNext(0, std::nullopt), 3u);
+  EXPECT_EQ(policy.pickNext(1, std::nullopt), 1u);
+  EXPECT_EQ(policy.pickNext(0, std::nullopt), 2u);
+  EXPECT_FALSE(policy.pickNext(0, std::nullopt).has_value());
+}
+
+TEST(RoundRobinScheduler, PreemptedGoesToTail) {
+  RoundRobinScheduler policy(1000);
+  policy.reset({});
+  policy.onReady(0);
+  policy.onReady(1);
+  ASSERT_EQ(policy.pickNext(0, std::nullopt), 0u);
+  policy.onPreempt(0);  // 0 must requeue behind 1
+  EXPECT_EQ(policy.pickNext(0, std::nullopt), 1u);
+  EXPECT_EQ(policy.pickNext(0, std::nullopt), 0u);
+}
+
+TEST(RoundRobinScheduler, RejectsNonPositiveQuantum) {
+  EXPECT_THROW(RoundRobinScheduler(0), Error);
+  EXPECT_THROW(RoundRobinScheduler(-5), Error);
+}
+
+TEST(FcfsScheduler, OrderAndNoQuantum) {
+  FcfsScheduler policy;
+  policy.reset({});
+  policy.onReady(2);
+  policy.onReady(0);
+  EXPECT_EQ(policy.pickNext(0, std::nullopt), 2u);
+  EXPECT_EQ(policy.pickNext(0, std::nullopt), 0u);
+  EXPECT_FALSE(policy.quantum().has_value());
+}
+
+TEST(SjfScheduler, PicksShortestEstimatedJob) {
+  const auto g = nProcesses(4);  // cycles grow with id
+  SjfScheduler policy;
+  policy.reset(SchedContext{&g, nullptr, 2});
+  policy.onReady(3);
+  policy.onReady(1);
+  policy.onReady(2);
+  EXPECT_EQ(policy.pickNext(0, std::nullopt), 1u);
+  EXPECT_EQ(policy.pickNext(0, std::nullopt), 2u);
+  EXPECT_EQ(policy.pickNext(0, std::nullopt), 3u);
+}
+
+TEST(SjfScheduler, RequiresGraph) {
+  SjfScheduler policy;
+  EXPECT_THROW(policy.reset({}), Error);
+}
+
+TEST(CriticalPathScheduler, PrefersLongChains) {
+  // 0 -> 1 -> 2 (long chain), 3 isolated and short.
+  ExtendedProcessGraph g = nProcesses(4, 10);
+  g.addDependence(0, 1);
+  g.addDependence(1, 2);
+  CriticalPathScheduler policy;
+  policy.reset(SchedContext{&g, nullptr, 2});
+  policy.onReady(0);
+  policy.onReady(3);
+  // 0 heads a chain: rank(0) = c0+c1+c2 > rank(3) = c3.
+  EXPECT_EQ(policy.pickNext(0, std::nullopt), 0u);
+  EXPECT_EQ(policy.pickNext(0, std::nullopt), 3u);
+}
+
+TEST(DynamicLocalityScheduler, PicksMaxSharingWithPrevious) {
+  const auto g = nProcesses(4);
+  SharingMatrix m(4);
+  m.set(0, 2, 500);
+  m.set(2, 0, 500);
+  m.set(0, 1, 100);
+  m.set(1, 0, 100);
+  DynamicLocalityScheduler policy;
+  policy.reset(SchedContext{&g, &m, 2});
+  policy.onReady(1);
+  policy.onReady(2);
+  policy.onReady(3);
+  // Previous on this core was 0: pick 2 (sharing 500).
+  EXPECT_EQ(policy.pickNext(0, ProcessId{0}), 2u);
+  // Then 1 (sharing 100) over 3 (0).
+  EXPECT_EQ(policy.pickNext(0, ProcessId{0}), 1u);
+  EXPECT_EQ(policy.pickNext(0, ProcessId{0}), 3u);
+}
+
+TEST(DynamicLocalityScheduler, NoPreviousFallsBackToFifo) {
+  const auto g = nProcesses(3);
+  SharingMatrix m(3);
+  DynamicLocalityScheduler policy;
+  policy.reset(SchedContext{&g, &m, 1});
+  policy.onReady(2);
+  policy.onReady(0);
+  EXPECT_EQ(policy.pickNext(0, std::nullopt), 2u);
+}
+
+TEST(DynamicLocalityScheduler, RequiresSharing) {
+  DynamicLocalityScheduler policy;
+  EXPECT_THROW(policy.reset({}), Error);
+}
+
+}  // namespace
+}  // namespace laps

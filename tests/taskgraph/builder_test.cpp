@@ -1,0 +1,151 @@
+#include "taskgraph/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace laps {
+namespace {
+
+LoopNest vectorNest(ArrayId array, std::int64_t n) {
+  return LoopNest{
+      IterationSpace::box({{0, n}}),
+      {ArrayAccess{array, AffineMap{AffineExpr({1}, 0)}, AccessKind::Read}},
+      1};
+}
+
+TEST(AddParallelLoop, SplitsPaperExample) {
+  // Prog1: 8x3000 nest split over 8 processes.
+  Workload w;
+  const ArrayId a = w.arrays.add("A", {10000, 16}, 4);
+  const LoopNest nest{
+      IterationSpace::box({{0, 8}, {0, 3000}}),
+      {ArrayAccess{a,
+                   AffineMap{AffineExpr({1000, 1}, 0), AffineExpr::constant(5)},
+                   AccessKind::Read}},
+      1};
+  const auto ids = addParallelLoop(w, /*task=*/0, "prog1", nest, 8);
+  ASSERT_EQ(ids.size(), 8u);
+  const auto fps = w.footprints();
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(fps[k].totalElements(), 3000);
+    EXPECT_EQ(w.graph.process(ids[k]).name, "prog1." + std::to_string(k));
+  }
+  // Successive blocks share 2000 elements (Fig. 2(a) golden).
+  EXPECT_EQ(fps[0].sharedElements(fps[1]), 2000);
+  EXPECT_EQ(fps[0].sharedElements(fps[2]), 1000);
+  EXPECT_EQ(fps[0].sharedElements(fps[3]), 0);
+}
+
+TEST(AddParallelLoop, SkipsEmptyBlocks) {
+  Workload w;
+  const ArrayId v = w.arrays.add("V", {10}, 4);
+  const auto ids = addParallelLoop(w, 0, "tiny",
+                                   LoopNest{IterationSpace::box({{0, 3}}),
+                                            {ArrayAccess{v, AffineMap{AffineExpr({1}, 0)},
+                                                         AccessKind::Read}},
+                                            1},
+                                   8);
+  EXPECT_EQ(ids.size(), 3u);  // only 3 non-empty blocks
+  EXPECT_EQ(w.graph.processCount(), 3u);
+}
+
+TEST(AddParallelLoop, BadPartsThrows) {
+  Workload w;
+  const ArrayId v = w.arrays.add("V", {10}, 4);
+  EXPECT_THROW(addParallelLoop(w, 0, "x", vectorNest(v, 10), 0), Error);
+}
+
+TEST(LinkStages, AllToAll) {
+  Workload w;
+  const ArrayId v = w.arrays.add("V", {100}, 4);
+  const auto s1 = addParallelLoop(w, 0, "s1", vectorNest(v, 100), 2);
+  const auto s2 = addParallelLoop(w, 0, "s2", vectorNest(v, 100), 3);
+  linkStages(w.graph, s1, s2, StageLink::AllToAll);
+  EXPECT_EQ(w.graph.edgeCount(), 6u);
+  for (const ProcessId t : s2) {
+    EXPECT_EQ(w.graph.predecessors(t).size(), 2u);
+  }
+}
+
+TEST(LinkStages, OneToOne) {
+  Workload w;
+  const ArrayId v = w.arrays.add("V", {100}, 4);
+  const auto s1 = addParallelLoop(w, 0, "s1", vectorNest(v, 100), 4);
+  const auto s2 = addParallelLoop(w, 0, "s2", vectorNest(v, 100), 4);
+  linkStages(w.graph, s1, s2, StageLink::OneToOne);
+  EXPECT_EQ(w.graph.edgeCount(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(w.graph.predecessors(s2[i]), std::vector<ProcessId>{s1[i]});
+  }
+}
+
+TEST(LinkStages, OneToOneSizeMismatchThrows) {
+  Workload w;
+  const ArrayId v = w.arrays.add("V", {100}, 4);
+  const auto s1 = addParallelLoop(w, 0, "s1", vectorNest(v, 100), 2);
+  const auto s2 = addParallelLoop(w, 0, "s2", vectorNest(v, 100), 3);
+  EXPECT_THROW(linkStages(w.graph, s1, s2, StageLink::OneToOne), Error);
+}
+
+TEST(LinkStages, NeighborhoodClampsAtBorders) {
+  Workload w;
+  const ArrayId v = w.arrays.add("V", {100}, 4);
+  const auto s1 = addParallelLoop(w, 0, "s1", vectorNest(v, 100), 4);
+  const auto s2 = addParallelLoop(w, 0, "s2", vectorNest(v, 100), 4);
+  linkStages(w.graph, s1, s2, StageLink::Neighborhood);
+  // Border processes have 2 predecessors, inner ones 3.
+  EXPECT_EQ(w.graph.predecessors(s2[0]).size(), 2u);
+  EXPECT_EQ(w.graph.predecessors(s2[1]).size(), 3u);
+  EXPECT_EQ(w.graph.predecessors(s2[2]).size(), 3u);
+  EXPECT_EQ(w.graph.predecessors(s2[3]).size(), 2u);
+}
+
+TEST(AppendWorkload, RemapsEverything) {
+  Workload a;
+  const ArrayId av = a.arrays.add("A", {100}, 4);
+  const auto as = addParallelLoop(a, 0, "a", vectorNest(av, 100), 2);
+  linkStages(a.graph, {as[0]}, {as[1]}, StageLink::AllToAll);
+
+  Workload b;
+  const ArrayId bv = b.arrays.add("B", {50}, 8);
+  const auto bs = addParallelLoop(b, 0, "b", vectorNest(bv, 50), 2);
+  linkStages(b.graph, {bs[0]}, {bs[1]}, StageLink::AllToAll);
+
+  const ProcessId offset = appendWorkload(a, b);
+  EXPECT_EQ(offset, 2u);
+  EXPECT_EQ(a.arrays.size(), 2u);
+  EXPECT_EQ(a.graph.processCount(), 4u);
+  EXPECT_EQ(a.graph.edgeCount(), 2u);
+
+  // Task ids must not collide.
+  EXPECT_EQ(a.graph.process(0).task, 0u);
+  EXPECT_EQ(a.graph.process(2).task, 1u);
+
+  // Array ids in appended processes point at the copied array.
+  const auto& appended = a.graph.process(2);
+  EXPECT_EQ(appended.nests[0].accesses[0].array, 1u);
+  EXPECT_EQ(a.arrays.at(1).name, "B");
+  EXPECT_EQ(a.arrays.at(1).elemSize, 8);
+
+  // Dependence carried over with remapped ids.
+  EXPECT_EQ(a.graph.predecessors(3), std::vector<ProcessId>{2});
+
+  // No cross-application sharing (paper: apps don't share data).
+  const auto fps = a.footprints();
+  EXPECT_EQ(fps[0].sharedElements(fps[2]), 0);
+  EXPECT_EQ(fps[1].sharedElements(fps[3]), 0);
+}
+
+TEST(AppendWorkload, IntoEmptyWorkload) {
+  Workload dst;
+  Workload src;
+  const ArrayId v = src.arrays.add("V", {10}, 4);
+  addParallelLoop(src, 0, "p", vectorNest(v, 10), 1);
+  EXPECT_EQ(appendWorkload(dst, src), 0u);
+  EXPECT_EQ(dst.graph.processCount(), 1u);
+  EXPECT_EQ(dst.arrays.size(), 1u);
+}
+
+}  // namespace
+}  // namespace laps

@@ -1,0 +1,167 @@
+#include "taskgraph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace laps {
+namespace {
+
+ProcessSpec named(const std::string& name, TaskId task = 0) {
+  ProcessSpec p;
+  p.name = name;
+  p.task = task;
+  return p;
+}
+
+/// Diamond: a -> b, a -> c, b -> d, c -> d.
+ExtendedProcessGraph diamond() {
+  ExtendedProcessGraph g;
+  const auto a = g.addProcess(named("a"));
+  const auto b = g.addProcess(named("b"));
+  const auto c = g.addProcess(named("c"));
+  const auto d = g.addProcess(named("d"));
+  g.addDependence(a, b);
+  g.addDependence(a, c);
+  g.addDependence(b, d);
+  g.addDependence(c, d);
+  return g;
+}
+
+TEST(ExtendedProcessGraph, AddProcessAssignsDenseIds) {
+  ExtendedProcessGraph g;
+  EXPECT_EQ(g.addProcess(named("x")), 0u);
+  EXPECT_EQ(g.addProcess(named("y")), 1u);
+  EXPECT_EQ(g.process(0).name, "x");
+  EXPECT_EQ(g.process(1).name, "y");
+  EXPECT_EQ(g.processCount(), 2u);
+}
+
+TEST(ExtendedProcessGraph, UnknownIdThrows) {
+  ExtendedProcessGraph g;
+  g.addProcess(named("x"));
+  EXPECT_THROW((void)g.process(1), Error);
+  EXPECT_THROW(g.addDependence(0, 1), Error);
+  EXPECT_THROW((void)g.predecessors(5), Error);
+}
+
+TEST(ExtendedProcessGraph, SelfDependenceRejected) {
+  ExtendedProcessGraph g;
+  g.addProcess(named("x"));
+  EXPECT_THROW(g.addDependence(0, 0), Error);
+}
+
+TEST(ExtendedProcessGraph, DuplicateEdgeIgnored) {
+  ExtendedProcessGraph g;
+  g.addProcess(named("a"));
+  g.addProcess(named("b"));
+  g.addDependence(0, 1);
+  g.addDependence(0, 1);
+  EXPECT_EQ(g.edgeCount(), 1u);
+  EXPECT_EQ(g.successors(0).size(), 1u);
+  EXPECT_EQ(g.predecessors(1).size(), 1u);
+}
+
+TEST(ExtendedProcessGraph, RootsAreIndependentProcesses) {
+  const auto g = diamond();
+  EXPECT_EQ(g.roots(), std::vector<ProcessId>{0});
+  ExtendedProcessGraph flat;
+  flat.addProcess(named("p"));
+  flat.addProcess(named("q"));
+  EXPECT_EQ(flat.roots(), (std::vector<ProcessId>{0, 1}));
+}
+
+TEST(ExtendedProcessGraph, TopologicalOrderValid) {
+  const auto g = diamond();
+  const auto order = g.topologicalOrder();
+  EXPECT_TRUE(g.respectsDependences(order));
+  EXPECT_EQ(order.front(), 0u);
+  EXPECT_EQ(order.back(), 3u);
+}
+
+TEST(ExtendedProcessGraph, CycleDetected) {
+  ExtendedProcessGraph g;
+  g.addProcess(named("a"));
+  g.addProcess(named("b"));
+  g.addProcess(named("c"));
+  g.addDependence(0, 1);
+  g.addDependence(1, 2);
+  EXPECT_TRUE(g.isAcyclic());
+  g.addDependence(2, 0);
+  EXPECT_FALSE(g.isAcyclic());
+  EXPECT_THROW((void)g.topologicalOrder(), Error);
+}
+
+TEST(ExtendedProcessGraph, RespectsDependencesChecksShapeAndOrder) {
+  const auto g = diamond();
+  EXPECT_TRUE(g.respectsDependences({0, 1, 2, 3}));
+  EXPECT_TRUE(g.respectsDependences({0, 2, 1, 3}));
+  EXPECT_FALSE(g.respectsDependences({1, 0, 2, 3}));  // b before a
+  EXPECT_FALSE(g.respectsDependences({0, 1, 2}));     // missing process
+  EXPECT_FALSE(g.respectsDependences({0, 1, 2, 2}));  // duplicate
+  EXPECT_FALSE(g.respectsDependences({0, 1, 2, 7}));  // unknown id
+}
+
+TEST(ExtendedProcessGraph, TasksAndTaskFilter) {
+  ExtendedProcessGraph g;
+  g.addProcess(named("a0", 0));
+  g.addProcess(named("b0", 1));
+  g.addProcess(named("a1", 0));
+  EXPECT_EQ(g.tasks(), (std::vector<TaskId>{0, 1}));
+  EXPECT_EQ(g.processesOfTask(0), (std::vector<ProcessId>{0, 2}));
+  EXPECT_EQ(g.processesOfTask(1), (std::vector<ProcessId>{1}));
+  EXPECT_TRUE(g.processesOfTask(9).empty());
+}
+
+TEST(ExtendedProcessGraph, CriticalPathCycles) {
+  // Chain of three processes, each with 10 iterations of 1 cycle and no
+  // references: estimatedCycles == 10 each.
+  ExtendedProcessGraph g;
+  for (int i = 0; i < 3; ++i) {
+    ProcessSpec p = named("p" + std::to_string(i));
+    p.nests.push_back(LoopNest{IterationSpace::box({{0, 10}}), {}, 1});
+    g.addProcess(std::move(p));
+  }
+  g.addDependence(0, 1);
+  g.addDependence(1, 2);
+  const auto cp = g.criticalPathCycles();
+  EXPECT_EQ(cp[2], 10);
+  EXPECT_EQ(cp[1], 20);
+  EXPECT_EQ(cp[0], 30);
+}
+
+TEST(ExtendedProcessGraph, ToDotContainsNodesAndEdges) {
+  const auto g = diamond();
+  const std::string dot = g.toDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("p0 -> p1"), std::string::npos);
+  EXPECT_NE(dot.find("p2 -> p3"), std::string::npos);
+  EXPECT_NE(dot.find("\"a\""), std::string::npos);
+}
+
+TEST(Workload, FootprintsComputedPerProcess) {
+  Workload w;
+  const ArrayId v = w.arrays.add("V", {100}, 4);
+  ProcessSpec p = named("p");
+  p.nests.push_back(LoopNest{
+      IterationSpace::box({{0, 60}}),
+      {ArrayAccess{v, AffineMap{AffineExpr({1}, 0)}, AccessKind::Read}},
+      1});
+  ProcessSpec q = named("q");
+  q.nests.push_back(LoopNest{
+      IterationSpace::box({{40, 100}}),
+      {ArrayAccess{v, AffineMap{AffineExpr({1}, 0)}, AccessKind::Read}},
+      1});
+  w.graph.addProcess(std::move(p));
+  w.graph.addProcess(std::move(q));
+  const auto fps = w.footprints();
+  ASSERT_EQ(fps.size(), 2u);
+  EXPECT_EQ(fps[0].totalElements(), 60);
+  EXPECT_EQ(fps[1].totalElements(), 60);
+  EXPECT_EQ(fps[0].sharedElements(fps[1]), 20);
+}
+
+}  // namespace
+}  // namespace laps

@@ -1,0 +1,64 @@
+#include "taskgraph/process.h"
+
+#include <gtest/gtest.h>
+
+namespace laps {
+namespace {
+
+/// Two-nest process over a small vector array.
+ProcessSpec sampleProcess(ArrayTable& arrays) {
+  const ArrayId v = arrays.add("V", {1000}, 4);
+  ProcessSpec p;
+  p.name = "sample";
+  p.task = 2;
+  p.nests.push_back(LoopNest{
+      IterationSpace::box({{0, 100}}),
+      {ArrayAccess{v, AffineMap{AffineExpr({1}, 0)}, AccessKind::Read}},
+      /*computeCyclesPerIter=*/3});
+  p.nests.push_back(LoopNest{
+      IterationSpace::box({{0, 50}}),
+      {ArrayAccess{v, AffineMap{AffineExpr({1}, 500)}, AccessKind::Write},
+       ArrayAccess{v, AffineMap{AffineExpr({1}, 0)}, AccessKind::Read}},
+      /*computeCyclesPerIter=*/2});
+  return p;
+}
+
+TEST(LoopNest, TotalReferences) {
+  LoopNest nest{IterationSpace::box({{0, 10}, {0, 20}}), {}, 1};
+  EXPECT_EQ(nest.totalReferences(), 0);
+  nest.accesses.resize(3);
+  EXPECT_EQ(nest.totalReferences(), 600);
+}
+
+TEST(ProcessSpec, Totals) {
+  ArrayTable arrays;
+  const ProcessSpec p = sampleProcess(arrays);
+  EXPECT_EQ(p.totalIterations(), 150);
+  EXPECT_EQ(p.totalReferences(), 100 + 2 * 50);
+  EXPECT_EQ(p.totalComputeCycles(), 3 * 100 + 2 * 50);
+  EXPECT_EQ(p.estimatedCycles(2), 400 + 2 * 200);
+}
+
+TEST(ProcessSpec, FootprintUnionsNests) {
+  ArrayTable arrays;
+  const ProcessSpec p = sampleProcess(arrays);
+  const Footprint fp = p.footprint(arrays);
+  // Nest 1 touches [0,100); nest 2 touches [500,550) and [0,50).
+  EXPECT_EQ(fp.totalElements(), 100 + 50);
+  EXPECT_TRUE(fp.of(0).contains(0));
+  EXPECT_TRUE(fp.of(0).contains(99));
+  EXPECT_FALSE(fp.of(0).contains(100));
+  EXPECT_TRUE(fp.of(0).contains(525));
+}
+
+TEST(ProcessSpec, EmptyProcess) {
+  ArrayTable arrays;
+  ProcessSpec p;
+  EXPECT_EQ(p.totalIterations(), 0);
+  EXPECT_EQ(p.totalReferences(), 0);
+  EXPECT_EQ(p.estimatedCycles(), 0);
+  EXPECT_EQ(p.footprint(arrays).totalElements(), 0);
+}
+
+}  // namespace
+}  // namespace laps

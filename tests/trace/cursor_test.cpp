@@ -1,0 +1,263 @@
+#include "trace/cursor.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "taskgraph/validate.h"
+
+namespace laps {
+namespace {
+
+struct Rig {
+  Workload workload;
+  ArrayId v = 0;
+
+  Rig() { v = workload.arrays.add("V", {4096}, 4); }
+
+  ProcessId addSimpleProcess(std::int64_t lo, std::int64_t hi,
+                             std::int64_t cyclesPerIter = 1) {
+    ProcessSpec p;
+    p.name = "p";
+    p.nests.push_back(LoopNest{
+        IterationSpace::box({{lo, hi}}),
+        {ArrayAccess{v, AffineMap{AffineExpr({1}, 0)}, AccessKind::Read}},
+        cyclesPerIter});
+    return workload.graph.addProcess(std::move(p));
+  }
+};
+
+std::vector<TraceStep> drain(ProcessTraceCursor& cursor) {
+  std::vector<TraceStep> steps;
+  TraceStep s;
+  while (cursor.next(s)) steps.push_back(s);
+  return steps;
+}
+
+TEST(ProcessTraceCursor, EmitsEveryReferenceInOrder) {
+  Rig rig;
+  const ProcessId id = rig.addSimpleProcess(0, 100);
+  const AddressSpace space(rig.workload.arrays);
+  ProcessTraceCursor cursor(rig.workload.graph.process(id),
+                            rig.workload.arrays, space);
+  const auto steps = drain(cursor);
+  ASSERT_EQ(steps.size(), 100u);
+  const std::uint64_t base = space.baseOf(rig.v);
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    EXPECT_TRUE(steps[i].isRef);
+    EXPECT_FALSE(steps[i].isWrite);
+    EXPECT_EQ(steps[i].dataAddr, base + i * 4);
+    EXPECT_EQ(steps[i].computeCycles, 1);
+  }
+  EXPECT_TRUE(cursor.done());
+  EXPECT_EQ(cursor.stepsEmitted(), 100u);
+}
+
+TEST(ProcessTraceCursor, MultipleAccessesPerIteration) {
+  Rig rig;
+  ProcessSpec p;
+  p.name = "two-ref";
+  p.nests.push_back(LoopNest{
+      IterationSpace::box({{0, 10}}),
+      {ArrayAccess{rig.v, AffineMap{AffineExpr({1}, 0)}, AccessKind::Read},
+       ArrayAccess{rig.v, AffineMap{AffineExpr({1}, 100)}, AccessKind::Write}},
+      /*computeCyclesPerIter=*/7});
+  const ProcessId id = rig.workload.graph.addProcess(std::move(p));
+  const AddressSpace space(rig.workload.arrays);
+  ProcessTraceCursor cursor(rig.workload.graph.process(id),
+                            rig.workload.arrays, space);
+  const auto steps = drain(cursor);
+  ASSERT_EQ(steps.size(), 20u);
+  // Compute cycles ride on the last access of each iteration only.
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const bool last = (i % 2) == 1;
+    EXPECT_EQ(steps[i].computeCycles, last ? 7 : 0) << i;
+    EXPECT_EQ(steps[i].isWrite, last);
+  }
+}
+
+TEST(ProcessTraceCursor, PureComputeNestOneStepPerIteration) {
+  Rig rig;
+  ProcessSpec p;
+  p.name = "compute";
+  p.nests.push_back(LoopNest{IterationSpace::box({{0, 25}}), {}, 40});
+  const ProcessId id = rig.workload.graph.addProcess(std::move(p));
+  const AddressSpace space(rig.workload.arrays);
+  ProcessTraceCursor cursor(rig.workload.graph.process(id),
+                            rig.workload.arrays, space);
+  const auto steps = drain(cursor);
+  ASSERT_EQ(steps.size(), 25u);
+  std::int64_t total = 0;
+  for (const auto& s : steps) {
+    EXPECT_FALSE(s.isRef);
+    total += s.computeCycles;
+  }
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(ProcessTraceCursor, MultiNestSequencing) {
+  Rig rig;
+  ProcessSpec p;
+  p.name = "multi";
+  p.nests.push_back(LoopNest{
+      IterationSpace::box({{0, 5}}),
+      {ArrayAccess{rig.v, AffineMap{AffineExpr({1}, 0)}, AccessKind::Read}},
+      1});
+  p.nests.push_back(LoopNest{IterationSpace::box({{0, 0}}), {}, 1});  // empty
+  p.nests.push_back(LoopNest{
+      IterationSpace::box({{0, 3}}),
+      {ArrayAccess{rig.v, AffineMap{AffineExpr({1}, 50)}, AccessKind::Write}},
+      1});
+  const ProcessId id = rig.workload.graph.addProcess(std::move(p));
+  const AddressSpace space(rig.workload.arrays);
+  ProcessTraceCursor cursor(rig.workload.graph.process(id),
+                            rig.workload.arrays, space);
+  const auto steps = drain(cursor);
+  ASSERT_EQ(steps.size(), 8u);
+  EXPECT_FALSE(steps[4].isWrite);
+  EXPECT_TRUE(steps[5].isWrite);
+  const std::uint64_t base = space.baseOf(rig.v);
+  EXPECT_EQ(steps[5].dataAddr, base + 50 * 4);
+}
+
+TEST(ProcessTraceCursor, EmptyProcessIsDoneImmediately) {
+  Rig rig;
+  ProcessSpec p;
+  p.name = "empty";
+  const ProcessId id = rig.workload.graph.addProcess(std::move(p));
+  const AddressSpace space(rig.workload.arrays);
+  ProcessTraceCursor cursor(rig.workload.graph.process(id),
+                            rig.workload.arrays, space);
+  EXPECT_TRUE(cursor.done());
+  TraceStep s;
+  EXPECT_FALSE(cursor.next(s));
+}
+
+TEST(ProcessTraceCursor, CopyResumesMidStream) {
+  Rig rig;
+  const ProcessId id = rig.addSimpleProcess(0, 50);
+  const AddressSpace space(rig.workload.arrays);
+  ProcessTraceCursor cursor(rig.workload.graph.process(id),
+                            rig.workload.arrays, space);
+  TraceStep s;
+  for (int i = 0; i < 20; ++i) cursor.next(s);
+  // A copy must continue exactly where the original would.
+  ProcessTraceCursor copy = cursor;
+  TraceStep a;
+  TraceStep b;
+  while (true) {
+    const bool moreA = cursor.next(a);
+    const bool moreB = copy.next(b);
+    ASSERT_EQ(moreA, moreB);
+    if (!moreA) break;
+    EXPECT_EQ(a.dataAddr, b.dataAddr);
+    EXPECT_EQ(a.instrAddr, b.instrAddr);
+  }
+}
+
+TEST(ProcessTraceCursor, LayoutTransformChangesAddresses) {
+  Rig rig;
+  const ProcessId id = rig.addSimpleProcess(0, 1024);
+  AddressSpace plain(rig.workload.arrays);
+  AddressSpace transformed(rig.workload.arrays);
+  transformed.setTransform(rig.v, LayoutTransform::interleave(4096, 2048));
+
+  ProcessTraceCursor c1(rig.workload.graph.process(id), rig.workload.arrays,
+                        plain);
+  ProcessTraceCursor c2(rig.workload.graph.process(id), rig.workload.arrays,
+                        transformed);
+  TraceStep s1;
+  TraceStep s2;
+  // Element k at byte 4k: transformed addresses stay in the upper half of
+  // each page.
+  while (c1.next(s1) && c2.next(s2)) {
+    const std::uint64_t off2 = (s2.dataAddr - transformed.baseOf(rig.v)) % 4096;
+    EXPECT_GE(off2, 2048u);
+    EXPECT_NE(s1.dataAddr, s2.dataAddr);
+  }
+}
+
+TEST(ProcessTraceCursor, InstructionAddressesCycleThroughBody) {
+  Rig rig;
+  const ProcessId id = rig.addSimpleProcess(0, 100);
+  const AddressSpace space(rig.workload.arrays);
+  ProcessTraceCursor cursor(rig.workload.graph.process(id),
+                            rig.workload.arrays, space);
+  std::set<std::uint64_t> instrAddrs;
+  TraceStep s;
+  while (cursor.next(s)) {
+    instrAddrs.insert(s.instrAddr);
+    EXPECT_GE(s.instrAddr, kCodeSegmentBase);
+    EXPECT_LT(s.instrAddr, 0x1000'0000u);  // below the data segment
+  }
+  // Body of a 1-access nest: 64 bytes = 2 fetch lines.
+  EXPECT_EQ(instrAddrs.size(), 2u);
+}
+
+TEST(ProcessTraceCursor, SameTaskSharesCodeDifferentTasksDoNot) {
+  Rig rig;
+  const ProcessId a = rig.addSimpleProcess(0, 10);
+  const ProcessId b = rig.addSimpleProcess(10, 20);
+  ProcessSpec other;
+  other.name = "other-task";
+  other.task = 7;
+  other.nests.push_back(LoopNest{
+      IterationSpace::box({{0, 10}}),
+      {ArrayAccess{rig.v, AffineMap{AffineExpr({1}, 0)}, AccessKind::Read}},
+      1});
+  const ProcessId c = rig.workload.graph.addProcess(std::move(other));
+
+  const AddressSpace space(rig.workload.arrays);
+  const auto firstInstr = [&](ProcessId id) {
+    ProcessTraceCursor cursor(rig.workload.graph.process(id),
+                              rig.workload.arrays, space);
+    TraceStep s;
+    EXPECT_TRUE(cursor.next(s));
+    return s.instrAddr;
+  };
+  EXPECT_EQ(firstInstr(a), firstInstr(b));  // same task, same stage
+  EXPECT_NE(firstInstr(a), firstInstr(c));  // different task
+}
+
+TEST(ValidateWorkload, AcceptsWellFormed) {
+  Rig rig;
+  rig.addSimpleProcess(0, 100);
+  EXPECT_NO_THROW(validateWorkload(rig.workload));
+}
+
+TEST(ValidateWorkload, RejectsOutOfBounds) {
+  Rig rig;
+  ProcessSpec p;
+  p.name = "oob";
+  p.nests.push_back(LoopNest{
+      IterationSpace::box({{0, 10}}),
+      {ArrayAccess{rig.v, AffineMap{AffineExpr({1}, 4090)}, AccessKind::Read}},
+      1});
+  rig.workload.graph.addProcess(std::move(p));
+  EXPECT_THROW(validateWorkload(rig.workload), Error);
+}
+
+TEST(ValidateWorkload, RejectsUnknownArray) {
+  Rig rig;
+  ProcessSpec p;
+  p.name = "bad-array";
+  p.nests.push_back(LoopNest{
+      IterationSpace::box({{0, 10}}),
+      {ArrayAccess{99, AffineMap{AffineExpr({1}, 0)}, AccessKind::Read}},
+      1});
+  rig.workload.graph.addProcess(std::move(p));
+  EXPECT_THROW(validateWorkload(rig.workload), Error);
+}
+
+TEST(ValidateWorkload, RejectsCycle) {
+  Rig rig;
+  const ProcessId a = rig.addSimpleProcess(0, 10);
+  const ProcessId b = rig.addSimpleProcess(10, 20);
+  rig.workload.graph.addDependence(a, b);
+  rig.workload.graph.addDependence(b, a);
+  EXPECT_THROW(validateWorkload(rig.workload), Error);
+}
+
+}  // namespace
+}  // namespace laps
