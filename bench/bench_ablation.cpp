@@ -1,5 +1,6 @@
 /// \file bench_ablation.cpp
-/// \brief Ablations of the design choices DESIGN.md calls out:
+/// \brief Ablations of the design choices the design notes of
+/// docs/ARCHITECTURE.md (§§5-6) call out:
 ///   (a) LS's initial min-sharing round on/off (Fig. 3 lines 3-6);
 ///   (b) online greedy LS vs rigid static-plan execution;
 ///   (c) RRS quantum sweep (preemption cost vs load balance);

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Tier-1 verify: configure, build everything, run the full test suite.
+set -eu
+
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure -j

@@ -1,0 +1,35 @@
+# Extracts the \code ... \endcode block from a Doxygen header comment and
+# writes it as a standalone source file. Used by tests/core to compile the
+# laps.h usage example verbatim, so the docs cannot drift from the API.
+#
+# Usage: cmake -DINPUT=<header> -DOUTPUT=<source> -P ExtractDocExample.cmake
+
+if(NOT INPUT OR NOT OUTPUT)
+  message(FATAL_ERROR "ExtractDocExample: INPUT and OUTPUT are required")
+endif()
+
+file(READ "${INPUT}" content)
+
+string(FIND "${content}" "\\code" code_start)
+string(FIND "${content}" "\\endcode" code_end)
+if(code_start EQUAL -1 OR code_end EQUAL -1)
+  message(FATAL_ERROR "ExtractDocExample: no \\code block found in ${INPUT}")
+endif()
+
+# This script extracts exactly one block; a second \code in the header
+# would silently corrupt the output, so refuse instead.
+string(FIND "${content}" "\\code" last_code_start REVERSE)
+if(NOT last_code_start EQUAL code_start)
+  message(FATAL_ERROR
+    "ExtractDocExample: ${INPUT} has multiple \\code blocks; this script "
+    "extracts exactly one")
+endif()
+
+math(EXPR code_start "${code_start} + 5")  # skip past "\code" itself
+math(EXPR block_length "${code_end} - ${code_start}")
+string(SUBSTRING "${content}" ${code_start} ${block_length} block)
+
+# Strip the Doxygen comment prefix ("/// " or bare "///") from every line.
+string(REGEX REPLACE "\n/// ?" "\n" code "${block}")
+
+file(WRITE "${OUTPUT}" "${code}")

@@ -3,10 +3,16 @@
 /// \brief Umbrella header: the complete public API of lapsched.
 ///
 /// lapsched reproduces "Locality-Aware Process Scheduling for Embedded
-/// MPSoCs" (Kandemir & Chen, DATE 2005). Typical use:
+/// MPSoCs" (Kandemir & Chen, DATE 2005). Typical use (this program is
+/// extracted verbatim and compiled as the core_doc_example test —
+/// keep it a complete translation unit):
 ///
 /// \code
-///   #include "core/laps.h"
+/// #include <iostream>
+///
+/// #include "core/laps.h"
+///
+/// int main() {
 ///   using namespace laps;
 ///
 ///   const auto suite = standardSuite();
@@ -15,6 +21,7 @@
 ///   for (const auto& r : results) {
 ///     std::cout << r.schedulerName << ": " << r.sim.seconds << " s\n";
 ///   }
+/// }
 /// \endcode
 
 // Region algebra (paper §2)

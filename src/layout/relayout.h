@@ -38,7 +38,8 @@ struct RelayoutPlan {
 };
 
 /// Size guard for the interleave transform (engineering refinement over
-/// the paper, documented in DESIGN.md): an interleaved array occupies
+/// the paper, documented in docs/ARCHITECTURE.md §5): an interleaved
+/// array occupies
 /// only half of the cache sets, so the transform is counter-productive
 /// for arrays whose accessed working set exceeds half the cache — they
 /// would thrash against themselves. Arrays above the limit keep their

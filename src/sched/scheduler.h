@@ -1,6 +1,11 @@
 #pragma once
 /// \file scheduler.h
-/// \brief Scheduling policy interface and the four strategies of §4.
+/// \brief The SchedulerPolicy interface and the SchedulerKind catalogue.
+///
+/// The concrete strategies live elsewhere: the paper's RS/RRS baselines
+/// and the classic extensions in basic.h, LS/LSM in locality.h, and the
+/// online variant in dynamic_locality.h; factory.h constructs any of
+/// them from a SchedulerKind.
 ///
 /// The simulation engine drives a SchedulerPolicy through three events:
 ///  * onReady(p)      — all of p's predecessors completed;

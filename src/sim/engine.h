@@ -2,7 +2,7 @@
 /// \file engine.h
 /// \brief The discrete-event MPSoC simulator (Simics substitute).
 ///
-/// Execution model (documented approximations in DESIGN.md §6):
+/// Execution model (documented approximations in docs/ARCHITECTURE.md §6):
 ///  * every core owns a private MemorySystem (split L1 I/D); cache
 ///    contents persist across context switches — the effect the paper's
 ///    scheduler exploits;

@@ -3,7 +3,8 @@
 /// \brief The six applications of paper Table 1 as workload generators.
 ///
 /// The original benchmarks are proprietary; these generators reproduce
-/// the properties the scheduler actually observes (see DESIGN.md §2):
+/// the properties the scheduler actually observes (see
+/// docs/ARCHITECTURE.md §2):
 ///  * array-intensive affine loop nests from image/video processing,
 ///  * 9-37 processes per task (paper §4), staged with dependences,
 ///  * heavy intra-application data sharing (shared read arrays, halo

@@ -1,6 +1,6 @@
 /// Integration tests asserting the paper's qualitative claims end-to-end
 /// (small scales so the suite stays fast), plus coverage of the
-/// refinements DESIGN.md §5 documents.
+/// refinements docs/ARCHITECTURE.md §5 documents.
 
 #include <gtest/gtest.h>
 

@@ -53,7 +53,7 @@ TEST(AffineExpr, PlusDifferentRanks) {
 TEST(AffineExpr, EvalRankMismatchThrows) {
   const AffineExpr a({1, 1}, 0);
   const std::array<std::int64_t, 1> tooSmall{3};
-  EXPECT_THROW(a.eval(tooSmall), Error);
+  EXPECT_THROW(static_cast<void>(a.eval(tooSmall)), Error);
 }
 
 TEST(AffineExpr, ToString) {
@@ -81,8 +81,8 @@ TEST(AffineMap, ToString) {
 
 TEST(AffineMap, ExprOutOfRange) {
   const AffineMap map{AffineExpr::constant(0)};
-  EXPECT_NO_THROW(map.expr(0));
-  EXPECT_THROW(map.expr(1), Error);
+  EXPECT_NO_THROW(static_cast<void>(map.expr(0)));
+  EXPECT_THROW(static_cast<void>(map.expr(1)), Error);
 }
 
 }  // namespace

@@ -89,7 +89,7 @@ TEST(SharingMatrix, EmptyMatrix) {
 
 TEST(SharingMatrix, OutOfRangeThrows) {
   SharingMatrix m(2);
-  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(static_cast<void>(m.at(2, 0)), Error);
   EXPECT_THROW(m.set(0, 2, 1), Error);
 }
 
