@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Paper-shape and regression checker for the lapsched bench CSVs.
+
+Consumes the CSV output of ``bench_fig6_isolated --csv`` or
+``bench_fig7_concurrent --csv`` (any CSV whose header has a ``scheduler``
+column, with the first column as the group key) and verifies:
+
+ 1. Paper shapes, per group (paper section 4, Figs. 6-7):
+      * LS never has more data-cache misses than RS (within --tol),
+      * LSM never has more data-cache misses than LS (within --tol);
+    and strictly in aggregate over all groups:
+      * sum(LS misses) <= sum(RS misses),
+      * sum(LSM misses) <= sum(LS misses).
+    The per-row tolerance absorbs the small non-monotonicities the
+    synthetic workloads show at individual |T| points; the aggregate
+    check has none.
+
+ 2. Drift against a committed baseline CSV (--baseline): every
+    (group, scheduler) row must exist in both files, integer columns
+    must match exactly (the simulator is deterministic), and float
+    columns within a relative 1e-9.
+
+Exits non-zero, listing every violation, if any check fails. To refresh
+the baselines after an intentional behavior change:
+
+    build/bench_fig6_isolated --csv > bench/baselines/fig6.csv
+    build/bench_fig7_concurrent --csv > bench/baselines/fig7.csv
+"""
+
+import argparse
+import csv
+import sys
+
+
+def read_rows(path):
+    if path == "-":
+        reader = csv.DictReader(sys.stdin)
+        rows = list(reader)
+        return reader.fieldnames, rows
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        rows = list(reader)
+        return reader.fieldnames, rows
+
+
+def parse_cell(text):
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+
+def check_shapes(header, rows, tol):
+    errors = []
+    group_key = header[0]
+    groups = {}
+    for row in rows:
+        groups.setdefault(row[group_key], {})[row["scheduler"]] = row
+    totals = {}
+    for group, by_sched in groups.items():
+        missing = {"RS", "LS", "LSM"} - set(by_sched)
+        if missing:
+            errors.append(f"group {group}: missing schedulers {sorted(missing)}")
+            continue
+        misses = {s: int(by_sched[s]["dcache_misses"]) for s in by_sched}
+        for sched, count in misses.items():
+            totals[sched] = totals.get(sched, 0) + count
+        for better, worse in (("LS", "RS"), ("LSM", "LS")):
+            if misses[better] > misses[worse] * (1.0 + tol):
+                errors.append(
+                    f"group {group}: {better} misses ({misses[better]}) exceed "
+                    f"{worse} misses ({misses[worse]}) beyond {tol:.0%} tolerance"
+                )
+    for better, worse in (("LS", "RS"), ("LSM", "LS")):
+        if better in totals and totals[better] > totals[worse]:
+            errors.append(
+                f"aggregate: total {better} misses ({totals[better]}) exceed "
+                f"total {worse} misses ({totals[worse]})"
+            )
+    return errors
+
+
+def check_baseline(header, rows, baseline_path):
+    errors = []
+    base_header, base_rows = read_rows(baseline_path)
+    if base_header != header:
+        return [f"baseline {baseline_path}: header differs ({base_header} vs {header})"]
+    group_key = header[0]
+
+    def key(row):
+        return (row[group_key], row["scheduler"])
+
+    current = {key(r): r for r in rows}
+    baseline = {key(r): r for r in base_rows}
+    for k in sorted(set(current) | set(baseline)):
+        if k not in current:
+            errors.append(f"row {k}: present in baseline only")
+            continue
+        if k not in baseline:
+            errors.append(f"row {k}: not in baseline (new row)")
+            continue
+        for col in header:
+            have = parse_cell(current[k][col])
+            want = parse_cell(baseline[k][col])
+            if isinstance(want, float) or isinstance(have, float):
+                scale = max(abs(float(want)), abs(float(have)), 1e-300)
+                ok = abs(float(have) - float(want)) <= 1e-9 * scale
+            else:
+                ok = have == want
+            if not ok:
+                errors.append(f"row {k}, column {col}: {have} != baseline {want}")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("csv", help="bench CSV output ('-' for stdin)")
+    parser.add_argument("--baseline", help="committed baseline CSV to diff against")
+    parser.add_argument(
+        "--tol",
+        type=float,
+        default=0.05,
+        help="per-group relative tolerance for the shape checks (default 0.05)",
+    )
+    args = parser.parse_args()
+
+    header, rows = read_rows(args.csv)
+    if not header or "scheduler" not in header:
+        print("check_shapes: input has no 'scheduler' column", file=sys.stderr)
+        return 2
+    errors = check_shapes(header, rows, args.tol)
+    if args.baseline:
+        errors += check_baseline(header, rows, args.baseline)
+    if errors:
+        print(f"check_shapes: {len(errors)} violation(s) in {args.csv}:")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(
+        f"check_shapes: OK — {len(rows)} rows, paper shapes hold"
+        + (", no drift from baseline" if args.baseline else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,29 +8,69 @@
 /// widens with |T|, because processes of different applications share no
 /// data and conflict in the cache instead, which only the data re-layout
 /// (LSM) removes.
+///
+/// Modes:
+///   (none)      the paper's |T| = 1..6 tables;
+///   --csv       the same data as CSV (bench/baselines/check_shapes.py
+///               consumes this to flag paper-shape violations and drift
+///               against the committed baselines);
+///   --sweep [N] the large-|T| extension: mixes cycle through the suite
+///               up to N applications (default 24 = 660 processes),
+///               replayed run-length-encoded, then the largest mix is
+///               re-run per-event to log the measured speedup and verify
+///               the two replay modes still agree bit-for-bit.
 
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "core/laps.h"
 
 namespace {
 
-void printFigure7(const laps::AppParams& params) {
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+void printFigure7(const laps::AppParams& params, bool csv) {
   using namespace laps;
 
   const auto suite = standardSuite(params);
   const auto kinds = paperSchedulers();
   ExperimentConfig config;  // Table 2 defaults
   config.mpsoc.memory.classifyMisses = true;
+  // Run-length replay is bit-identical to per-event replay
+  // (tests/sim/replay_test.cpp) and several times faster.
+  config.mpsoc.replayMode = ReplayMode::RunLength;
 
   Table table({"|T|", "RS (ms)", "RRS (ms)", "LS (ms)", "LSM (ms)",
                "LS vs RS %", "LSM vs LS %"});
   Table detail({"|T|", "LS conflictM", "LSM conflictM", "LSM relayouts",
                 "RS misses", "RRS misses", "LS misses", "LSM misses"});
 
+  if (csv) {
+    std::cout.precision(12);
+    std::cout << "t,scheduler,processes,makespan_cycles,seconds,"
+                 "dcache_misses,conflict_misses,relayouted_arrays\n";
+  }
+
   for (std::size_t t = 1; t <= suite.size(); ++t) {
     const Workload mix = concurrentScenario(suite, t);
     const auto results = compareSchedulers(mix, kinds, config);
+    if (csv) {
+      for (const auto& r : results) {
+        std::cout << t << ',' << r.schedulerName << ','
+                  << mix.graph.processCount() << ',' << r.sim.makespanCycles
+                  << ',' << r.sim.seconds << ',' << r.sim.dcacheTotal.misses
+                  << ',' << r.sim.dataMisses.conflict << ','
+                  << r.relayoutedArrays << '\n';
+      }
+      continue;
+    }
     const double rs = results[0].sim.seconds * 1e3;
     const double rrs = results[1].sim.seconds * 1e3;
     const double ls = results[2].sim.seconds * 1e3;
@@ -54,15 +94,130 @@ void printFigure7(const laps::AppParams& params) {
         .cell(results[3].sim.dcacheTotal.misses);
   }
 
-  std::cout << "=== Figure 7: concurrent execution times (Table 2 platform) ===\n"
-            << table.ascii() << '\n'
-            << "--- supporting detail: conflict misses and re-layout ---\n"
-            << detail.ascii() << '\n';
+  if (!csv) {
+    std::cout
+        << "=== Figure 7: concurrent execution times (Table 2 platform) ===\n"
+        << table.ascii() << '\n'
+        << "--- supporting detail: conflict misses and re-layout ---\n"
+        << detail.ascii() << '\n';
+  }
+}
+
+/// The large-|T| sweep: what run-length replay buys. Mixes cycle through
+/// the suite (independent application instances), pushing the resident
+/// process count into the hundreds.
+void sweepLargeT(const laps::AppParams& params, std::size_t maxApps) {
+  using namespace laps;
+
+  const auto suite = standardSuite(params);
+  const auto kinds = paperSchedulers();
+  ExperimentConfig config;
+  // Classification's shadow LRU dominates runtime at this scale and the
+  // paper-shape detail is covered by the |T| <= 6 tables; keep the sweep
+  // about completion times.
+  config.mpsoc.replayMode = ReplayMode::RunLength;
+
+  // One full-suite step per row, and always a row at maxApps itself so
+  // the shoot-out below matches a tabulated mix.
+  std::vector<std::size_t> points;
+  for (std::size_t t = std::min(suite.size(), maxApps); t < maxApps;
+       t += suite.size()) {
+    points.push_back(t);
+  }
+  points.push_back(maxApps);
+
+  Table table({"|T|", "processes", "RS (ms)", "RRS (ms)", "LS (ms)",
+               "LSM (ms)", "sim wall (ms)"});
+  for (const std::size_t t : points) {
+    const Workload mix = concurrentScenario(suite, t);
+    const auto start = Clock::now();
+    const auto results = compareSchedulers(mix, kinds, config);
+    const double wall = msSince(start);
+    table.row()
+        .cell("|T|=" + std::to_string(t))
+        .cell(mix.graph.processCount())
+        .cell(results[0].sim.seconds * 1e3, 3)
+        .cell(results[1].sim.seconds * 1e3, 3)
+        .cell(results[2].sim.seconds * 1e3, 3)
+        .cell(results[3].sim.seconds * 1e3, 3)
+        .cell(wall, 0);
+  }
+  std::cout << "=== Figure 7 extension: large concurrent mixes "
+               "(run-length replay) ===\n"
+            << table.ascii() << '\n';
+
+  // Replay-mode shoot-out at the largest mix: per-event vs run-length on
+  // the simulator proper (the footprint/sharing analysis is identical in
+  // both modes, so it is computed once up front), with a bit-identity
+  // cross-check. FCFS exercises the bulk paths, RRS the quantum-aware
+  // mid-run splitting.
+  const Workload mix = concurrentScenario(suite, maxApps);
+  const SharingMatrix sharing = SharingMatrix::compute(mix.footprints());
+  const AddressSpace space(mix.arrays);
+  for (const bool preemptive : {false, true}) {
+    SimResult results[2];
+    double wall[2];
+    for (int mode = 0; mode < 2; ++mode) {
+      MpsocConfig mpsoc = config.mpsoc;
+      mpsoc.replayMode = mode == 0 ? ReplayMode::PerEvent
+                                   : ReplayMode::RunLength;
+      FcfsScheduler fcfs;
+      RoundRobinScheduler rrs(config.sched.rrsQuantumCycles);
+      SchedulerPolicy& policy =
+          preemptive ? static_cast<SchedulerPolicy&>(rrs) : fcfs;
+      const auto start = Clock::now();
+      MpsocSimulator sim(mix, space, sharing, policy, mpsoc);
+      results[mode] = sim.run();
+      wall[mode] = msSince(start);
+    }
+    if (results[0].makespanCycles != results[1].makespanCycles ||
+        results[0].dcacheTotal.misses != results[1].dcacheTotal.misses ||
+        results[0].preemptions != results[1].preemptions) {
+      std::cerr << "FATAL: replay modes diverged ("
+                << (preemptive ? "RRS" : "FCFS") << ")\n";
+      std::exit(1);
+    }
+    std::cout << "--- replay-mode shoot-out at |T|=" << maxApps << " ("
+              << mix.graph.processCount() << " processes, "
+              << (preemptive ? "RRS" : "FCFS") << ", "
+              << results[0].dcacheTotal.accesses << " data refs) ---\n"
+              << "per-event:  " << wall[0] << " ms\n"
+              << "run-length: " << wall[1] << " ms  (speedup "
+              << wall[0] / wall[1] << "x, results bit-identical)\n";
+  }
 }
 
 }  // namespace
 
-int main() {
-  printFigure7(laps::AppParams{});
+int main(int argc, char** argv) {
+  bool csv = false;
+  std::size_t sweep = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--sweep") {
+      sweep = 24;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        char* end = nullptr;
+        const long n = std::strtol(argv[++i], &end, 10);
+        if (end == nullptr || *end != '\0' || n < 1) {
+          std::cerr << "bench_fig7_concurrent: --sweep needs a positive "
+                       "application count, got '"
+                    << argv[i] << "'\n";
+          return 2;
+        }
+        sweep = static_cast<std::size_t>(n);
+      }
+    } else {
+      std::cerr << "usage: bench_fig7_concurrent [--csv | --sweep [N]]\n";
+      return 2;
+    }
+  }
+  if (sweep > 0) {
+    sweepLargeT(laps::AppParams{}, sweep);
+  } else {
+    printFigure7(laps::AppParams{}, csv);
+  }
   return 0;
 }

@@ -1,8 +1,25 @@
 #!/bin/sh
-# Tier-1 verify: configure, build everything, run the full test suite.
+# Tier-1 verify: configure, build everything, run the full test suite,
+# then regenerate the Fig. 6/7 bench CSVs and check them for paper-shape
+# violations and drift against the committed baselines.
 set -eu
 
 cmake -B build -S .
 cmake --build build -j
 cd build
 ctest --output-on-failure -j
+
+# Bench baselines (see bench/baselines/check_shapes.py; regenerate the
+# CSVs there after an intentional behavior change). Figure 6's isolated
+# runs need the wider tolerance: LS ~= LSM per application, with small
+# wobbles either way; the aggregate orderings are checked strictly.
+if command -v python3 >/dev/null 2>&1; then
+  ./bench_fig6_isolated --csv > bench_fig6.csv
+  python3 ../bench/baselines/check_shapes.py bench_fig6.csv \
+    --tol 0.15 --baseline ../bench/baselines/fig6.csv
+  ./bench_fig7_concurrent --csv > bench_fig7.csv
+  python3 ../bench/baselines/check_shapes.py bench_fig7.csv \
+    --baseline ../bench/baselines/fig7.csv
+else
+  echo "ci.sh: python3 not found; skipping bench baseline checks" >&2
+fi

@@ -1,8 +1,16 @@
 #include "cache/cache.h"
 
+#include <algorithm>
+
 #include "util/error.h"
+#include "util/stride.h"
 
 namespace laps {
+
+std::int64_t lineRunLength(std::uint64_t addr, std::int64_t strideBytes,
+                           std::int64_t lineBytes) {
+  return strideRunLength(addr, strideBytes, lineBytes);
+}
 
 void CacheStats::accumulate(const CacheStats& other) {
   accesses += other.accesses;
@@ -18,43 +26,104 @@ SetAssocCache::SetAssocCache(CacheConfig config) : config_(config) {
   ways_.resize(static_cast<std::size_t>(config_.numSets() * config_.assoc));
 }
 
-AccessOutcome SetAssocCache::access(std::uint64_t addr, bool isWrite) {
-  ++stats_.accesses;
-  ++useClock_;
+SetAssocCache::Way* SetAssocCache::lookup(std::uint64_t addr, Way** victim) {
   const std::int64_t set = config_.setIndexOf(addr);
   const std::uint64_t tag = config_.tagOf(addr);
   const std::size_t base = static_cast<std::size_t>(set * config_.assoc);
   const std::size_t assoc = static_cast<std::size_t>(config_.assoc);
-
-  std::size_t victim = base;
+  std::size_t candidate = base;
   for (std::size_t w = base; w < base + assoc; ++w) {
     Way& way = ways_[w];
-    if (way.valid && way.tag == tag) {
-      way.lastUse = useClock_;
-      way.dirty |= isWrite;
-      ++stats_.hits;
-      return AccessOutcome::Hit;
-    }
+    if (way.valid && way.tag == tag) return &way;
     // Track the LRU (or first invalid) way as the victim candidate.
-    if (!ways_[victim].valid) {
+    if (!ways_[candidate].valid) {
       continue;  // already found an invalid slot
     }
-    if (!way.valid || way.lastUse < ways_[victim].lastUse) {
-      victim = w;
+    if (!way.valid || way.lastUse < ways_[candidate].lastUse) {
+      candidate = w;
     }
   }
+  if (victim != nullptr) *victim = &ways_[candidate];
+  return nullptr;
+}
 
-  ++stats_.misses;
-  Way& way = ways_[victim];
-  if (way.valid) {
-    ++stats_.evictions;
-    if (way.dirty) ++stats_.dirtyEvictions;
+AccessOutcome SetAssocCache::access(std::uint64_t addr, bool isWrite) {
+  ++stats_.accesses;
+  ++useClock_;
+  Way* victim = nullptr;
+  if (Way* way = lookup(addr, &victim)) {
+    way->lastUse = useClock_;
+    way->dirty |= isWrite;
+    ++stats_.hits;
+    return AccessOutcome::Hit;
   }
-  way.tag = tag;
-  way.valid = true;
-  way.dirty = isWrite;  // write-allocate
-  way.lastUse = useClock_;
+  ++stats_.misses;
+  if (victim->valid) {
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.dirtyEvictions;
+  }
+  victim->tag = config_.tagOf(addr);
+  victim->valid = true;
+  victim->dirty = isWrite;  // write-allocate
+  victim->lastUse = useClock_;
   return AccessOutcome::Miss;
+}
+
+AccessRunOutcome SetAssocCache::accessRun(std::uint64_t addr,
+                                          std::int64_t strideBytes,
+                                          std::int64_t count, bool isWrite) {
+  AccessRunOutcome outcome;
+  while (count > 0) {
+    const std::int64_t group =
+        std::min(count, lineRunLength(addr, strideBytes, config_.lineBytes));
+    // One associative search resolves the whole group: the first access
+    // hits or misses-and-fills, the remaining group-1 accesses re-touch
+    // the same line (guaranteed hits). The line's final LRU stamp is the
+    // clock of the group's last access, exactly as per-element simulation
+    // would leave it.
+    stats_.accesses += static_cast<std::uint64_t>(group);
+    useClock_ += static_cast<std::uint64_t>(group);
+    Way* victim = nullptr;
+    Way* way = lookup(addr, &victim);
+    if (way != nullptr) {
+      stats_.hits += static_cast<std::uint64_t>(group);
+      outcome.hits += group;
+    } else {
+      way = victim;
+      ++stats_.misses;
+      stats_.hits += static_cast<std::uint64_t>(group - 1);
+      outcome.hits += group - 1;
+      ++outcome.misses;
+      if (way->valid) {
+        ++stats_.evictions;
+        if (way->dirty) ++stats_.dirtyEvictions;
+      }
+      way->tag = config_.tagOf(addr);
+      way->valid = true;
+      way->dirty = false;
+    }
+    way->dirty |= isWrite;
+    way->lastUse = useClock_;
+    addr += static_cast<std::uint64_t>(strideBytes * group);
+    count -= group;
+  }
+  return outcome;
+}
+
+void SetAssocCache::bulkHits(std::int64_t count) {
+  stats_.accesses += static_cast<std::uint64_t>(count);
+  stats_.hits += static_cast<std::uint64_t>(count);
+  useClock_ += static_cast<std::uint64_t>(count);
+}
+
+void SetAssocCache::touch(std::uint64_t addr, bool isWrite,
+                          std::uint64_t lastUseStamp) {
+  if (Way* way = lookup(addr, nullptr)) {
+    way->lastUse = std::max(way->lastUse, lastUseStamp);
+    way->dirty |= isWrite;
+    return;
+  }
+  check(false, "SetAssocCache::touch: line not resident");
 }
 
 void SetAssocCache::flush() {

@@ -17,6 +17,20 @@ namespace laps {
 /// Outcome of one cache access.
 enum class AccessOutcome : std::uint8_t { Hit, Miss };
 
+/// Hit/miss tally of one bulk strided run (see SetAssocCache::accessRun).
+struct AccessRunOutcome {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+};
+
+/// Number of consecutive elements of the strided stream addr,
+/// addr + strideBytes, ... that fall in the cache line containing addr
+/// (INT64_MAX for stride 0). The unit of run-length-encoded cache
+/// resolution: all those accesses after the first are guaranteed hits.
+[[nodiscard]] std::int64_t lineRunLength(std::uint64_t addr,
+                                         std::int64_t strideBytes,
+                                         std::int64_t lineBytes);
+
 /// Counters accumulated by a cache instance.
 struct CacheStats {
   std::uint64_t accesses = 0;
@@ -44,6 +58,31 @@ class SetAssocCache {
   /// Simulates one access; updates contents, LRU order and statistics.
   AccessOutcome access(std::uint64_t addr, bool isWrite);
 
+  /// Simulates \p count accesses of the strided stream addr,
+  /// addr + strideBytes, ... with final state and statistics identical to
+  /// \p count access() calls, but resolves each cache line's group of
+  /// consecutive accesses with a single tag lookup (one associative
+  /// search per line touched instead of one per element).
+  AccessRunOutcome accessRun(std::uint64_t addr, std::int64_t strideBytes,
+                             std::int64_t count, bool isWrite);
+
+  /// LRU clock (the stamp of the most recent access). The run-length
+  /// replay path reads it to compute exact per-access stamps for the
+  /// accesses it resolves in bulk.
+  [[nodiscard]] std::uint64_t clock() const { return useClock_; }
+
+  /// Accounts \p count accesses that are known to hit without touching
+  /// line metadata: bumps the access/hit counters and the LRU clock.
+  /// Pair with touch() to re-stamp the lines those accesses would have
+  /// touched.
+  void bulkHits(std::int64_t count);
+
+  /// Re-stamps the line containing \p addr as used at \p lastUseStamp
+  /// (monotone: keeps the line's stamp if it is already newer) and merges
+  /// the dirty bit. The line must be resident (throws otherwise); verify
+  /// with probe() first.
+  void touch(std::uint64_t addr, bool isWrite, std::uint64_t lastUseStamp);
+
   /// Invalidates everything (dirty lines count as write-backs).
   void flush();
 
@@ -65,6 +104,12 @@ class SetAssocCache {
     bool valid = false;
     bool dirty = false;
   };
+
+  /// Associative search for \p addr's line: returns the hit way, or
+  /// nullptr with \p victim set to the replacement candidate (first
+  /// invalid way, else true-LRU). The single definition of the victim
+  /// policy — access(), accessRun() and touch() all resolve through it.
+  Way* lookup(std::uint64_t addr, Way** victim);
 
   CacheConfig config_;
   std::vector<Way> ways_;  // numSets * assoc, set-major

@@ -1,5 +1,7 @@
 #include "cache/hierarchy.h"
 
+#include <algorithm>
+
 namespace laps {
 
 MemorySystem::MemorySystem(const MemoryConfig& config)
@@ -18,6 +20,29 @@ std::int64_t MemorySystem::dataAccess(std::uint64_t addr, bool isWrite) {
     return config_.l1d.hitLatencyCycles;
   }
   return config_.l1d.hitLatencyCycles + config_.memLatencyCycles;
+}
+
+std::int64_t MemorySystem::accessRun(std::uint64_t addr,
+                                     std::int64_t strideBytes,
+                                     std::int64_t count, bool isWrite) {
+  std::int64_t latency = 0;
+  while (count > 0) {
+    const std::int64_t group = std::min(
+        count, lineRunLength(addr, strideBytes, config_.l1d.lineBytes));
+    const AccessOutcome head = dcache_.access(addr, isWrite);
+    if (classifier_) {
+      classifier_->record(addr, head == AccessOutcome::Miss);
+    }
+    if (group > 1) {
+      dcache_.bulkHits(group - 1);
+      dcache_.touch(addr, isWrite, dcache_.clock());
+    }
+    latency += config_.l1d.hitLatencyCycles * group;
+    if (head == AccessOutcome::Miss) latency += config_.memLatencyCycles;
+    addr += static_cast<std::uint64_t>(strideBytes * group);
+    count -= group;
+  }
+  return latency;
 }
 
 std::int64_t MemorySystem::instrFetch(std::uint64_t addr) {

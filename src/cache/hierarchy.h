@@ -34,9 +34,48 @@ class MemorySystem {
   /// One data reference; returns its latency in cycles.
   std::int64_t dataAccess(std::uint64_t addr, bool isWrite);
 
+  /// \p count data references of the strided stream addr,
+  /// addr + strideBytes, ...; returns their summed latency. Exactly
+  /// equivalent to \p count dataAccess calls (cache state, statistics and
+  /// miss classification included) but resolves each cache line's group
+  /// of consecutive accesses with one lookup, and feeds the classifier
+  /// once per line instead of once per element — the skipped accesses
+  /// re-touch the shadow cache's most-recently-used line, which is a
+  /// no-op for the 3C state and counters.
+  std::int64_t accessRun(std::uint64_t addr, std::int64_t strideBytes,
+                         std::int64_t count, bool isWrite);
+
   /// One instruction fetch; returns its latency in cycles
   /// (0 when instruction modeling is disabled).
   std::int64_t instrFetch(std::uint64_t addr);
+
+  /// \name Bulk-replay primitives
+  /// The run-length replay path (sim/replay.cpp) accounts the guaranteed
+  /// hits it skips directly on the caches: bulkHits for the counters and
+  /// LRU clock, touch for the exact final stamps of the lines involved.
+  /// Bypassing the miss classifier here is exact — every skipped access
+  /// re-touches shadow-cache lines that are already the most recently
+  /// used, in an order that provably leaves the shadow state unchanged —
+  /// see docs/ARCHITECTURE.md §6.
+  /// @{
+  [[nodiscard]] std::uint64_t dataClock() const { return dcache_.clock(); }
+  void dataBulkHits(std::int64_t count) { dcache_.bulkHits(count); }
+  void dataTouch(std::uint64_t addr, bool isWrite, std::uint64_t stamp) {
+    dcache_.touch(addr, isWrite, stamp);
+  }
+  /// Replays one skipped (guaranteed-hit) access into the miss
+  /// classifier's shadow LRU only. Needed when a bulk commit ends
+  /// mid-iteration: the partial iteration's accesses rotate the shadow's
+  /// most-recently-used block, which complete cycles do not.
+  void dataShadowTouch(std::uint64_t addr) {
+    if (classifier_) classifier_->record(addr, /*realMiss=*/false);
+  }
+  [[nodiscard]] std::uint64_t instrClock() const { return icache_.clock(); }
+  void instrBulkHits(std::int64_t count) { icache_.bulkHits(count); }
+  void instrTouch(std::uint64_t addr, std::uint64_t stamp) {
+    icache_.touch(addr, /*isWrite=*/false, stamp);
+  }
+  /// @}
 
   /// Invalidates both caches (used by the flush-on-switch ablation).
   void flushAll();

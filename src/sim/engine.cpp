@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "sim/replay.h"
 #include "util/error.h"
 
 namespace laps {
@@ -34,12 +35,16 @@ MpsocSimulator::MpsocSimulator(const Workload& workload,
 std::int64_t MpsocSimulator::runSegment(std::size_t coreIdx, ProcessId process,
                                         std::int64_t now) {
   Core& core = cores_[coreIdx];
-  std::int64_t cycles = 0;
 
+  // Switch overhead is charged outside the quantum comparison: the OS
+  // timer starts when the process actually runs, so dispatch overhead
+  // must not shrink the time slice the policy grants.
+  std::int64_t switchOverhead = 0;
   const bool isSwitch = core.lastScheduled != std::optional<ProcessId>{process};
   if (isSwitch) {
-    cycles += config_.switchCycles;
+    switchOverhead = config_.switchCycles;
     ++result_.contextSwitches;
+    result_.switchOverheadCycles += static_cast<std::uint64_t>(switchOverhead);
     if (config_.flushOnSwitch) core.memory->flushAll();
   }
   if (lastRanOn_[process] && *lastRanOn_[process] != coreIdx) {
@@ -59,22 +64,27 @@ std::int64_t MpsocSimulator::runSegment(std::size_t coreIdx, ProcessId process,
   const std::int64_t iHit = config_.memory.l1i.hitLatencyCycles;
   MemorySystem& mem = *core.memory;
 
-  TraceStep step;
-  while (cursor.next(step)) {
-    // Fetch hits are pipelined (hidden); only the miss penalty stalls.
-    const std::int64_t iLat = mem.instrFetch(step.instrAddr);
-    if (iLat > iHit) cycles += iLat - iHit;
-    if (step.isRef) cycles += mem.dataAccess(step.dataAddr, step.isWrite);
-    cycles += step.computeCycles;
-    if (quantum && cycles >= *quantum && !cursor.done()) break;
+  std::int64_t cycles = 0;
+  if (config_.replayMode == ReplayMode::RunLength) {
+    cycles = replaySegmentRunLength(cursor, mem, quantum);
+  } else {
+    TraceStep step;
+    while (cursor.next(step)) {
+      // Fetch hits are pipelined (hidden); only the miss penalty stalls.
+      const std::int64_t iLat = mem.instrFetch(step.instrAddr);
+      if (iLat > iHit) cycles += iLat - iHit;
+      if (step.isRef) cycles += mem.dataAccess(step.dataAddr, step.isWrite);
+      cycles += step.computeCycles;
+      if (quantum && cycles >= *quantum && !cursor.done()) break;
+    }
   }
 
   core.current = process;
   core.lastScheduled = process;
-  core.busyCycles += cycles;
+  core.busyCycles += cycles;  // useful work; overhead counted separately
   lastRanOn_[process] = coreIdx;
   ++record.segments;
-  return now + cycles;
+  return now + switchOverhead + cycles;
 }
 
 void MpsocSimulator::complete(ProcessId process, std::size_t coreIdx,
@@ -113,7 +123,6 @@ SimResult MpsocSimulator::run() {
   lastRanOn_.assign(n, std::nullopt);
   remainingPreds_.resize(n);
   std::vector<bool> running(n, false);
-  std::vector<bool> announced(n, false);
 
   const SchedContext context{&workload_->graph, sharing_, config_.coreCount};
   policy_->reset(context);
@@ -121,7 +130,6 @@ SimResult MpsocSimulator::run() {
     remainingPreds_[p] = workload_->graph.predecessors(p).size();
     if (remainingPreds_[p] == 0) {
       policy_->onReady(p);
-      announced[p] = true;
     }
   }
 

@@ -12,10 +12,14 @@
 ///  * scheduling decisions happen when a core goes idle (process finished
 ///    or quantum expired) and when new processes become ready;
 ///  * a preempted process resumes where it stopped, on any core;
-///  * context switches cost MpsocConfig::switchCycles.
+///  * context switches cost MpsocConfig::switchCycles, charged outside
+///    the quantum (overhead must not shrink the policy's time slice) and
+///    reported separately from useful work (SimResult::switchOverheadCycles).
 ///
-/// The simulation is fully deterministic: identical inputs (workload,
-/// layout, policy, config) produce identical results.
+/// Traces replay either per event or run-length encoded
+/// (MpsocConfig::replayMode; see sim/replay.h) with bit-identical
+/// results. The simulation is fully deterministic: identical inputs
+/// (workload, layout, policy, config) produce identical results.
 
 #include <memory>
 #include <optional>

@@ -1,0 +1,33 @@
+#pragma once
+/// \file replay.h
+/// \brief Run-length trace replay (MpsocConfig::replayMode == RunLength).
+///
+/// The per-event simulator loop touches the cache model once per trace
+/// step; with thousands of concurrent processes that is the simulation
+/// bottleneck. replaySegmentRunLength consumes TraceRuns instead
+/// (ProcessTraceCursor::peekRun/consume) and resolves each cache line's
+/// group of consecutive accesses in bulk. The result is guaranteed
+/// bit-identical to the per-event loop — same cycles, cache statistics,
+/// LRU stamps, miss classification and preemption points — because every
+/// analytical shortcut is guarded by an exact residency check and falls
+/// back to per-event execution when the claim could fail (see
+/// docs/ARCHITECTURE.md §6 for the equivalence argument).
+
+#include <cstdint>
+#include <optional>
+
+#include "cache/hierarchy.h"
+#include "trace/cursor.h"
+
+namespace laps {
+
+/// Executes one scheduling segment of \p cursor's process against
+/// \p mem: replays trace runs until the process finishes or the
+/// accumulated work cycles reach \p quantum (nullopt = non-preemptive).
+/// Returns the segment's work cycles; the cursor is left exactly where
+/// the per-event loop of MpsocSimulator::runSegment would leave it.
+std::int64_t replaySegmentRunLength(ProcessTraceCursor& cursor,
+                                    MemorySystem& mem,
+                                    std::optional<std::int64_t> quantum);
+
+}  // namespace laps

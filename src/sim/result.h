@@ -33,7 +33,12 @@ struct SimResult {
   std::uint64_t preemptions = 0;      ///< quantum expirations
   std::uint64_t migrations = 0;       ///< resumes on a different core
 
-  std::vector<std::int64_t> coreBusyCycles;  ///< per core
+  /// Cycles spent on context-switch overhead (summed over cores). Kept
+  /// out of coreBusyCycles: switch overhead is neither useful work nor
+  /// idleness, and counting it as busy would inflate utilization().
+  std::uint64_t switchOverheadCycles = 0;
+
+  std::vector<std::int64_t> coreBusyCycles;  ///< per core, useful work only
   std::vector<std::int64_t> coreIdleCycles;  ///< per core (until makespan)
 
   std::vector<ProcessRunRecord> processes;  ///< indexed by ProcessId

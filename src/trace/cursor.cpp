@@ -3,19 +3,14 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/stride.h"
 
 namespace laps {
-namespace {
-
-/// Fetch granularity of the synthetic instruction stream.
-constexpr std::uint64_t kInstrLineBytes = 32;
-
-}  // namespace
 
 ProcessTraceCursor::ProcessTraceCursor(const ProcessSpec& spec,
                                        const ArrayTable& arrays,
                                        const AddressSpace& space)
-    : spec_(&spec), space_(&space) {
+    : spec_(&spec), arrays_(&arrays), space_(&space) {
   nestStates_.reserve(spec.nests.size());
   for (std::size_t n = 0; n < spec.nests.size(); ++n) {
     const LoopNest& nest = spec.nests[n];
@@ -71,7 +66,7 @@ std::uint64_t ProcessTraceCursor::nextInstrAddr() {
   const NestState& state = nestStates_[nestIdx_];
   const std::uint64_t addr =
       state.codeBase + bodyCursor_ % static_cast<std::uint64_t>(state.bodyBytes);
-  bodyCursor_ += kInstrLineBytes;
+  bodyCursor_ += kInstrFetchBytes;
   return addr;
 }
 
@@ -112,6 +107,109 @@ bool ProcessTraceCursor::next(TraceStep& step) {
   }
   ++stepsEmitted_;
   return true;
+}
+
+bool ProcessTraceCursor::peekRun(TraceRun& run) const {
+  if (done_) return false;
+  const LoopNest& nest = spec_->nests[nestIdx_];
+  const NestState& state = nestStates_[nestIdx_];
+
+  run.nestIndex = nestIdx_;
+  run.bodyBase = state.codeBase;
+  run.bodyBytes = state.bodyBytes;
+  run.bodyCursor = bodyCursor_;
+  run.computeCyclesPerIter = nest.computeCyclesPerIter;
+  run.streams.clear();
+
+  if (nest.accesses.empty()) {
+    run.partialIteration = false;
+    run.iterations = innermostRemaining();
+    return true;
+  }
+
+  if (accIdx_ != 0) {
+    // Suspended mid-iteration: describe the iteration's tail so the
+    // replayer can realign to an iteration boundary.
+    run.partialIteration = true;
+    run.iterations = 1;
+    for (std::size_t a = accIdx_; a < nest.accesses.size(); ++a) {
+      const ArrayAccess& access = nest.accesses[a];
+      const std::int64_t elem = state.linear[a].eval(point_);
+      run.streams.push_back(RunStream{
+          space_->elementAddress(access.array, elem), 0,
+          access.kind == AccessKind::Write});
+    }
+    return true;
+  }
+
+  run.partialIteration = false;
+  const std::size_t rank = nest.space.rank();
+  std::int64_t iters = innermostRemaining();
+  for (std::size_t a = 0; a < nest.accesses.size(); ++a) {
+    const ArrayAccess& access = nest.accesses[a];
+    const std::int64_t elem = state.linear[a].eval(point_);
+    const std::int64_t elemSize = arrays_->at(access.array).elemSize;
+    const std::int64_t stride =
+        rank == 0 ? 0
+                  : state.linear[a].coeff(rank - 1) *
+                        nest.space.dim(rank - 1).step * elemSize;
+    const LayoutTransform& transform = space_->transformOf(access.array);
+    if (!transform.isIdentity() && stride != 0) {
+      // The interleave transform is affine within one half-page chunk of
+      // natural offsets; clip the run so the stream stays inside its
+      // chunk and its transformed addresses keep the natural stride.
+      iters = std::min(iters,
+                       strideRunLength(static_cast<std::uint64_t>(elem * elemSize),
+                                       stride, transform.pageBytes() / 2));
+    }
+    run.streams.push_back(RunStream{space_->elementAddress(access.array, elem),
+                                    stride,
+                                    access.kind == AccessKind::Write});
+  }
+  run.iterations = iters;
+  return true;
+}
+
+void ProcessTraceCursor::consume(std::int64_t steps) {
+  check(steps >= 0, "ProcessTraceCursor::consume: negative step count");
+  if (steps == 0) return;
+  check(!done_, "ProcessTraceCursor::consume: process already finished");
+
+  const LoopNest& nest = spec_->nests[nestIdx_];
+  const std::size_t rank = nest.space.rank();
+  const auto accessCount =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(nest.accesses.size()));
+  const std::int64_t pos = static_cast<std::int64_t>(accIdx_) + steps;
+  const std::int64_t fullIters = pos / accessCount;
+  const std::int64_t newAccIdx = pos % accessCount;
+
+  bodyCursor_ += static_cast<std::uint64_t>(steps) * kInstrFetchBytes;
+  stepsEmitted_ += static_cast<std::uint64_t>(steps);
+
+  const std::int64_t remaining = innermostRemaining();
+  check(fullIters < remaining || (fullIters == remaining && newAccIdx == 0),
+        "ProcessTraceCursor::consume: step count crosses the current "
+        "innermost sweep");
+
+  accIdx_ = static_cast<std::size_t>(newAccIdx);
+  if (fullIters == remaining) {
+    if (rank > 0) {
+      point_[rank - 1] += (fullIters - 1) * nest.space.dim(rank - 1).step;
+    }
+    if (!advanceIteration()) {
+      ++nestIdx_;
+      seekRunnableNest();
+    }
+  } else if (rank > 0) {
+    point_[rank - 1] += fullIters * nest.space.dim(rank - 1).step;
+  }
+}
+
+std::int64_t ProcessTraceCursor::innermostRemaining() const {
+  const IterationSpace& space = spec_->nests[nestIdx_].space;
+  if (space.rank() == 0) return 1;
+  const LoopDim& inner = space.dim(space.rank() - 1);
+  return (inner.hi - point_[space.rank() - 1] + inner.step - 1) / inner.step;
 }
 
 }  // namespace laps

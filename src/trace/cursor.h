@@ -36,6 +36,23 @@ class ProcessTraceCursor {
   /// when the process has finished.
   bool next(TraceStep& step);
 
+  /// Describes the remainder of the current innermost-loop sweep as a
+  /// run-length-encoded TraceRun without advancing the cursor; returns
+  /// false when the process has finished. Runs are clipped so every
+  /// stream's addresses form an exact arithmetic sequence: at the sweep
+  /// end, and — for re-laid-out arrays — at the LayoutTransform's
+  /// half-page chunk boundaries, inside which the transform is affine.
+  /// A cursor suspended mid-iteration (see consume) yields a
+  /// partialIteration run covering the iteration's tail.
+  bool peekRun(TraceRun& run) const;
+
+  /// Advances the cursor past the first \p steps steps of the run
+  /// peekRun describes (0 <= steps <= run.steps()); the remaining steps
+  /// are re-described by the next peekRun. Together with peekRun this is
+  /// the bulk-replay twin of next(): consuming N steps leaves the cursor
+  /// in exactly the state N next() calls would.
+  void consume(std::int64_t steps);
+
   [[nodiscard]] bool done() const { return done_; }
   [[nodiscard]] ProcessId processId() const { return spec_->id; }
 
@@ -57,9 +74,14 @@ class ProcessTraceCursor {
   /// when the nest is exhausted.
   bool advanceIteration();
 
+  /// Iterations left in the current innermost-loop sweep (the current one
+  /// included); 1 for rank-0 nests.
+  [[nodiscard]] std::int64_t innermostRemaining() const;
+
   [[nodiscard]] std::uint64_t nextInstrAddr();
 
   const ProcessSpec* spec_;
+  const ArrayTable* arrays_;
   const AddressSpace* space_;
   std::vector<NestState> nestStates_;
 

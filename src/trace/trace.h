@@ -3,6 +3,7 @@
 /// \brief Elementary events of a process's execution trace.
 
 #include <cstdint>
+#include <vector>
 
 namespace laps {
 
@@ -14,6 +15,11 @@ inline constexpr std::uint64_t kCodeSegmentBase = 0x0040'0000;
 /// Address-space stride between the code bodies of distinct loop nests.
 inline constexpr std::uint64_t kCodeBodyStride = 4096;
 
+/// Fetch granularity of the synthetic instruction stream: every trace
+/// step fetches the next kInstrFetchBytes-aligned slot of its nest's
+/// loop body, wrapping around (see ProcessTraceCursor).
+inline constexpr std::uint64_t kInstrFetchBytes = 32;
+
 /// One step of a process trace: an instruction fetch plus, usually, one
 /// data reference, plus any compute cycles attributed to this step.
 struct TraceStep {
@@ -22,6 +28,50 @@ struct TraceStep {
   std::int64_t computeCycles = 0;  ///< pure-compute cycles after the step
   bool isRef = false;            ///< step performs a data reference
   bool isWrite = false;          ///< data reference is a store
+};
+
+/// One data-access stream of a TraceRun: the same array reference
+/// evaluated across consecutive innermost-loop iterations. Its addresses
+/// form an exact arithmetic sequence baseAddr, baseAddr + strideBytes,
+/// ... for the run's whole iteration span (runs are clipped so that even
+/// re-laid-out arrays — whose LayoutTransform is only piecewise affine —
+/// keep a constant stride within one run).
+struct RunStream {
+  std::uint64_t baseAddr = 0;   ///< address at the run's first iteration
+  std::int64_t strideBytes = 0; ///< address delta per iteration
+  bool isWrite = false;         ///< the reference is a store
+};
+
+/// A run-length-encoded span of a process trace: `iterations` consecutive
+/// innermost-loop iterations starting at the cursor position. Each
+/// iteration performs the streams' accesses in order, every step fetches
+/// the next instruction slot of the nest's body, and computeCyclesPerIter
+/// cycles are charged on the last step of each iteration (on every step
+/// for pure-compute nests, which have one step per iteration and no
+/// streams). A TraceRun is step-for-step equivalent to the TraceSteps
+/// ProcessTraceCursor::next would emit over the same span.
+struct TraceRun {
+  std::int64_t iterations = 0;
+  std::vector<RunStream> streams;     ///< empty for pure-compute nests
+  std::int64_t computeCyclesPerIter = 0;
+  /// True when the cursor was suspended mid-iteration: the run is the
+  /// tail of one iteration (streams are the remaining accesses, strides
+  /// meaningless) and iterations == 1.
+  bool partialIteration = false;
+  std::size_t nestIndex = 0;    ///< which nest the run belongs to
+  std::uint64_t bodyBase = 0;   ///< code body of the nest
+  std::int64_t bodyBytes = 0;   ///< body length (multiple of kInstrFetchBytes)
+  std::uint64_t bodyCursor = 0; ///< instruction-fetch phase at run start
+
+  /// Trace steps per iteration (pure-compute nests emit one).
+  [[nodiscard]] std::int64_t stepsPerIteration() const {
+    return streams.empty() ? 1 : static_cast<std::int64_t>(streams.size());
+  }
+
+  /// Total trace steps the run covers.
+  [[nodiscard]] std::int64_t steps() const {
+    return iterations * stepsPerIteration();
+  }
 };
 
 }  // namespace laps

@@ -1,0 +1,31 @@
+#pragma once
+/// \file stride.h
+/// \brief Strided-run arithmetic shared by the cache model and the trace
+/// cursor.
+
+#include <cstdint>
+#include <limits>
+
+namespace laps {
+
+/// Number of consecutive elements of the strided stream pos,
+/// pos + strideBytes, ... that stay inside the aligned blockBytes-sized
+/// block containing pos (INT64_MAX for stride 0). With cache lines as
+/// blocks this is the hit-group length of run-length cache resolution;
+/// with LayoutTransform half-pages it is the span over which a
+/// transformed array's addressing stays affine.
+inline std::int64_t strideRunLength(std::uint64_t pos,
+                                    std::int64_t strideBytes,
+                                    std::int64_t blockBytes) {
+  if (strideBytes == 0) return std::numeric_limits<std::int64_t>::max();
+  const auto block = static_cast<std::uint64_t>(blockBytes);
+  const std::uint64_t blockBase = pos / block * block;
+  if (strideBytes > 0) {
+    const auto room = static_cast<std::int64_t>(blockBase + block - pos);
+    return (room + strideBytes - 1) / strideBytes;
+  }
+  const auto room = static_cast<std::int64_t>(pos - blockBase);
+  return room / -strideBytes + 1;
+}
+
+}  // namespace laps

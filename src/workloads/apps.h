@@ -59,7 +59,10 @@ std::vector<Application> standardSuite(const AppParams& params = {});
 
 /// Merges the first \p count applications of \p suite into one workload
 /// whose tasks run concurrently (paper Fig. 7's |T| axis). Arrays and
-/// task ids are remapped; there is no inter-application sharing.
+/// task ids are remapped; there is no inter-application sharing. Counts
+/// beyond the suite size cycle through it (application i is
+/// suite[i % size]), each instance fully independent — the way the
+/// |T| axis extends to hundreds of resident applications.
 Workload concurrentScenario(const std::vector<Application>& suite,
                             std::size_t count);
 

@@ -16,11 +16,11 @@ std::vector<Application> standardSuite(const AppParams& params) {
 
 Workload concurrentScenario(const std::vector<Application>& suite,
                             std::size_t count) {
-  check(count >= 1 && count <= suite.size(),
-        "concurrentScenario: count out of range");
+  check(count >= 1 && !suite.empty(),
+        "concurrentScenario: need a non-empty suite and count >= 1");
   Workload merged;
   for (std::size_t i = 0; i < count; ++i) {
-    appendWorkload(merged, suite[i].workload);
+    appendWorkload(merged, suite[i % suite.size()].workload);
   }
   return merged;
 }

@@ -134,6 +134,59 @@ TEST(MpsocSimulator, RoundRobinPreemptsAndCompletes) {
   EXPECT_GT(r.contextSwitches, 3u);
 }
 
+TEST(MpsocSimulator, SwitchOverheadDoesNotShrinkQuantum) {
+  // One process of 100 pure-compute steps at 10 cycles each, quantum 100:
+  // every segment must cover exactly 10 steps regardless of the 400-cycle
+  // dispatch overhead of the first segment (the regression was seeding
+  // the quantum comparison with switchCycles, truncating that segment).
+  Rig rig;
+  ProcessSpec p;
+  p.name = "compute";
+  p.nests.push_back(LoopNest{IterationSpace::box({{0, 100}}), {}, 10});
+  rig.workload.graph.addProcess(std::move(p));
+  RoundRobinScheduler policy(100);
+  const SimResult r = rig.run(policy, smallConfig(1));
+  EXPECT_EQ(r.processes[0].segments, 10u);  // 100 steps / 10 per quantum
+  EXPECT_EQ(r.preemptions, 9u);
+  EXPECT_EQ(r.contextSwitches, 1u);  // resuming the same process is free
+  EXPECT_EQ(r.makespanCycles, 1000 + 400);
+}
+
+TEST(MpsocSimulator, SegmentCountInvariantUnderSwitchCost) {
+  // The quantum governs work cycles only, so the preemption schedule must
+  // not depend on the context-switch cost.
+  Rig rig;
+  rig.addStream(0, 3000);
+  rig.addStream(10000, 13000);
+  MpsocConfig cheap = smallConfig(1);
+  cheap.switchCycles = 0;
+  MpsocConfig dear = smallConfig(1);
+  dear.switchCycles = 3'900;
+  RoundRobinScheduler p1(2000);
+  RoundRobinScheduler p2(2000);
+  const SimResult a = rig.run(p1, cheap);
+  const SimResult b = rig.run(p2, dear);
+  EXPECT_GT(a.preemptions, 0u);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.contextSwitches, b.contextSwitches);
+  EXPECT_EQ(b.makespanCycles,
+            a.makespanCycles +
+                static_cast<std::int64_t>(b.contextSwitches) * 3'900);
+}
+
+TEST(MpsocSimulator, SwitchOverheadExcludedFromUtilization) {
+  // Single process on one core: busy + switch overhead == makespan, and
+  // utilization counts only the busy (useful) share.
+  Rig rig;
+  rig.addStream(0, 4);
+  FcfsScheduler policy;
+  const SimResult r = rig.run(policy, smallConfig(1));
+  EXPECT_EQ(r.switchOverheadCycles, 400u);
+  EXPECT_EQ(r.coreBusyCycles[0], 87);  // (2+75+1) + 3*(2+1)
+  EXPECT_EQ(r.makespanCycles, 487);
+  EXPECT_NEAR(r.utilization(), 87.0 / 487.0, 1e-12);
+}
+
 TEST(MpsocSimulator, QuantumLargerThanProcessMeansNoPreemption) {
   Rig rig;
   rig.addStream(0, 100);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "taskgraph/validate.h"
+#include "util/rng.h"
 
 namespace laps {
 namespace {
@@ -257,6 +258,150 @@ TEST(ValidateWorkload, RejectsCycle) {
   rig.workload.graph.addDependence(a, b);
   rig.workload.graph.addDependence(b, a);
   EXPECT_THROW(validateWorkload(rig.workload), Error);
+}
+
+/// A mixed-shape process for the run-length equivalence tests: strided
+/// reads, a multi-access nest with a loop-invariant stream and a write,
+/// a reversed sweep and a pure-compute nest.
+ProcessSpec mixedSpec(ArrayId v) {
+  ProcessSpec p;
+  p.name = "mixed";
+  p.nests.push_back(LoopNest{
+      IterationSpace::box({{0, 37}}),
+      {ArrayAccess{v, AffineMap{AffineExpr({1}, 0)}, AccessKind::Read}},
+      1});
+  p.nests.push_back(LoopNest{
+      IterationSpace::box({{0, 5}, {0, 21}}),
+      {ArrayAccess{v, AffineMap{AffineExpr({21, 1}, 100)}, AccessKind::Read},
+       ArrayAccess{v, AffineMap{AffineExpr({1, 0}, 300)}, AccessKind::Read},
+       ArrayAccess{v, AffineMap{AffineExpr({21, 1}, 400)}, AccessKind::Write}},
+      3});
+  p.nests.push_back(LoopNest{
+      IterationSpace::box({{0, 30}}),
+      {ArrayAccess{v, AffineMap{AffineExpr({-1}, 629)}, AccessKind::Write}},
+      2});
+  p.nests.push_back(LoopNest{IterationSpace::box({{0, 17}}), {}, 5});
+  return p;
+}
+
+/// Expands a TraceRun into the TraceSteps it encodes, from the given
+/// in-run position, mirroring the documented step semantics.
+std::vector<TraceStep> expandRun(const TraceRun& run, std::int64_t fromStep,
+                                 std::int64_t count) {
+  std::vector<TraceStep> steps;
+  const std::int64_t perIter = run.stepsPerIteration();
+  for (std::int64_t s = fromStep; s < fromStep + count; ++s) {
+    TraceStep step;
+    step.instrAddr =
+        run.bodyBase +
+        (run.bodyCursor + static_cast<std::uint64_t>(s) * kInstrFetchBytes) %
+            static_cast<std::uint64_t>(run.bodyBytes);
+    const std::int64_t iter = s / perIter;
+    const std::int64_t j = s % perIter;
+    if (run.streams.empty()) {
+      step.isRef = false;
+      step.computeCycles = run.computeCyclesPerIter;
+    } else {
+      const RunStream& stream = run.streams[static_cast<std::size_t>(j)];
+      step.isRef = true;
+      step.isWrite = stream.isWrite;
+      step.dataAddr = stream.baseAddr +
+                      static_cast<std::uint64_t>(stream.strideBytes * iter);
+      step.computeCycles =
+          j == perIter - 1 ? run.computeCyclesPerIter : 0;
+    }
+    steps.push_back(step);
+  }
+  return steps;
+}
+
+TEST(ProcessTraceCursor, RunsEncodeTheExactStepSequence) {
+  // Consuming runs in random-sized bites must visit precisely the steps
+  // next() emits, and leave the cursor in the same state.
+  Rig rig;
+  const ProcessId id = rig.workload.graph.addProcess(mixedSpec(rig.v));
+  const AddressSpace space(rig.workload.arrays);
+  ProcessTraceCursor reference(rig.workload.graph.process(id),
+                               rig.workload.arrays, space);
+  const auto expected = drain(reference);
+
+  for (const std::uint64_t seed : {11ULL, 222ULL, 3333ULL}) {
+    Rng rng(seed);
+    ProcessTraceCursor cursor(rig.workload.graph.process(id),
+                              rig.workload.arrays, space);
+    std::vector<TraceStep> got;
+    TraceRun run;
+    while (cursor.peekRun(run)) {
+      ASSERT_GE(run.iterations, 1);
+      const std::int64_t take = rng.range(1, run.steps());
+      const auto steps = expandRun(run, 0, take);
+      got.insert(got.end(), steps.begin(), steps.end());
+      cursor.consume(take);
+    }
+    ASSERT_EQ(got.size(), expected.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].instrAddr, expected[i].instrAddr) << i;
+      EXPECT_EQ(got[i].dataAddr, expected[i].dataAddr) << i;
+      EXPECT_EQ(got[i].computeCycles, expected[i].computeCycles) << i;
+      EXPECT_EQ(got[i].isRef, expected[i].isRef) << i;
+      EXPECT_EQ(got[i].isWrite, expected[i].isWrite) << i;
+    }
+    EXPECT_TRUE(cursor.done());
+    EXPECT_EQ(cursor.stepsEmitted(), expected.size());
+  }
+}
+
+TEST(ProcessTraceCursor, PartialIterationRunResumesTheTail) {
+  Rig rig;
+  const ProcessId id = rig.workload.graph.addProcess(mixedSpec(rig.v));
+  const AddressSpace space(rig.workload.arrays);
+  ProcessTraceCursor cursor(rig.workload.graph.process(id),
+                            rig.workload.arrays, space);
+  TraceRun run;
+  ASSERT_TRUE(cursor.peekRun(run));
+  cursor.consume(run.steps());  // past the first single-access nest
+  ASSERT_TRUE(cursor.peekRun(run));
+  ASSERT_EQ(run.streams.size(), 3u);
+  cursor.consume(run.stepsPerIteration() + 1);  // one iteration + one step
+  ASSERT_TRUE(cursor.peekRun(run));
+  EXPECT_TRUE(run.partialIteration);
+  EXPECT_EQ(run.iterations, 1);
+  ASSERT_EQ(run.streams.size(), 2u);  // the two remaining accesses
+  cursor.consume(run.steps());
+  ASSERT_TRUE(cursor.peekRun(run));
+  EXPECT_FALSE(run.partialIteration);  // realigned to iteration boundaries
+}
+
+TEST(ProcessTraceCursor, RunsClipAtInterleaveChunkBoundaries) {
+  // With a transformed array the affine stride only holds inside one
+  // half-page chunk; runs must clip there and every encoded address must
+  // still match the per-event trace.
+  Rig rig;
+  const ProcessId id = rig.addSimpleProcess(0, 2000);
+  AddressSpace space(rig.workload.arrays);
+  space.setTransform(rig.v, LayoutTransform::interleave(4096, 0));
+  ProcessTraceCursor reference(rig.workload.graph.process(id),
+                               rig.workload.arrays, space);
+  const auto expected = drain(reference);
+
+  ProcessTraceCursor cursor(rig.workload.graph.process(id),
+                            rig.workload.arrays, space);
+  std::vector<TraceStep> got;
+  TraceRun run;
+  std::size_t runs = 0;
+  while (cursor.peekRun(run)) {
+    ++runs;
+    // 2048-byte chunks over 4-byte elements: at most 512 iterations.
+    EXPECT_LE(run.iterations, 512);
+    const auto steps = expandRun(run, 0, run.steps());
+    got.insert(got.end(), steps.begin(), steps.end());
+    cursor.consume(run.steps());
+  }
+  EXPECT_GE(runs, 4u);  // 2000 elements / 512 per chunk
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].dataAddr, expected[i].dataAddr) << i;
+  }
 }
 
 }  // namespace

@@ -179,7 +179,28 @@ TEST(ConcurrentScenario, GrowsMonotonically) {
 TEST(ConcurrentScenario, CountValidation) {
   const auto suite = standardSuite();
   EXPECT_THROW((void)concurrentScenario(suite, 0), Error);
-  EXPECT_THROW((void)concurrentScenario(suite, 7), Error);
+  EXPECT_THROW((void)concurrentScenario({}, 1), Error);
+}
+
+TEST(ConcurrentScenario, CountsBeyondSuiteSizeCycle) {
+  // The |T| axis extends past the suite by cycling through it with fully
+  // independent application instances.
+  const auto suite = standardSuite();
+  const Workload mix = concurrentScenario(suite, 8);  // 6 apps + MedIm + MxM
+  const Workload six = concurrentScenario(suite, 6);
+  EXPECT_EQ(mix.graph.processCount(),
+            six.graph.processCount() + suite[0].processCount() +
+                suite[1].processCount());
+  EXPECT_EQ(mix.graph.tasks().size(), 8u);
+  // No accidental sharing between the original and the cycled copies.
+  const SharingMatrix sharing = SharingMatrix::compute(mix.footprints());
+  const auto firstMedIm = mix.graph.processesOfTask(mix.graph.tasks()[0]);
+  const auto secondMedIm = mix.graph.processesOfTask(mix.graph.tasks()[6]);
+  for (const ProcessId a : firstMedIm) {
+    for (const ProcessId b : secondMedIm) {
+      EXPECT_EQ(sharing.at(a, b), 0);
+    }
+  }
 }
 
 }  // namespace
