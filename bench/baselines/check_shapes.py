@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
 """Paper-shape and regression checker for the lapsched bench CSVs.
 
-Consumes the CSV output of ``bench_fig6_isolated --csv`` or
-``bench_fig7_concurrent --csv`` (any CSV whose header has a ``scheduler``
-column, with the first column as the group key) and verifies:
+Consumes the CSV output of ``bench_fig6_isolated --csv``,
+``bench_fig7_concurrent --csv`` or ``bench_ablation --csv`` (any CSV
+whose first column is the group key) and verifies:
 
- 1. Paper shapes, per group (paper section 4, Figs. 6-7):
+ 1. Paper shapes, per group, when a ``scheduler`` column is present
+    (paper section 4, Figs. 6-7):
       * LS never has more data-cache misses than RS (within --tol),
       * LSM never has more data-cache misses than LS (within --tol);
     and strictly in aggregate over all groups:
@@ -13,18 +14,30 @@ column, with the first column as the group key) and verifies:
       * sum(LSM misses) <= sum(LS misses).
     The per-row tolerance absorbs the small non-monotonicities the
     synthetic workloads show at individual |T| points; the aggregate
-    check has none.
+    check has none. CSVs without a scheduler column (e.g.
+    ``bench_tables --csv``) skip the shape checks and are baselined
+    only.
 
- 2. Drift against a committed baseline CSV (--baseline): every
-    (group, scheduler) row must exist in both files, integer columns
-    must match exactly (the simulator is deterministic), and float
-    columns within a relative 1e-9.
+ 2. With --lsm-gap-monotone (the contention sweep): grouping rows by
+    (l2_kb, bus_width) and ordering by |T|, LSM's relative miss margin
+    over LS — (LS - LSM) / LS — must never shrink by more than
+    --gap-tol as |T| grows: contention is supposed to make the
+    re-layout matter *more*, not less.
+
+ 3. Drift against a committed baseline CSV (--baseline): every row must
+    exist in both files, integer columns must match exactly (the
+    simulator is deterministic), and float columns within a relative
+    1e-9. With --columns only the named columns are compared, so a
+    table can grow new columns without invalidating its baseline
+    (incremental baselining).
 
 Exits non-zero, listing every violation, if any check fails. To refresh
 the baselines after an intentional behavior change:
 
     build/bench_fig6_isolated --csv > bench/baselines/fig6.csv
     build/bench_fig7_concurrent --csv > bench/baselines/fig7.csv
+    build/bench_ablation --csv > bench/baselines/ablation_contention.csv
+    build/bench_tables --csv > bench/baselines/tables.csv
 """
 
 import argparse
@@ -83,15 +96,74 @@ def check_shapes(header, rows, tol):
     return errors
 
 
-def check_baseline(header, rows, baseline_path):
+def check_lsm_gap_monotone(header, rows, gap_tol):
+    """LSM's relative miss margin over LS must not shrink as |T| grows,
+    per (l2_kb, bus_width) platform configuration."""
+    needed = {"l2_kb", "bus_width", "t", "scheduler", "dcache_misses"}
+    missing = needed - set(header)
+    if missing:
+        return [
+            f"--lsm-gap-monotone: input lacks columns {sorted(missing)}"
+        ]
+    errors = []
+    platforms = {}
+    for row in rows:
+        if row["scheduler"] not in ("LS", "LSM"):
+            continue
+        key = (row["l2_kb"], row["bus_width"])
+        platforms.setdefault(key, {}).setdefault(int(row["t"]), {})[
+            row["scheduler"]
+        ] = int(row["dcache_misses"])
+    for (l2, bus), by_t in sorted(platforms.items()):
+        prev_t, prev_gap = None, None
+        for t in sorted(by_t):
+            point = by_t[t]
+            if "LS" not in point or "LSM" not in point or point["LS"] == 0:
+                errors.append(
+                    f"platform l2={l2} bus={bus} t={t}: LS/LSM rows incomplete"
+                )
+                continue
+            gap = (point["LS"] - point["LSM"]) / point["LS"]
+            if prev_gap is not None and gap < prev_gap - gap_tol:
+                errors.append(
+                    f"platform l2={l2} bus={bus}: LSM-vs-LS miss gap shrank "
+                    f"from {prev_gap:.1%} (t={prev_t}) to {gap:.1%} (t={t}) "
+                    f"beyond {gap_tol:.1%} tolerance"
+                )
+            prev_t, prev_gap = t, gap
+    return errors
+
+
+def check_baseline(header, rows, baseline_path, columns):
     errors = []
     base_header, base_rows = read_rows(baseline_path)
-    if base_header != header:
-        return [f"baseline {baseline_path}: header differs ({base_header} vs {header})"]
-    group_key = header[0]
+    if columns:
+        missing = [c for c in columns if c not in header]
+        missing += [c for c in columns if c not in base_header]
+        if missing:
+            return [
+                f"baseline {baseline_path}: requested columns missing "
+                f"from input or baseline: {sorted(set(missing))}"
+            ]
+        compared = columns
+    else:
+        if base_header != header:
+            return [
+                f"baseline {baseline_path}: header differs "
+                f"({base_header} vs {header}); use --columns to compare "
+                f"a subset"
+            ]
+        compared = header
+    key_cols = [header[0]] + (["scheduler"] if "scheduler" in header else [])
+    missing_keys = [c for c in key_cols if c not in (base_header or [])]
+    if missing_keys:
+        return [
+            f"baseline {baseline_path}: key column(s) {missing_keys} absent "
+            f"from baseline header {base_header}; regenerate the baseline"
+        ]
 
     def key(row):
-        return (row[group_key], row["scheduler"])
+        return tuple(row[c] for c in key_cols)
 
     current = {key(r): r for r in rows}
     baseline = {key(r): r for r in base_rows}
@@ -102,7 +174,7 @@ def check_baseline(header, rows, baseline_path):
         if k not in baseline:
             errors.append(f"row {k}: not in baseline (new row)")
             continue
-        for col in header:
+        for col in compared:
             have = parse_cell(current[k][col])
             want = parse_cell(baseline[k][col])
             if isinstance(want, float) or isinstance(have, float):
@@ -120,29 +192,55 @@ def main():
     parser.add_argument("csv", help="bench CSV output ('-' for stdin)")
     parser.add_argument("--baseline", help="committed baseline CSV to diff against")
     parser.add_argument(
+        "--columns",
+        help="comma-separated column subset for the baseline comparison "
+        "(default: all columns, headers must match exactly)",
+    )
+    parser.add_argument(
         "--tol",
         type=float,
         default=0.05,
         help="per-group relative tolerance for the shape checks (default 0.05)",
     )
+    parser.add_argument(
+        "--lsm-gap-monotone",
+        action="store_true",
+        help="require a non-shrinking LSM-vs-LS miss gap as |T| grows, "
+        "per (l2_kb, bus_width) platform",
+    )
+    parser.add_argument(
+        "--gap-tol",
+        type=float,
+        default=0.02,
+        help="absolute gap shrink tolerated by --lsm-gap-monotone "
+        "(default 0.02 = 2 points)",
+    )
     args = parser.parse_args()
 
     header, rows = read_rows(args.csv)
-    if not header or "scheduler" not in header:
-        print("check_shapes: input has no 'scheduler' column", file=sys.stderr)
+    if not header:
+        print("check_shapes: input has no header", file=sys.stderr)
         return 2
-    errors = check_shapes(header, rows, args.tol)
+    errors = []
+    checks = []
+    if "scheduler" in header:
+        errors += check_shapes(header, rows, args.tol)
+        checks.append("paper shapes hold")
+    else:
+        checks.append("no scheduler column (shape checks skipped)")
+    if args.lsm_gap_monotone:
+        errors += check_lsm_gap_monotone(header, rows, args.gap_tol)
+        checks.append("LSM gap monotone")
     if args.baseline:
-        errors += check_baseline(header, rows, args.baseline)
+        columns = args.columns.split(",") if args.columns else None
+        errors += check_baseline(header, rows, args.baseline, columns)
+        checks.append("no drift from baseline")
     if errors:
         print(f"check_shapes: {len(errors)} violation(s) in {args.csv}:")
         for error in errors:
             print(f"  {error}")
         return 1
-    print(
-        f"check_shapes: OK — {len(rows)} rows, paper shapes hold"
-        + (", no drift from baseline" if args.baseline else "")
-    )
+    print(f"check_shapes: OK — {len(rows)} rows, " + ", ".join(checks))
     return 0
 
 

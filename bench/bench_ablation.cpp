@@ -1,6 +1,6 @@
 /// \file bench_ablation.cpp
 /// \brief Ablations of the design choices the design notes of
-/// docs/ARCHITECTURE.md (§§5-6) call out:
+/// docs/ARCHITECTURE.md (§§5-7) call out:
 ///   (a) LS's initial min-sharing round on/off (Fig. 3 lines 3-6);
 ///   (b) online greedy LS vs rigid static-plan execution;
 ///   (c) RRS quantum sweep (preemption cost vs load balance);
@@ -8,14 +8,113 @@
 ///       persistence across context switches);
 ///   (e) re-layout threshold T sweep around the paper's mean heuristic;
 ///   (f) the extension schedulers (FCFS, SJF, critical-path, online DLS)
-///       against the paper's four.
+///       against the paper's four;
+///   (g) the memory-hierarchy contention sweep: shared-L2 size x bus
+///       width x |T| under RS/RRS/LS/LSM/CALS — does the LS win survive
+///       contention, and does LSM's margin grow as the bus saturates?
+///
+/// With --csv only the (g) sweep is emitted, as CSV:
+/// bench/baselines/check_shapes.py consumes it to assert LS >= RS on
+/// every row, a non-shrinking LSM-vs-LS *miss margin* as |T| grows
+/// (--lsm-gap-monotone; makespan is too load-imbalance-noisy to gate
+/// on), and drift against the committed baseline.
 
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "core/laps.h"
 
-int main() {
+namespace {
+
+void contentionSweep(bool csv) {
   using namespace laps;
+
+  const auto suite = standardSuite();
+  const std::vector<SchedulerKind> kinds{
+      SchedulerKind::Random, SchedulerKind::RoundRobin,
+      SchedulerKind::Locality, SchedulerKind::LocalityMapping,
+      SchedulerKind::L2ContentionAware};
+  const std::vector<std::int64_t> l2SizesKb{128, 256};
+  const std::vector<std::int64_t> busWidthsBytes{4, 16};
+  // |T| points chosen where the suite's re-layout opportunity grows with
+  // the mix (the full 1..6 range is covered by bench_fig7_concurrent;
+  // the t=3 and t=6 mixes give LSM almost nothing to re-layout, so they
+  // carry no signal for the contention question asked here).
+  const std::vector<std::size_t> ts{1, 4, 5};
+
+  if (csv) {
+    std::cout.precision(12);
+    std::cout << "case,scheduler,l2_kb,bus_width,t,processes,"
+                 "makespan_cycles,seconds,dcache_misses,l2_accesses,"
+                 "l2_misses,bus_wait_cycles\n";
+  }
+  Table table({"Case", "Sched", "Time (ms)", "D$ misses", "L2 miss%",
+               "Bus wait (kcyc)"});
+
+  for (const std::int64_t l2Kb : l2SizesKb) {
+    for (const std::int64_t width : busWidthsBytes) {
+      for (const std::size_t t : ts) {
+        const Workload mix = concurrentScenario(suite, t);
+        ExperimentConfig config;
+        config.mpsoc.sharedL2.emplace();
+        config.mpsoc.sharedL2->sizeBytes = l2Kb * 1024;
+        config.mpsoc.bus.emplace();
+        config.mpsoc.bus->widthBytes = width;
+        const std::string label = "l2-" + std::to_string(l2Kb) + "kb_bus-" +
+                                  std::to_string(width) + "b_t-" +
+                                  std::to_string(t);
+        for (const SchedulerKind kind : kinds) {
+          const auto r = runExperiment(mix, kind, config);
+          if (csv) {
+            std::cout << label << ',' << r.schedulerName << ',' << l2Kb
+                      << ',' << width << ',' << t << ','
+                      << mix.graph.processCount() << ','
+                      << r.sim.makespanCycles << ',' << r.sim.seconds << ','
+                      << r.sim.dcacheTotal.misses << ','
+                      << r.sim.l2Total.accesses << ','
+                      << r.sim.l2Total.misses << ',' << r.sim.busWaitCycles
+                      << '\n';
+          } else {
+            table.row()
+                .cell(label)
+                .cell(r.schedulerName)
+                .cell(r.sim.seconds * 1e3, 3)
+                .cell(r.sim.dcacheTotal.misses)
+                .cell(r.sim.l2Total.missRate() * 100.0, 1)
+                .cell(static_cast<double>(r.sim.busWaitCycles) / 1e3, 0);
+          }
+        }
+      }
+    }
+  }
+  if (!csv) {
+    std::cout << "-- (g) memory-hierarchy contention sweep "
+                 "(8-bank shared L2, 2-slot bus) --\n"
+              << table.ascii() << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace laps;
+
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else {
+      std::cerr << "usage: bench_ablation [--csv]\n";
+      return 2;
+    }
+  }
+  if (csv) {
+    // CSV mode emits only the contention sweep (the machine-checked
+    // table); the narrative ablations stay human output.
+    contentionSweep(true);
+    return 0;
+  }
 
   const auto suite = standardSuite();
   const Workload mix = concurrentScenario(suite, 3);
@@ -135,5 +234,6 @@ int main() {
     std::cout << "-- (f) extension schedulers (paper §6 future work) --\n"
               << t.ascii() << '\n';
   }
+  contentionSweep(false);
   return 0;
 }

@@ -2,16 +2,43 @@
 /// \brief Regenerates paper Table 1 (application suite) and Table 2
 /// (default simulation parameters), validating that the library defaults
 /// match the paper's platform.
+///
+/// With --csv the Table 1 workload statistics are emitted as CSV so
+/// bench/baselines/check_shapes.py can baseline them (no scheduler
+/// column: the paper-shape checks are skipped, only drift is flagged).
 
+#include <cstring>
 #include <iostream>
 
 #include "core/laps.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace laps;
+
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else {
+      std::cerr << "usage: bench_tables [--csv]\n";
+      return 2;
+    }
+  }
 
   // --- Table 1: applications used in this study. ---
   const auto suite = standardSuite();
+  if (csv) {
+    std::cout << "app,processes,arrays,refs\n";
+    for (const auto& app : suite) {
+      std::int64_t refs = 0;
+      for (const auto& p : app.workload.graph.processes()) {
+        refs += p.totalReferences();
+      }
+      std::cout << app.name << ',' << app.processCount() << ','
+                << app.workload.arrays.size() << ',' << refs << '\n';
+    }
+    return 0;
+  }
   Table t1({"Application (Task)", "Brief Description", "Processes",
             "Arrays", "Refs (x1000)"});
   for (const auto& app : suite) {

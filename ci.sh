@@ -1,25 +1,63 @@
 #!/bin/sh
 # Tier-1 verify: configure, build everything, run the full test suite,
-# then regenerate the Fig. 6/7 bench CSVs and check them for paper-shape
-# violations and drift against the committed baselines.
+# regenerate the bench CSVs and check them for paper-shape violations and
+# drift against the committed baselines — then rebuild the tests under
+# ASan+UBSan and run them again (benches and examples are skipped in the
+# sanitizer configuration; they only re-exercise library code the tests
+# already cover).
+#
+# Usage: ci.sh [tier1|sanitize|all]   (default: all)
 set -eu
 
-cmake -B build -S .
-cmake --build build -j
-cd build
-ctest --output-on-failure -j
+MODE="${1:-all}"
+case "$MODE" in
+  all|tier1|sanitize) ;;
+  *)
+    echo "ci.sh: unknown mode '$MODE' (expected tier1, sanitize or all)" >&2
+    exit 2
+    ;;
+esac
 
-# Bench baselines (see bench/baselines/check_shapes.py; regenerate the
-# CSVs there after an intentional behavior change). Figure 6's isolated
-# runs need the wider tolerance: LS ~= LSM per application, with small
-# wobbles either way; the aggregate orderings are checked strictly.
-if command -v python3 >/dev/null 2>&1; then
-  ./bench_fig6_isolated --csv > bench_fig6.csv
-  python3 ../bench/baselines/check_shapes.py bench_fig6.csv \
-    --tol 0.15 --baseline ../bench/baselines/fig6.csv
-  ./bench_fig7_concurrent --csv > bench_fig7.csv
-  python3 ../bench/baselines/check_shapes.py bench_fig7.csv \
-    --baseline ../bench/baselines/fig7.csv
-else
-  echo "ci.sh: python3 not found; skipping bench baseline checks" >&2
+if [ "$MODE" = "all" ] || [ "$MODE" = "tier1" ]; then
+  cmake -B build -S .
+  cmake --build build -j
+  (cd build && ctest --output-on-failure -j)
+
+  # Bench baselines (see bench/baselines/check_shapes.py; regenerate the
+  # CSVs there after an intentional behavior change). Figure 6's isolated
+  # runs need the wider tolerance: LS ~= LSM per application, with small
+  # wobbles either way; the aggregate orderings are checked strictly.
+  if command -v python3 >/dev/null 2>&1; then
+    (
+      cd build
+      ./bench_fig6_isolated --csv > bench_fig6.csv
+      python3 ../bench/baselines/check_shapes.py bench_fig6.csv \
+        --tol 0.15 --baseline ../bench/baselines/fig6.csv
+      ./bench_fig7_concurrent --csv > bench_fig7.csv
+      python3 ../bench/baselines/check_shapes.py bench_fig7.csv \
+        --baseline ../bench/baselines/fig7.csv
+      # Contention sweep: LS >= RS must survive the shared L2 + bounded
+      # bus, and LSM's miss margin over LS must not shrink as |T| grows.
+      # The column subset keeps the baseline valid if the sweep grows
+      # new diagnostic columns.
+      ./bench_ablation --csv > bench_ablation.csv
+      python3 ../bench/baselines/check_shapes.py bench_ablation.csv \
+        --lsm-gap-monotone \
+        --baseline ../bench/baselines/ablation_contention.csv \
+        --columns case,scheduler,l2_kb,bus_width,t,processes,makespan_cycles,dcache_misses,l2_misses
+      ./bench_tables --csv > bench_tables.csv
+      python3 ../bench/baselines/check_shapes.py bench_tables.csv \
+        --baseline ../bench/baselines/tables.csv
+    )
+  else
+    echo "ci.sh: python3 not found; skipping bench baseline checks" >&2
+  fi
+fi
+
+if [ "$MODE" = "all" ] || [ "$MODE" = "sanitize" ]; then
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DLAPSCHED_SANITIZE=ON \
+    -DLAPSCHED_BUILD_BENCHES=OFF -DLAPSCHED_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j
+  (cd build-asan && ctest --output-on-failure -j)
 fi

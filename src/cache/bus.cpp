@@ -1,0 +1,108 @@
+#include "cache/bus.h"
+
+#include <limits>
+
+#include "util/error.h"
+
+namespace laps {
+
+std::int64_t BusConfig::occupancyCycles(std::int64_t lineBytes) const {
+  const std::int64_t transfer =
+      (lineBytes + widthBytes - 1) / widthBytes;  // ceil
+  return latencyCycles + transfer;
+}
+
+void BusConfig::validate() const {
+  check(maxOutstanding >= 1, "BusConfig: maxOutstanding must be >= 1");
+  check(widthBytes >= 1, "BusConfig: widthBytes must be >= 1");
+  check(latencyCycles >= 1, "BusConfig: latencyCycles must be >= 1");
+}
+
+std::int64_t BusyTimeline::earliestStart(std::int64_t now,
+                                         std::int64_t duration) const {
+  std::int64_t cursor = now;
+  auto it = busy_.upper_bound(now);
+  if (it != busy_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > cursor) cursor = prev->second;
+  }
+  for (; it != busy_.end(); ++it) {
+    if (it->first - cursor >= duration) break;  // gap fits
+    if (it->second > cursor) cursor = it->second;
+  }
+  return cursor;
+}
+
+std::int64_t BusyTimeline::reserve(std::int64_t now, std::int64_t duration) {
+  const std::int64_t start = earliestStart(now, duration);
+  bookAt(start, duration);
+  return start;
+}
+
+void BusyTimeline::bookAt(std::int64_t start, std::int64_t duration) {
+  check(duration > 0, "BusyTimeline: duration must be positive");
+  std::int64_t lo = start;
+  std::int64_t hi = start + duration;
+  // Coalesce with an abutting predecessor and/or successor so saturated
+  // periods collapse into single intervals.
+  auto next = busy_.lower_bound(lo);
+  if (next != busy_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second == lo) {
+      lo = prev->first;
+      busy_.erase(prev);
+    }
+  }
+  next = busy_.lower_bound(lo);
+  if (next != busy_.end() && next->first == hi) {
+    hi = next->second;
+    busy_.erase(next);
+  }
+  busy_.emplace(lo, hi);
+}
+
+void BusyTimeline::retireBefore(std::int64_t cycle) {
+  for (auto it = busy_.begin(); it != busy_.end() && it->second <= cycle;) {
+    it = busy_.erase(it);
+  }
+}
+
+MemoryBus::MemoryBus(const BusConfig& config, std::int64_t lineBytes)
+    : config_(config), occupancyCycles_(config.occupancyCycles(lineBytes)) {
+  config_.validate();
+  check(lineBytes >= 1, "MemoryBus: lineBytes must be >= 1");
+  slots_.resize(static_cast<std::size_t>(config_.maxOutstanding));
+}
+
+std::int64_t MemoryBus::reserveBestSlot(std::int64_t now) {
+  std::size_t best = 0;
+  std::int64_t bestStart = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    const std::int64_t start = slots_[s].earliestStart(now, occupancyCycles_);
+    if (start < bestStart) {
+      bestStart = start;
+      best = s;
+      if (start == now) break;  // cannot do better than no wait
+    }
+  }
+  slots_[best].bookAt(bestStart, occupancyCycles_);
+  return bestStart;
+}
+
+std::int64_t MemoryBus::demandAccess(std::int64_t now) {
+  const std::int64_t start = reserveBestSlot(now);
+  ++stats_.transactions;
+  stats_.waitCycles += static_cast<std::uint64_t>(start - now);
+  return (start - now) + occupancyCycles_;
+}
+
+void MemoryBus::postedAccess(std::int64_t now) {
+  reserveBestSlot(now);
+  ++stats_.transactions;
+}
+
+void MemoryBus::retireBefore(std::int64_t cycle) {
+  for (BusyTimeline& slot : slots_) slot.retireBefore(cycle);
+}
+
+}  // namespace laps

@@ -1,0 +1,119 @@
+#pragma once
+/// \file bus.h
+/// \brief Off-chip bus model: bounded outstanding transactions with
+/// queueing delay.
+///
+/// The paper's platform charges a fixed 75-cycle off-chip latency per
+/// miss, independent of what the other cores are doing. MemoryBus
+/// replaces that constant with a contended resource: at most
+/// BusConfig::maxOutstanding transactions are in flight at any cycle,
+/// each occupying its slot for the DRAM latency plus the line transfer
+/// time, and a request issued while every slot is busy queues until one
+/// frees. A miss's latency therefore depends on the other cores' miss
+/// traffic — the effect the contention-aware scheduling ablations
+/// measure.
+///
+/// The simulator executes one scheduling segment at a time, so requests
+/// arrive with absolute cycle stamps that are monotone within a segment
+/// but not across segments (a long segment is simulated to completion
+/// before a concurrent one that started later in wall order). Each slot
+/// therefore keeps a *calendar* of busy intervals (BusyTimeline) and a
+/// request books the earliest gap at or after its issue cycle — a
+/// later-simulated request slots into the past gaps a far-ahead segment
+/// left open, instead of queueing behind reservations made for its
+/// future. Adjacent intervals coalesce, so under saturation a timeline
+/// is a handful of blobs; retireBefore() prunes intervals no future
+/// request can reach.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace laps {
+
+/// Off-chip bus configuration. Disabled (see MpsocConfig) the platform
+/// keeps the paper's fixed memory latency.
+struct BusConfig {
+  std::int64_t maxOutstanding = 2;  ///< transactions in flight at once
+  std::int64_t widthBytes = 8;      ///< data width (transfer = line/width)
+  std::int64_t latencyCycles = 75;  ///< DRAM access latency per transaction
+
+  /// Slot occupancy of one transaction moving \p lineBytes.
+  [[nodiscard]] std::int64_t occupancyCycles(std::int64_t lineBytes) const;
+
+  /// Throws laps::Error when a field is non-positive.
+  void validate() const;
+};
+
+/// Counters accumulated by the bus.
+struct BusStats {
+  std::uint64_t transactions = 0;  ///< demand fills + posted write-backs
+  std::uint64_t waitCycles = 0;    ///< summed queueing delay (demand only)
+};
+
+/// Calendar of busy intervals of one resource (a bus slot or an L2
+/// bank). Intervals are disjoint and coalesced; reserve() books the
+/// earliest gap at or after the request cycle.
+class BusyTimeline {
+ public:
+  /// Books \p duration cycles at the earliest feasible start >= \p now;
+  /// returns the booked start cycle (== now when the resource is free).
+  std::int64_t reserve(std::int64_t now, std::int64_t duration);
+
+  /// Earliest feasible start >= \p now for \p duration cycles, without
+  /// booking.
+  [[nodiscard]] std::int64_t earliestStart(std::int64_t now,
+                                           std::int64_t duration) const;
+
+  /// Books \p duration cycles at \p start, which the caller obtained
+  /// from earliestStart() with no intervening mutation (lets a
+  /// multi-slot owner compare candidate starts without re-running the
+  /// gap search on the winner).
+  void bookAt(std::int64_t start, std::int64_t duration);
+
+  /// Drops intervals ending at or before \p cycle. Safe once no future
+  /// request can be issued before \p cycle.
+  void retireBefore(std::int64_t cycle);
+
+  /// Booked intervals currently retained (tests and diagnostics).
+  [[nodiscard]] std::size_t intervalCount() const { return busy_.size(); }
+
+ private:
+  std::map<std::int64_t, std::int64_t> busy_;  ///< start -> end, disjoint
+};
+
+/// The bounded off-chip bus: maxOutstanding parallel slots, each a
+/// BusyTimeline.
+class MemoryBus {
+ public:
+  explicit MemoryBus(const BusConfig& config, std::int64_t lineBytes);
+
+  /// One demand transaction (miss fill) issued at \p now. Books the
+  /// best slot and returns the total latency: queueing wait + DRAM
+  /// latency + line transfer.
+  std::int64_t demandAccess(std::int64_t now);
+
+  /// One posted transaction (write-back) issued at \p now: occupies a
+  /// slot — delaying later demand traffic — but the requester does not
+  /// stall, so no latency is returned or accounted as wait.
+  void postedAccess(std::int64_t now);
+
+  /// Prunes every slot's calendar (see BusyTimeline::retireBefore).
+  void retireBefore(std::int64_t cycle);
+
+  [[nodiscard]] const BusStats& stats() const { return stats_; }
+  void resetStats() { stats_ = BusStats{}; }
+
+  [[nodiscard]] const BusConfig& config() const { return config_; }
+
+ private:
+  /// Books the slot with the earliest feasible start; returns that start.
+  std::int64_t reserveBestSlot(std::int64_t now);
+
+  BusConfig config_;
+  std::int64_t occupancyCycles_;
+  std::vector<BusyTimeline> slots_;
+  BusStats stats_;
+};
+
+}  // namespace laps

@@ -47,7 +47,8 @@ SetAssocCache::Way* SetAssocCache::lookup(std::uint64_t addr, Way** victim) {
   return nullptr;
 }
 
-AccessOutcome SetAssocCache::access(std::uint64_t addr, bool isWrite) {
+AccessOutcome SetAssocCache::access(std::uint64_t addr, bool isWrite,
+                                    EvictionInfo* evicted) {
   ++stats_.accesses;
   ++useClock_;
   Way* victim = nullptr;
@@ -61,6 +62,15 @@ AccessOutcome SetAssocCache::access(std::uint64_t addr, bool isWrite) {
   if (victim->valid) {
     ++stats_.evictions;
     if (victim->dirty) ++stats_.dirtyEvictions;
+    if (evicted != nullptr) {
+      const std::int64_t set = config_.setIndexOf(addr);
+      evicted->evicted = true;
+      evicted->dirty = victim->dirty;
+      evicted->lineAddr =
+          (victim->tag * static_cast<std::uint64_t>(config_.numSets()) +
+           static_cast<std::uint64_t>(set)) *
+          static_cast<std::uint64_t>(config_.lineBytes);
+    }
   }
   victim->tag = config_.tagOf(addr);
   victim->valid = true;
@@ -134,6 +144,17 @@ void SetAssocCache::flush() {
     }
     way = Way{};
   }
+}
+
+bool SetAssocCache::invalidateLine(std::uint64_t addr) {
+  if (Way* way = lookup(addr, nullptr)) {
+    ++stats_.invalidations;
+    const bool dirty = way->dirty;
+    if (dirty) ++stats_.dirtyEvictions;
+    *way = Way{};
+    return dirty;
+  }
+  return false;
 }
 
 bool SetAssocCache::probe(std::uint64_t addr) const {

@@ -17,6 +17,15 @@ namespace laps {
 /// Outcome of one cache access.
 enum class AccessOutcome : std::uint8_t { Hit, Miss };
 
+/// What a miss's fill displaced (see SetAssocCache::access). The shared
+/// levels use it to write dirty victims back down and to back-invalidate
+/// L1 copies of lines an inclusive L2 evicts.
+struct EvictionInfo {
+  bool evicted = false;        ///< a valid line was displaced
+  bool dirty = false;          ///< ... and it was dirty (write-back)
+  std::uint64_t lineAddr = 0;  ///< base byte address of the victim line
+};
+
 /// Hit/miss tally of one bulk strided run (see SetAssocCache::accessRun).
 struct AccessRunOutcome {
   std::int64_t hits = 0;
@@ -38,7 +47,9 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t dirtyEvictions = 0;  ///< write-backs to memory
-  std::uint64_t invalidations = 0;   ///< lines dropped by flush()
+  /// Lines dropped by flush() or inclusion back-invalidation
+  /// (invalidateLine).
+  std::uint64_t invalidations = 0;
 
   [[nodiscard]] double missRate() const {
     return accesses == 0 ? 0.0
@@ -56,7 +67,10 @@ class SetAssocCache {
   explicit SetAssocCache(CacheConfig config);
 
   /// Simulates one access; updates contents, LRU order and statistics.
-  AccessOutcome access(std::uint64_t addr, bool isWrite);
+  /// When \p evicted is non-null it reports the line a miss displaced
+  /// (untouched on hits and fill-into-invalid).
+  AccessOutcome access(std::uint64_t addr, bool isWrite,
+                       EvictionInfo* evicted = nullptr);
 
   /// Simulates \p count accesses of the strided stream addr,
   /// addr + strideBytes, ... with final state and statistics identical to
@@ -85,6 +99,13 @@ class SetAssocCache {
 
   /// Invalidates everything (dirty lines count as write-backs).
   void flush();
+
+  /// Drops the line containing \p addr if resident (inclusion
+  /// back-invalidation from a shared outer level). Counts an
+  /// invalidation — and a write-back when the line was dirty — and
+  /// returns true when the dropped line was dirty, i.e. when its data
+  /// must still go off chip.
+  bool invalidateLine(std::uint64_t addr);
 
   /// True when the line containing \p addr is resident (no side effects).
   [[nodiscard]] bool probe(std::uint64_t addr) const;

@@ -2,34 +2,153 @@
 
 #include <algorithm>
 
+#include "util/error.h"
+
 namespace laps {
 
-MemorySystem::MemorySystem(const MemoryConfig& config)
-    : config_(config), dcache_(config.l1d), icache_(config.l1i) {
-  if (config_.classifyMisses) {
-    classifier_.emplace(config_.l1d);
+MemoryHierarchy::MemoryHierarchy(std::int64_t memLatencyCycles)
+    : memLatencyCycles_(memLatencyCycles) {}
+
+MemoryHierarchy::MemoryHierarchy(std::int64_t memLatencyCycles,
+                                 const std::optional<SharedL2Config>& l2,
+                                 const std::optional<BusConfig>& bus,
+                                 std::int64_t lineBytes)
+    : memLatencyCycles_(memLatencyCycles) {
+  if (l2) {
+    check(l2->lineBytes == lineBytes,
+          "MemoryHierarchy: shared L2 line size must match the L1s");
+    l2_.emplace(*l2);
+  }
+  if (bus) {
+    bus_.emplace(*bus, lineBytes);
   }
 }
 
-std::int64_t MemorySystem::dataAccess(std::uint64_t addr, bool isWrite) {
-  const AccessOutcome outcome = dcache_.access(addr, isWrite);
+void MemoryHierarchy::registerDataCache(SetAssocCache* l1d) {
+  l1DataCaches_.push_back(l1d);
+}
+
+void MemoryHierarchy::unregisterDataCache(SetAssocCache* l1d) {
+  l1DataCaches_.erase(
+      std::remove(l1DataCaches_.begin(), l1DataCaches_.end(), l1d),
+      l1DataCaches_.end());
+}
+
+std::int64_t MemoryHierarchy::missLatency(std::uint64_t addr,
+                                          std::int64_t now) {
+  if (!l2_) {
+    return bus_ ? bus_->demandAccess(now) : memLatencyCycles_;
+  }
+
+  const L2AccessResult l2 = l2_->access(addr, now);
+  std::int64_t latency =
+      l2.bankWaitCycles + l2_->config().hitLatencyCycles;
+
+  // Inclusion: the evicted line may live on in L1 data caches — drop
+  // those copies before anything else observes the L2 state.
+  bool victimDirty = l2.evictedLineDirty;
+  if (l2.evictedLineAddr) {
+    bool l1Dirty = false;
+    for (SetAssocCache* l1 : l1DataCaches_) {
+      l1Dirty |= l1->invalidateLine(*l2.evictedLineAddr);
+    }
+    // A dirty L1 copy whose L2 entry was clean still leaves the chip;
+    // count it so the energy model sees every off-chip write.
+    if (l1Dirty && !victimDirty) ++inclusionWritebacks_;
+    victimDirty |= l1Dirty;
+  }
+
+  if (l2.outcome == AccessOutcome::Miss) {
+    latency += bus_ ? bus_->demandAccess(now + latency) : memLatencyCycles_;
+  }
+
+  // The victim's write-back is posted *after* the demand fill resolves
+  // (a write buffer drains behind the fill): it occupies the bus,
+  // delaying later traffic, but never stalls its own requester.
+  if (victimDirty && bus_) {
+    bus_->postedAccess(now + latency);
+  }
+  return latency;
+}
+
+bool MemoryHierarchy::absorbL1Writeback(std::uint64_t lineAddr) {
+  return l2_ && l2_->writeback(lineAddr);
+}
+
+void MemoryHierarchy::postL1Writeback(std::int64_t now) {
+  // With an L2 present this write bypassed it (the line was already
+  // gone), so no L2 counter will ever see it leave the chip.
+  if (l2_) ++inclusionWritebacks_;
+  if (bus_) bus_->postedAccess(now);
+}
+
+void MemoryHierarchy::resetStats() {
+  if (l2_) l2_->resetStats();
+  if (bus_) bus_->resetStats();
+  inclusionWritebacks_ = 0;
+}
+
+void MemoryHierarchy::retireBefore(std::int64_t cycle) {
+  if (l2_) l2_->retireBefore(cycle);
+  if (bus_) bus_->retireBefore(cycle);
+}
+
+MemorySystem::MemorySystem(const MemoryConfig& config,
+                           std::shared_ptr<MemoryHierarchy> shared)
+    : config_(config),
+      hierarchy_(shared ? std::move(shared)
+                        : std::make_shared<MemoryHierarchy>(
+                              config.memLatencyCycles)),
+      dcache_(config.l1d),
+      icache_(config.l1i) {
+  if (config_.classifyMisses) {
+    classifier_.emplace(config_.l1d);
+  }
+  hierarchy_->registerDataCache(&dcache_);
+}
+
+MemorySystem::~MemorySystem() {
+  hierarchy_->unregisterDataCache(&dcache_);
+}
+
+std::int64_t MemorySystem::dataAccess(std::uint64_t addr, bool isWrite,
+                                      std::int64_t nowCycles) {
+  EvictionInfo evicted;
+  const AccessOutcome outcome = dcache_.access(addr, isWrite, &evicted);
   if (classifier_) {
     classifier_->record(addr, outcome == AccessOutcome::Miss);
   }
   if (outcome == AccessOutcome::Hit) {
     return config_.l1d.hitLatencyCycles;
   }
-  return config_.l1d.hitLatencyCycles + config_.memLatencyCycles;
+  return config_.l1d.hitLatencyCycles +
+         missBeyondL1(addr, evicted,
+                      nowCycles + config_.l1d.hitLatencyCycles);
+}
+
+std::int64_t MemorySystem::missBeyondL1(std::uint64_t addr,
+                                        const EvictionInfo& evicted,
+                                        std::int64_t issueCycle) {
+  const bool dirtyVictim = evicted.evicted && evicted.dirty;
+  const bool absorbed =
+      dirtyVictim && hierarchy_->absorbL1Writeback(evicted.lineAddr);
+  const std::int64_t latency = hierarchy_->missLatency(addr, issueCycle);
+  if (dirtyVictim && !absorbed) {
+    hierarchy_->postL1Writeback(issueCycle + latency);
+  }
+  return latency;
 }
 
 std::int64_t MemorySystem::accessRun(std::uint64_t addr,
                                      std::int64_t strideBytes,
-                                     std::int64_t count, bool isWrite) {
+                                     std::int64_t count, bool isWrite,
+                                     std::int64_t nowCycles) {
   std::int64_t latency = 0;
   while (count > 0) {
     const std::int64_t group = std::min(
         count, lineRunLength(addr, strideBytes, config_.l1d.lineBytes));
-    const AccessOutcome head = dcache_.access(addr, isWrite);
+    EvictionInfo evicted;
+    const AccessOutcome head = dcache_.access(addr, isWrite, &evicted);
     if (classifier_) {
       classifier_->record(addr, head == AccessOutcome::Miss);
     }
@@ -37,21 +156,28 @@ std::int64_t MemorySystem::accessRun(std::uint64_t addr,
       dcache_.bulkHits(group - 1);
       dcache_.touch(addr, isWrite, dcache_.clock());
     }
+    if (head == AccessOutcome::Miss) {
+      latency += missBeyondL1(
+          addr, evicted, nowCycles + latency + config_.l1d.hitLatencyCycles);
+    }
     latency += config_.l1d.hitLatencyCycles * group;
-    if (head == AccessOutcome::Miss) latency += config_.memLatencyCycles;
     addr += static_cast<std::uint64_t>(strideBytes * group);
     count -= group;
   }
   return latency;
 }
 
-std::int64_t MemorySystem::instrFetch(std::uint64_t addr) {
+std::int64_t MemorySystem::instrFetch(std::uint64_t addr,
+                                      std::int64_t nowCycles) {
   if (!config_.modelICache) return 0;
   const AccessOutcome outcome = icache_.access(addr, /*isWrite=*/false);
   if (outcome == AccessOutcome::Hit) {
     return config_.l1i.hitLatencyCycles;
   }
-  return config_.l1i.hitLatencyCycles + config_.memLatencyCycles;
+  // Instruction lines are never dirty: no write-back on eviction.
+  return config_.l1i.hitLatencyCycles +
+         hierarchy_->missLatency(addr,
+                                 nowCycles + config_.l1i.hitLatencyCycles);
 }
 
 void MemorySystem::flushAll() {

@@ -1,18 +1,36 @@
 #pragma once
 /// \file hierarchy.h
-/// \brief Per-core memory system: split L1 I/D caches over off-chip memory.
+/// \brief The composable memory hierarchy: private split L1s over an
+/// optional shared banked L2 and an optional contended off-chip bus.
 ///
 /// Table 2 of the paper: 8 KB 2-way data and instruction caches per
-/// processor, 2-cycle cache access, 75-cycle off-chip access. Each core
-/// of the MPSoC owns one MemorySystem; there is no shared L2 (the paper
-/// models none).
+/// processor, 2-cycle cache access, 75-cycle off-chip access — private
+/// L1s straight over off-chip memory. That flat model is the default.
+/// The platform-realism extension (docs/ARCHITECTURE.md §7) composes
+/// two optional levels under the L1s:
+///
+///   MemorySystem (per core: split L1 I/D)
+///     └─ MemoryHierarchy (shared by all cores)
+///          ├─ SharedL2  (banked, inclusive; optional)
+///          └─ MemoryBus (bounded outstanding transactions; optional)
+///          └─ fixed memLatencyCycles when both are disabled
+///
+/// With both levels disabled the miss path is the paper's constant
+/// off-chip latency, bit-identical to the pre-hierarchy simulator (the
+/// differential suite and the committed bench baselines enforce this).
+/// With them enabled, a miss's latency depends on the absolute cycle it
+/// issues and on the other cores' traffic: bank conflicts and bus
+/// queueing are how co-scheduled processes now interfere.
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
+#include "cache/bus.h"
 #include "cache/cache.h"
 #include "cache/miss_class.h"
+#include "cache/shared_l2.h"
 
 namespace laps {
 
@@ -25,29 +43,126 @@ struct MemoryConfig {
   bool classifyMisses = false;        ///< enable 3C classification (slower)
 };
 
-/// One core's private L1s plus the off-chip latency model. Returns the
-/// latency of each access in cycles; keeps hit/miss statistics.
+/// The levels below the private L1s, shared by every core. Composes an
+/// optional SharedL2 and an optional MemoryBus; with neither, a miss
+/// costs the fixed memLatencyCycles (the paper's platform, exactly).
+class MemoryHierarchy {
+ public:
+  /// Flat off-chip memory with a fixed latency (paper default).
+  explicit MemoryHierarchy(std::int64_t memLatencyCycles = 75);
+
+  /// Full composition: optional shared L2 and optional bus.
+  /// \p memLatencyCycles is the off-chip latency used when \p bus is
+  /// absent.
+  MemoryHierarchy(std::int64_t memLatencyCycles,
+                  const std::optional<SharedL2Config>& l2,
+                  const std::optional<BusConfig>& bus,
+                  std::int64_t lineBytes);
+
+  /// Latency beyond the L1 of a miss on \p addr issued at absolute cycle
+  /// \p now. May back-invalidate registered L1 data caches (inclusion)
+  /// and post write-back bus traffic.
+  std::int64_t missLatency(std::uint64_t addr, std::int64_t now);
+
+  /// \name Dirty L1 victim write-backs (two phases)
+  /// Phase 1, *before* the miss's own fill: try to absorb the
+  /// write-back on chip by dirty-marking the victim's L2 copy — doing
+  /// this first closes the window in which the same miss's L2 fill
+  /// could evict that (still clean) copy and silently drop the dirty
+  /// data. Returns true when absorbed. Phase 2, *after* the fill
+  /// resolved: an unabsorbed write-back leaves the chip as posted
+  /// traffic — it occupies the bus, delaying later demand, but never
+  /// stalls its own requester.
+  /// @{
+  bool absorbL1Writeback(std::uint64_t lineAddr);
+  void postL1Writeback(std::int64_t now);
+  /// @}
+
+  /// \name L1 registration (inclusion back-invalidation targets)
+  /// MemorySystem registers its data cache on construction. Instruction
+  /// caches are exempt: code lines are read-only, so an inclusion
+  /// violation on code has no observable effect — and exempting them
+  /// keeps the run-length replayer's warm-body fetch claim intact.
+  /// @{
+  void registerDataCache(SetAssocCache* l1d);
+  void unregisterDataCache(SetAssocCache* l1d);
+  /// @}
+
+  /// True when at least one contended level (L2 or bus) is enabled —
+  /// i.e. when a miss's latency depends on \p now.
+  [[nodiscard]] bool contended() const {
+    return l2_.has_value() || bus_.has_value();
+  }
+
+  [[nodiscard]] const SharedL2* l2() const {
+    return l2_ ? &*l2_ : nullptr;
+  }
+  [[nodiscard]] const MemoryBus* bus() const {
+    return bus_ ? &*bus_ : nullptr;
+  }
+
+  /// Off-chip write-backs of dirty L1 data that no L2 statistic sees:
+  /// copies flushed by inclusion back-invalidation past a clean L2
+  /// entry, and victims whose L2 line was already gone when the L1
+  /// evicted them (energy accounting).
+  [[nodiscard]] std::uint64_t inclusionWritebacks() const {
+    return inclusionWritebacks_;
+  }
+
+  void resetStats();
+
+  /// Prunes the L2 bank and bus calendars; call once no future request
+  /// can be issued before \p cycle (the engine does, at segment starts).
+  void retireBefore(std::int64_t cycle);
+
+ private:
+  std::int64_t memLatencyCycles_;
+  std::optional<SharedL2> l2_;
+  std::optional<MemoryBus> bus_;
+  std::vector<SetAssocCache*> l1DataCaches_;
+  std::uint64_t inclusionWritebacks_ = 0;
+};
+
+/// One core's private split L1s, delegating misses to a MemoryHierarchy
+/// (its own flat one by default, or a hierarchy shared with the other
+/// cores). Returns the latency of each access in cycles; keeps hit/miss
+/// statistics. \p nowCycles parameters are the absolute cycle an access
+/// issues at — ignored (and defaultable) on the flat hierarchy, where
+/// latencies are time-independent.
 class MemorySystem {
  public:
-  explicit MemorySystem(const MemoryConfig& config);
+  /// \p shared is the hierarchy below the L1s; when null, a private
+  /// flat hierarchy with config.memLatencyCycles is created (the paper
+  /// platform).
+  explicit MemorySystem(const MemoryConfig& config,
+                        std::shared_ptr<MemoryHierarchy> shared = nullptr);
+  ~MemorySystem();
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
 
-  /// One data reference; returns its latency in cycles.
-  std::int64_t dataAccess(std::uint64_t addr, bool isWrite);
+  /// One data reference at absolute cycle \p nowCycles; returns its
+  /// latency in cycles.
+  std::int64_t dataAccess(std::uint64_t addr, bool isWrite,
+                          std::int64_t nowCycles = 0);
 
   /// \p count data references of the strided stream addr,
-  /// addr + strideBytes, ...; returns their summed latency. Exactly
-  /// equivalent to \p count dataAccess calls (cache state, statistics and
-  /// miss classification included) but resolves each cache line's group
-  /// of consecutive accesses with one lookup, and feeds the classifier
-  /// once per line instead of once per element — the skipped accesses
-  /// re-touch the shadow cache's most-recently-used line, which is a
-  /// no-op for the 3C state and counters.
+  /// addr + strideBytes, ...; returns their summed latency. On the flat
+  /// hierarchy this is exactly equivalent to \p count dataAccess calls
+  /// (cache state, statistics and miss classification included) but
+  /// resolves each cache line's group of consecutive accesses with one
+  /// lookup, and feeds the classifier once per line instead of once per
+  /// element — the skipped accesses re-touch the shadow cache's
+  /// most-recently-used line, which is a no-op for the 3C state and
+  /// counters. On a contended hierarchy each miss issues at \p nowCycles
+  /// advanced by the latency accumulated so far (the run is assumed
+  /// back-to-back, with no interleaved compute).
   std::int64_t accessRun(std::uint64_t addr, std::int64_t strideBytes,
-                         std::int64_t count, bool isWrite);
+                         std::int64_t count, bool isWrite,
+                         std::int64_t nowCycles = 0);
 
-  /// One instruction fetch; returns its latency in cycles
-  /// (0 when instruction modeling is disabled).
-  std::int64_t instrFetch(std::uint64_t addr);
+  /// One instruction fetch at absolute cycle \p nowCycles; returns its
+  /// latency in cycles (0 when instruction modeling is disabled).
+  std::int64_t instrFetch(std::uint64_t addr, std::int64_t nowCycles = 0);
 
   /// \name Bulk-replay primitives
   /// The run-length replay path (sim/replay.cpp) accounts the guaranteed
@@ -56,7 +171,8 @@ class MemorySystem {
   /// Bypassing the miss classifier here is exact — every skipped access
   /// re-touches shadow-cache lines that are already the most recently
   /// used, in an order that provably leaves the shadow state unchanged —
-  /// see docs/ARCHITECTURE.md §6.
+  /// see docs/ARCHITECTURE.md §6. Guaranteed hits never leave the L1,
+  /// so none of these touch the shared levels.
   /// @{
   [[nodiscard]] std::uint64_t dataClock() const { return dcache_.clock(); }
   void dataBulkHits(std::int64_t count) { dcache_.bulkHits(count); }
@@ -78,11 +194,20 @@ class MemorySystem {
   /// @}
 
   /// Invalidates both caches (used by the flush-on-switch ablation).
+  /// Dirty lines count as write-backs in the L1 statistics; their L2
+  /// copies are not dirty-marked (documented approximation, §7).
   void flushAll();
+
+  /// True when the hierarchy below the L1s is contended (shared L2 or
+  /// bus enabled) — i.e. when access latencies depend on nowCycles.
+  [[nodiscard]] bool contended() const { return hierarchy_->contended(); }
 
   [[nodiscard]] const SetAssocCache& dcache() const { return dcache_; }
   [[nodiscard]] const SetAssocCache& icache() const { return icache_; }
   [[nodiscard]] const MemoryConfig& config() const { return config_; }
+  [[nodiscard]] const MemoryHierarchy& hierarchy() const {
+    return *hierarchy_;
+  }
 
   /// Data-miss classification; zeros unless classifyMisses was set.
   [[nodiscard]] MissBreakdown dataMissBreakdown() const;
@@ -90,7 +215,17 @@ class MemorySystem {
   void resetStats();
 
  private:
+  /// Latency beyond the L1 of a data miss on \p addr issuing at
+  /// \p issueCycle, with \p evicted the L1 line the fill displaced.
+  /// The one definition of the dirty-victim ordering invariant: absorb
+  /// into the L2 copy *before* the fill (which could evict that copy),
+  /// post an unabsorbed write-back at the miss's completion (so the
+  /// requester never stalls on its own write-back).
+  std::int64_t missBeyondL1(std::uint64_t addr, const EvictionInfo& evicted,
+                            std::int64_t issueCycle);
+
   MemoryConfig config_;
+  std::shared_ptr<MemoryHierarchy> hierarchy_;
   SetAssocCache dcache_;
   SetAssocCache icache_;
   std::optional<MissClassifier> classifier_;

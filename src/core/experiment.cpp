@@ -75,8 +75,15 @@ ExperimentResult runExperiment(const Workload& workload, SchedulerKind kind,
     result.relayoutThreshold = relayout.threshold;
   }
 
+  SchedulerParams schedParams = config.sched;
+  if (kind == SchedulerKind::L2ContentionAware && config.mpsoc.sharedL2) {
+    // The contention-aware policy should reason about the L2 the
+    // platform actually has.
+    schedParams.l2Contention.l2Geometry =
+        config.mpsoc.sharedL2->aggregateConfig();
+  }
   const std::unique_ptr<SchedulerPolicy> policy =
-      makeScheduler(kind, config.sched);
+      makeScheduler(kind, schedParams);
   result.schedulerName = policy->name();
   if (kind == SchedulerKind::LocalityMapping) {
     result.schedulerName = "LSM";  // distinguish from plain LS

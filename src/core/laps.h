@@ -42,10 +42,12 @@
 #include "taskgraph/validate.h"
 
 // Cache models (platform substrate)
+#include "cache/bus.h"
 #include "cache/cache.h"
 #include "cache/config.h"
 #include "cache/hierarchy.h"
 #include "cache/miss_class.h"
+#include "cache/shared_l2.h"
 
 // Data layout and re-mapping (paper §3, Figs. 4-5)
 #include "layout/address_space.h"

@@ -11,8 +11,11 @@
 /// completion order at the cost of a weaker global view — the ablation
 /// bench quantifies the difference against static LS.
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
+#include "cache/config.h"
 #include "sched/scheduler.h"
 
 namespace laps {
@@ -29,6 +32,63 @@ class DynamicLocalityScheduler final : public SchedulerPolicy {
  private:
   const SharingMatrix* sharing_ = nullptr;
   std::vector<ProcessId> ready_;
+};
+
+/// Tunables of L2ContentionAwareScheduler.
+struct L2ContentionOptions {
+  /// Set space the conflict analysis indexes footprints into — the
+  /// shared L2 viewed as one cache (SharedL2Config::aggregateConfig()).
+  CacheConfig l2Geometry{256 * 1024, 8, 32, 8};
+  /// Weight of a conflicting co-mapped line pair against one shared
+  /// element when scoring a candidate (>= 0; 0 degenerates to DLS).
+  double conflictWeight = 1.0;
+
+  /// Throws laps::Error on a non-finite or negative weight or an
+  /// inconsistent geometry. The single source of these constraints:
+  /// both the scheduler's constructor and makeScheduler enforce it.
+  void validate() const;
+};
+
+/// The contention-aware variant of DynamicLocalityScheduler: same online
+/// greedy rule — maximize sharing with what this core ran last — minus a
+/// penalty for conflicting in the *shared* L2 with the processes running
+/// on the other cores right now. Two processes conflict to the degree
+/// their footprints co-map into the same L2 sets (the per-process analogue
+/// of layout/conflict.h's array matrix): co-scheduling them thrashes the
+/// shared cache even though they share nothing, which is exactly the
+/// regime the contention ablation (bench_ablation) measures.
+///
+/// Requires SchedContext::workload and ::space (footprints are indexed
+/// through the live address layout, so LSM re-layouts shift the
+/// conflict structure the policy sees).
+class L2ContentionAwareScheduler final : public SchedulerPolicy {
+ public:
+  explicit L2ContentionAwareScheduler(L2ContentionOptions options = {});
+
+  void reset(const SchedContext& context) override;
+  void onReady(ProcessId process) override;
+  std::optional<ProcessId> pickNext(std::size_t core,
+                                    std::optional<ProcessId> previous) override;
+  void onPreempt(ProcessId process) override;
+  void onComplete(ProcessId process) override;
+  [[nodiscard]] std::string name() const override { return "CALS"; }
+
+  /// Co-mapped L2 line pairs of two processes' footprints (exposed for
+  /// tests; lazily computed and memoized).
+  [[nodiscard]] std::int64_t conflictBetween(ProcessId a, ProcessId b);
+
+ private:
+  void stopRunning(ProcessId process);
+
+  L2ContentionOptions options_;
+  const SharingMatrix* sharing_ = nullptr;
+  std::vector<ProcessId> ready_;
+  /// Per-process line occupancy of the L2 set space (n x numSets).
+  std::vector<std::vector<std::int64_t>> occupancy_;
+  /// Memoized pairwise conflict scores, keyed min(a,b) * n + max(a,b).
+  std::unordered_map<std::uint64_t, std::int64_t> conflictMemo_;
+  /// runningOn_[core] = process currently executing there.
+  std::vector<std::optional<ProcessId>> runningOn_;
 };
 
 }  // namespace laps

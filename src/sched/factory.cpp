@@ -1,7 +1,6 @@
 #include "sched/factory.h"
 
 #include "sched/basic.h"
-#include "sched/dynamic_locality.h"
 #include "sched/locality.h"
 #include "util/error.h"
 
@@ -17,12 +16,29 @@ std::string to_string(SchedulerKind kind) {
     case SchedulerKind::Sjf: return "SJF";
     case SchedulerKind::CriticalPath: return "CPATH";
     case SchedulerKind::DynamicLocality: return "DLS";
+    case SchedulerKind::L2ContentionAware: return "CALS";
   }
   fail("to_string: unknown SchedulerKind");
 }
 
+void validateSchedulerParams(SchedulerKind kind,
+                             const SchedulerParams& params) {
+  switch (kind) {
+    case SchedulerKind::RoundRobin:
+      check(params.rrsQuantumCycles > 0,
+            "SchedulerParams: RRS quantum must be positive");
+      break;
+    case SchedulerKind::L2ContentionAware:
+      params.l2Contention.validate();
+      break;
+    default:
+      break;  // the other policies consume no constrained parameter
+  }
+}
+
 std::unique_ptr<SchedulerPolicy> makeScheduler(SchedulerKind kind,
                                                const SchedulerParams& params) {
+  validateSchedulerParams(kind, params);
   switch (kind) {
     case SchedulerKind::Random:
       return std::make_unique<RandomScheduler>(params.randomSeed);
@@ -42,6 +58,8 @@ std::unique_ptr<SchedulerPolicy> makeScheduler(SchedulerKind kind,
       return std::make_unique<CriticalPathScheduler>();
     case SchedulerKind::DynamicLocality:
       return std::make_unique<DynamicLocalityScheduler>();
+    case SchedulerKind::L2ContentionAware:
+      return std::make_unique<L2ContentionAwareScheduler>(params.l2Contention);
   }
   fail("makeScheduler: unknown SchedulerKind");
 }

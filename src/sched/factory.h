@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "sched/dynamic_locality.h"
 #include "sched/scheduler.h"
 
 namespace laps {
@@ -13,9 +14,18 @@ struct SchedulerParams {
   std::int64_t rrsQuantumCycles = 8'000;  ///< RRS time slice
   std::uint64_t randomSeed = 1;            ///< RS seed
   bool lsInitialMinSharingRound = true;    ///< LS ablation switch
+  L2ContentionOptions l2Contention{};      ///< CALS geometry and weight
 };
 
-/// Creates the policy implementing \p kind. Note that
+/// Throws laps::Error when a parameter the policy implementing \p kind
+/// consumes is invalid (non-positive RRS quantum, negative conflict
+/// weight, inconsistent L2 geometry). makeScheduler calls this first, so
+/// a bad configuration fails at construction — not deep inside
+/// MpsocSimulator::run().
+void validateSchedulerParams(SchedulerKind kind, const SchedulerParams& params);
+
+/// Creates the policy implementing \p kind after validating \p params
+/// (see validateSchedulerParams). Note that
 /// SchedulerKind::LocalityMapping returns the same policy as Locality:
 /// the data re-layout half of LSM is applied to the AddressSpace by the
 /// experiment harness before simulation (see core/experiment.h).

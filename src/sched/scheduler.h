@@ -7,10 +7,11 @@
 /// online variant in dynamic_locality.h; factory.h constructs any of
 /// them from a SchedulerKind.
 ///
-/// The simulation engine drives a SchedulerPolicy through three events:
+/// The simulation engine drives a SchedulerPolicy through four events:
 ///  * onReady(p)      — all of p's predecessors completed;
 ///  * pickNext(core)  — the core is idle, choose its next process;
-///  * onPreempt(p)    — p's quantum expired, p was suspended.
+///  * onPreempt(p)    — p's quantum expired, p was suspended;
+///  * onComplete(p)   — p finished (policies tracking the running set).
 /// Policies with a quantum() are preemptive (the paper's RRS); the others
 /// run every process to completion.
 
@@ -22,6 +23,8 @@
 #include "taskgraph/graph.h"
 
 namespace laps {
+
+class AddressSpace;  // layout/address_space.h
 
 /// The schedulers evaluated in the paper (§4) plus the extensions this
 /// library adds (paper §6 future work: "compare to other OS scheduling
@@ -35,16 +38,22 @@ enum class SchedulerKind {
   Sjf,              ///< extension: shortest job first (estimated cycles)
   CriticalPath,     ///< extension: longest-critical-path-first
   DynamicLocality,  ///< extension: online greedy locality (no static plan)
+  L2ContentionAware,  ///< extension: DLS minus shared-L2 set conflicts
 };
 
 /// Short stable name ("RS", "RRS", "LS", "LSM", ...).
 [[nodiscard]] std::string to_string(SchedulerKind kind);
 
-/// Everything a policy may consult when (re)initialized.
+/// Everything a policy may consult when (re)initialized. The workload
+/// and address space are optional richer context (null when driving a
+/// policy outside the simulator): footprint-derived analyses — e.g. the
+/// L2 set-conflict matrix of L2ContentionAwareScheduler — need them.
 struct SchedContext {
   const ExtendedProcessGraph* graph = nullptr;
   const SharingMatrix* sharing = nullptr;
   std::size_t coreCount = 0;
+  const Workload* workload = nullptr;
+  const AddressSpace* space = nullptr;
 };
 
 /// Dynamic scheduling policy; implementations must be deterministic.
@@ -68,6 +77,10 @@ class SchedulerPolicy {
   /// A running process was suspended after its quantum; it is immediately
   /// eligible to run again (possibly on another core).
   virtual void onPreempt(ProcessId process) { onReady(process); }
+
+  /// A process ran to completion. Default: ignored — only policies that
+  /// track the currently running set (e.g. contention-aware ones) care.
+  virtual void onComplete(ProcessId process) { (void)process; }
 
   /// Quantum in cycles; nullopt = non-preemptive.
   [[nodiscard]] virtual std::optional<std::int64_t> quantum() const {

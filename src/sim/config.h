@@ -4,8 +4,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 
+#include "cache/bus.h"
 #include "cache/hierarchy.h"
+#include "cache/shared_l2.h"
 
 namespace laps {
 
@@ -15,20 +18,32 @@ enum class ReplayMode {
   PerEvent,
   /// Run-length-encoded replay: strided runs are resolved per cache line
   /// in bulk (sim/replay.h). Bit-identical results to PerEvent, several
-  /// times faster — the mode that makes thousand-process mixes tractable.
+  /// times faster — the default since the differential suite
+  /// (tests/sim/replay_test.cpp) proved the equivalence.
   RunLength,
 };
 
 /// The simulated platform. Defaults reproduce Table 2 of the paper:
 /// 8 processors, 8 KB 2-way data/instruction caches, 2-cycle cache
-/// access, 75-cycle off-chip access, 200 MHz cores.
+/// access, 75-cycle off-chip access, 200 MHz cores — and no shared L2
+/// or bus contention (sharedL2/bus disabled), so the default miss path
+/// is the paper's fixed latency, bit-identical to the pre-hierarchy
+/// simulator.
 struct MpsocConfig {
   std::size_t coreCount = 8;
   MemoryConfig memory{};            ///< replicated per core (private L1s)
+
+  /// Optional shared banked L2 between the L1s and memory
+  /// (docs/ARCHITECTURE.md §7). Disabled = paper platform.
+  std::optional<SharedL2Config> sharedL2;
+  /// Optional off-chip bus with bounded outstanding transactions and
+  /// queueing delay. Disabled = fixed memory.memLatencyCycles per miss.
+  std::optional<BusConfig> bus;
+
   double clockHz = 200e6;           ///< Table 2: 200 MHz
   std::int64_t switchCycles = 400;  ///< context-switch overhead per switch
   bool flushOnSwitch = false;       ///< ablation: cold caches after switch
-  ReplayMode replayMode = ReplayMode::PerEvent;  ///< trace replay engine
+  ReplayMode replayMode = ReplayMode::RunLength;  ///< trace replay engine
 
   [[nodiscard]] double cyclesToSeconds(std::int64_t cycles) const {
     return static_cast<double>(cycles) / clockHz;

@@ -5,15 +5,28 @@ namespace laps {
 double EnergyModel::totalMj(const SimResult& result) const {
   const double l1Accesses = static_cast<double>(result.dcacheTotal.accesses) +
                             static_cast<double>(result.icacheTotal.accesses);
-  const double offChip = static_cast<double>(result.dcacheTotal.misses) +
-                         static_cast<double>(result.icacheTotal.misses) +
-                         static_cast<double>(result.dcacheTotal.dirtyEvictions);
+  const double l2Accesses = static_cast<double>(result.l2Total.accesses);
+  // With a shared L2 the off-chip traffic is what the L2 could not
+  // absorb: its misses, its dirty evictions, and the dirty L1 copies
+  // its inclusion back-invalidation flushed past a clean L2 entry.
+  // Without one every L1 miss and write-back goes off chip (l2Accesses
+  // is zero then, so the L2 term vanishes and the formula reduces to
+  // the pre-hierarchy model exactly).
+  const double offChip =
+      result.sharedL2Enabled
+          ? static_cast<double>(result.l2Total.misses) +
+                static_cast<double>(result.l2Total.dirtyEvictions) +
+                static_cast<double>(result.inclusionWritebacks)
+          : static_cast<double>(result.dcacheTotal.misses) +
+                static_cast<double>(result.icacheTotal.misses) +
+                static_cast<double>(result.dcacheTotal.dirtyEvictions);
   double busy = 0.0;
   double idle = 0.0;
   for (const auto c : result.coreBusyCycles) busy += static_cast<double>(c);
   for (const auto c : result.coreIdleCycles) idle += static_cast<double>(c);
-  const double nj = l1Accesses * l1AccessNj + offChip * offChipAccessNj +
-                    busy * coreBusyNjPerCycle + idle * coreIdleNjPerCycle;
+  const double nj = l1Accesses * l1AccessNj + l2Accesses * l2AccessNj +
+                    offChip * offChipAccessNj + busy * coreBusyNjPerCycle +
+                    idle * coreIdleNjPerCycle;
   return nj * 1e-6;  // nJ -> mJ
 }
 

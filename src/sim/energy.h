@@ -16,8 +16,16 @@
 namespace laps {
 
 /// Per-event and per-cycle energies in nanojoules.
+///
+/// Off-chip events are what actually left the chip: without a shared L2
+/// they are the L1 misses plus L1 write-backs; with one
+/// (SimResult::sharedL2Enabled) the L2 filters them down to its own
+/// misses, its dirty evictions and the inclusion write-backs of dirty
+/// L1 copies (SimResult::inclusionWritebacks), and each L2 access costs
+/// l2AccessNj on chip instead.
 struct EnergyModel {
   double l1AccessNj = 0.2;       ///< one L1 (I or D) access
+  double l2AccessNj = 1.0;       ///< one shared-L2 (bank) access
   double offChipAccessNj = 6.0;  ///< one off-chip read or write-back
   double coreBusyNjPerCycle = 0.15;
   double coreIdleNjPerCycle = 0.015;

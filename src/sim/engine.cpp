@@ -30,6 +30,8 @@ MpsocSimulator::MpsocSimulator(const Workload& workload,
         "MpsocSimulator: sharing matrix size mismatch");
   config_.memory.l1d.validate();
   if (config_.memory.modelICache) config_.memory.l1i.validate();
+  if (config_.sharedL2) config_.sharedL2->validate();
+  if (config_.bus) config_.bus->validate();
 }
 
 std::int64_t MpsocSimulator::runSegment(std::size_t coreIdx, ProcessId process,
@@ -64,16 +66,26 @@ std::int64_t MpsocSimulator::runSegment(std::size_t coreIdx, ProcessId process,
   const std::int64_t iHit = config_.memory.l1i.hitLatencyCycles;
   MemorySystem& mem = *core.memory;
 
+  // Event times are popped in non-decreasing order, so no later segment
+  // can issue a shared-level request before this one starts: retire the
+  // contention calendars up to here.
+  hierarchy_->retireBefore(now);
+  const std::int64_t segStart = now + switchOverhead;
+
   std::int64_t cycles = 0;
   if (config_.replayMode == ReplayMode::RunLength) {
-    cycles = replaySegmentRunLength(cursor, mem, quantum);
+    cycles = replaySegmentRunLength(cursor, mem, quantum, segStart);
   } else {
     TraceStep step;
     while (cursor.next(step)) {
       // Fetch hits are pipelined (hidden); only the miss penalty stalls.
-      const std::int64_t iLat = mem.instrFetch(step.instrAddr);
+      const std::int64_t iLat = mem.instrFetch(step.instrAddr,
+                                               segStart + cycles);
       if (iLat > iHit) cycles += iLat - iHit;
-      if (step.isRef) cycles += mem.dataAccess(step.dataAddr, step.isWrite);
+      if (step.isRef) {
+        cycles += mem.dataAccess(step.dataAddr, step.isWrite,
+                                 segStart + cycles);
+      }
       cycles += step.computeCycles;
       if (quantum && cycles >= *quantum && !cursor.done()) break;
     }
@@ -94,6 +106,7 @@ void MpsocSimulator::complete(ProcessId process, std::size_t coreIdx,
   auto& record = result_.processes[process];
   record.completionCycle = now;
   record.lastCore = coreIdx;
+  policy_->onComplete(process);
   for (const ProcessId succ : workload_->graph.successors(process)) {
     check(remainingPreds_[succ] > 0, "MpsocSimulator: dependence accounting");
     if (--remainingPreds_[succ] == 0) {
@@ -111,10 +124,13 @@ SimResult MpsocSimulator::run() {
   result_.coreBusyCycles.assign(config_.coreCount, 0);
   result_.coreIdleCycles.assign(config_.coreCount, 0);
 
+  hierarchy_ = std::make_shared<MemoryHierarchy>(
+      config_.memory.memLatencyCycles, config_.sharedL2, config_.bus,
+      config_.memory.l1d.lineBytes);
   cores_.clear();
   for (std::size_t c = 0; c < config_.coreCount; ++c) {
     Core core;
-    core.memory = std::make_unique<MemorySystem>(config_.memory);
+    core.memory = std::make_unique<MemorySystem>(config_.memory, hierarchy_);
     cores_.push_back(std::move(core));
   }
   cursors_.assign(n, std::nullopt);
@@ -124,7 +140,8 @@ SimResult MpsocSimulator::run() {
   remainingPreds_.resize(n);
   std::vector<bool> running(n, false);
 
-  const SchedContext context{&workload_->graph, sharing_, config_.coreCount};
+  const SchedContext context{&workload_->graph, sharing_, config_.coreCount,
+                             workload_, space_};
   policy_->reset(context);
   for (ProcessId p = 0; p < n; ++p) {
     remainingPreds_[p] = workload_->graph.predecessors(p).size();
@@ -194,6 +211,16 @@ SimResult MpsocSimulator::run() {
     result_.dcacheTotal.accumulate(cores_[c].memory->dcache().stats());
     result_.icacheTotal.accumulate(cores_[c].memory->icache().stats());
     result_.dataMisses.accumulate(cores_[c].memory->dataMissBreakdown());
+  }
+  if (const SharedL2* l2 = hierarchy_->l2()) {
+    result_.sharedL2Enabled = true;
+    result_.l2Total = l2->stats();
+    result_.l2BankWaitCycles = l2->bankWaitCycles();
+    result_.inclusionWritebacks = hierarchy_->inclusionWritebacks();
+  }
+  if (const MemoryBus* bus = hierarchy_->bus()) {
+    result_.busTransactions = bus->stats().transactions;
+    result_.busWaitCycles = bus->stats().waitCycles;
   }
   return result_;
 }

@@ -2,10 +2,17 @@
 /// \file engine.h
 /// \brief The discrete-event MPSoC simulator (Simics substitute).
 ///
-/// Execution model (documented approximations in docs/ARCHITECTURE.md §6):
+/// Execution model (documented approximations in docs/ARCHITECTURE.md
+/// §§6-7):
 ///  * every core owns a private MemorySystem (split L1 I/D); cache
 ///    contents persist across context switches — the effect the paper's
 ///    scheduler exploits;
+///  * all cores share one MemoryHierarchy below the L1s: flat fixed-
+///    latency memory by default (the paper platform), optionally a
+///    shared banked L2 and a bounded off-chip bus
+///    (MpsocConfig::sharedL2/bus), in which case a miss's latency
+///    depends on the absolute cycle it issues and the other cores'
+///    traffic;
 ///  * a process trace step costs: instruction-fetch latency + data-access
 ///    latency (2 on hit, 2+75 on miss with Table 2 defaults) + its
 ///    compute cycles;
@@ -73,6 +80,7 @@ class MpsocSimulator {
   SchedulerPolicy* policy_;
   MpsocConfig config_;
 
+  std::shared_ptr<MemoryHierarchy> hierarchy_;  // shared by all cores
   std::vector<Core> cores_;
   std::vector<std::optional<ProcessTraceCursor>> cursors_;
   std::vector<std::size_t> remainingPreds_;

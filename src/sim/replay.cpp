@@ -19,8 +19,10 @@ struct StreamState {
 
 std::int64_t replaySegmentRunLength(ProcessTraceCursor& cursor,
                                     MemorySystem& mem,
-                                    std::optional<std::int64_t> quantum) {
+                                    std::optional<std::int64_t> quantum,
+                                    std::int64_t segmentStartCycle) {
   const MemoryConfig& cfg = mem.config();
+  const bool contended = mem.contended();
   const bool modelI = cfg.modelICache;
   const std::int64_t iHit = cfg.l1i.hitLatencyCycles;
   const std::int64_t dHit = cfg.l1d.hitLatencyCycles;
@@ -84,10 +86,14 @@ std::int64_t replaySegmentRunLength(ProcessTraceCursor& cursor,
             (run.bodyCursor +
              static_cast<std::uint64_t>(consumed) * kInstrFetchBytes) %
                 static_cast<std::uint64_t>(run.bodyBytes);
-        const std::int64_t iLat = mem.instrFetch(fetchAddr);
+        const std::int64_t iLat =
+            mem.instrFetch(fetchAddr, segmentStartCycle + cycles);
         if (iLat > iHit) cycles += iLat - iHit;
       }
-      if (j >= 0) cycles += mem.dataAccess(dataAddr, isWrite);
+      if (j >= 0) {
+        cycles += mem.dataAccess(dataAddr, isWrite,
+                                 segmentStartCycle + cycles);
+      }
       if (j < 0 || j == K - 1) cycles += compute;
       ++consumed;
       if (quantum && cycles >= *quantum) overQuantum = true;
@@ -161,8 +167,11 @@ std::int64_t replaySegmentRunLength(ProcessTraceCursor& cursor,
 
       // Single-stream runs without a quantum: the whole remainder
       // resolves with one associative search per cache line
-      // (MemorySystem::accessRun), classification included.
-      if (!quantum && K <= 1 && iWarm) {
+      // (MemorySystem::accessRun), classification included. On a
+      // contended hierarchy the fuse would mistime misses (it cannot
+      // interleave the per-iteration compute cycles), so data streams
+      // fall through to the chunked path there.
+      if (!quantum && K <= 1 && iWarm && (K == 0 || !contended)) {
         if (K == 1) {
           const StreamState& s = pos.front();
           cycles += mem.accessRun(s.addr, s.stride, itersLeft, s.isWrite);

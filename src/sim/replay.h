@@ -26,8 +26,19 @@ namespace laps {
 /// accumulated work cycles reach \p quantum (nullopt = non-preemptive).
 /// Returns the segment's work cycles; the cursor is left exactly where
 /// the per-event loop of MpsocSimulator::runSegment would leave it.
+///
+/// \p segmentStartCycle is the absolute cycle the segment begins at; it
+/// only matters on a contended hierarchy (shared L2 / bus), where every
+/// miss issues at segmentStartCycle + the work cycles accumulated so
+/// far — exactly the per-event loop's timing. Bulk-committed steps are
+/// guaranteed L1 hits and never reach the shared levels, so the
+/// bit-identity between replay modes survives contention; the one
+/// shortcut whose timing would drift (the whole-run accessRun fuse,
+/// which cannot interleave compute cycles between misses) is skipped
+/// when the hierarchy is contended.
 std::int64_t replaySegmentRunLength(ProcessTraceCursor& cursor,
                                     MemorySystem& mem,
-                                    std::optional<std::int64_t> quantum);
+                                    std::optional<std::int64_t> quantum,
+                                    std::int64_t segmentStartCycle = 0);
 
 }  // namespace laps

@@ -29,6 +29,20 @@ struct SimResult {
   CacheStats icacheTotal;
   MissBreakdown dataMisses;  ///< populated when classification enabled
 
+  /// \name Shared-level statistics (zeros when the hierarchy is flat)
+  /// @{
+  bool sharedL2Enabled = false;       ///< an L2 sat under the L1s
+  CacheStats l2Total;                 ///< shared L2, summed over banks
+  std::uint64_t l2BankWaitCycles = 0; ///< queueing behind busy L2 banks
+  /// Off-chip write-backs of dirty L1 data that no L2 counter sees:
+  /// copies flushed by inclusion back-invalidation past a clean L2
+  /// entry, and L1 victims whose L2 line was already gone. Disjoint
+  /// from l2Total.dirtyEvictions.
+  std::uint64_t inclusionWritebacks = 0;
+  std::uint64_t busTransactions = 0;  ///< demand fills + write-backs
+  std::uint64_t busWaitCycles = 0;    ///< queueing for a free bus slot
+  /// @}
+
   std::uint64_t contextSwitches = 0;  ///< segments that changed the process
   std::uint64_t preemptions = 0;      ///< quantum expirations
   std::uint64_t migrations = 0;       ///< resumes on a different core

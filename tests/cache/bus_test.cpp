@@ -1,0 +1,129 @@
+/// \file bus_test.cpp
+/// \brief BusyTimeline calendar semantics and the bounded MemoryBus.
+
+#include "cache/bus.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace laps {
+namespace {
+
+TEST(BusyTimeline, FreeResourceStartsImmediately) {
+  BusyTimeline t;
+  EXPECT_EQ(t.reserve(100, 10), 100);
+  EXPECT_EQ(t.reserve(110, 10), 110);  // back-to-back, no wait
+}
+
+TEST(BusyTimeline, QueuesBehindBusyInterval) {
+  BusyTimeline t;
+  EXPECT_EQ(t.reserve(100, 10), 100);  // busy [100, 110)
+  EXPECT_EQ(t.reserve(105, 10), 110);  // overlaps: pushed to 110
+  EXPECT_EQ(t.reserve(105, 10), 120);  // and again behind the second
+}
+
+TEST(BusyTimeline, FillsEarlierGapsLeftByOutOfOrderRequests) {
+  // A far-ahead segment books late; a later-simulated request with an
+  // earlier issue time must slot into the untouched past, not queue
+  // behind the future reservation.
+  BusyTimeline t;
+  EXPECT_EQ(t.reserve(1000, 10), 1000);
+  EXPECT_EQ(t.reserve(0, 10), 0);
+  // A gap exactly as large as the duration is usable.
+  EXPECT_EQ(t.reserve(985, 10), 985);
+  // The gap [10, 985) shrank from both ends; a request needing more room
+  // than what is left before 985 lands after the 1000-block.
+  EXPECT_EQ(t.reserve(980, 10), 1010);
+}
+
+TEST(BusyTimeline, CoalescesAdjacentIntervals) {
+  BusyTimeline t;
+  t.reserve(0, 10);
+  t.reserve(10, 10);
+  t.reserve(20, 10);
+  EXPECT_EQ(t.intervalCount(), 1u);  // one blob [0, 30)
+  t.reserve(40, 10);
+  EXPECT_EQ(t.intervalCount(), 2u);
+  t.reserve(30, 10);  // bridges the hole
+  EXPECT_EQ(t.intervalCount(), 1u);
+}
+
+TEST(BusyTimeline, RetireBeforeDropsOnlyUnreachableIntervals) {
+  BusyTimeline t;
+  t.reserve(0, 10);
+  t.reserve(100, 10);
+  t.retireBefore(50);
+  EXPECT_EQ(t.intervalCount(), 1u);
+  // The retired past no longer blocks (nor serves) anything; the
+  // remaining interval still queues requests.
+  EXPECT_EQ(t.reserve(100, 10), 110);
+}
+
+TEST(BusyTimeline, RejectsNonPositiveDuration) {
+  BusyTimeline t;
+  EXPECT_THROW(t.reserve(0, 0), Error);
+}
+
+TEST(BusConfig, OccupancyIsLatencyPlusTransfer) {
+  BusConfig cfg;
+  cfg.latencyCycles = 75;
+  cfg.widthBytes = 8;
+  EXPECT_EQ(cfg.occupancyCycles(32), 75 + 4);
+  cfg.widthBytes = 16;
+  EXPECT_EQ(cfg.occupancyCycles(32), 75 + 2);
+  cfg.widthBytes = 3;  // non-dividing width rounds the transfer up
+  EXPECT_EQ(cfg.occupancyCycles(32), 75 + 11);
+}
+
+TEST(BusConfig, ValidateRejectsNonPositiveFields) {
+  BusConfig cfg;
+  cfg.maxOutstanding = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = BusConfig{};
+  cfg.widthBytes = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = BusConfig{};
+  cfg.latencyCycles = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(MemoryBus, UncontendedDemandCostsOccupancy) {
+  BusConfig cfg;
+  cfg.maxOutstanding = 2;
+  cfg.latencyCycles = 75;
+  cfg.widthBytes = 8;
+  MemoryBus bus(cfg, 32);
+  EXPECT_EQ(bus.demandAccess(0), 79);
+  EXPECT_EQ(bus.stats().transactions, 1u);
+  EXPECT_EQ(bus.stats().waitCycles, 0u);
+}
+
+TEST(MemoryBus, BoundedOutstandingQueuesTheOverflow) {
+  BusConfig cfg;
+  cfg.maxOutstanding = 2;
+  cfg.latencyCycles = 75;
+  cfg.widthBytes = 8;  // occupancy 79
+  MemoryBus bus(cfg, 32);
+  EXPECT_EQ(bus.demandAccess(0), 79);       // slot 0: [0, 79)
+  EXPECT_EQ(bus.demandAccess(0), 79);       // slot 1: [0, 79)
+  EXPECT_EQ(bus.demandAccess(0), 79 + 79);  // waits 79, then 79 more
+  EXPECT_EQ(bus.stats().waitCycles, 79u);
+  EXPECT_EQ(bus.stats().transactions, 3u);
+}
+
+TEST(MemoryBus, PostedTrafficOccupiesButNeverWaitsTheRequester) {
+  BusConfig cfg;
+  cfg.maxOutstanding = 1;
+  cfg.latencyCycles = 75;
+  cfg.widthBytes = 8;  // occupancy 79
+  MemoryBus bus(cfg, 32);
+  bus.postedAccess(0);  // write-back holds the only slot until 79
+  EXPECT_EQ(bus.stats().transactions, 1u);
+  EXPECT_EQ(bus.stats().waitCycles, 0u);  // nobody stalled for it...
+  EXPECT_EQ(bus.demandAccess(0), 79 + 79);  // ...but demand queues behind
+  EXPECT_EQ(bus.stats().waitCycles, 79u);
+}
+
+}  // namespace
+}  // namespace laps

@@ -68,6 +68,96 @@ TEST(MemorySystem, ClassifierCountsWhenEnabled) {
   EXPECT_EQ(mem.dataMissBreakdown().total(), 1u);
 }
 
+std::shared_ptr<MemoryHierarchy> contendedHierarchy() {
+  SharedL2Config l2;
+  l2.sizeBytes = 4096;
+  l2.assoc = 2;
+  l2.lineBytes = 32;
+  l2.bankCount = 4;
+  l2.hitLatencyCycles = 8;
+  l2.bankBusyCycles = 4;
+  BusConfig bus;
+  bus.maxOutstanding = 2;
+  bus.latencyCycles = 75;
+  bus.widthBytes = 8;  // 79-cycle occupancy on 32 B lines
+  return std::make_shared<MemoryHierarchy>(75, l2, bus, 32);
+}
+
+TEST(MemorySystem, DefaultHierarchyIsFlatAndUncontended) {
+  MemorySystem mem(paperDefaults());
+  EXPECT_FALSE(mem.contended());
+  EXPECT_EQ(mem.hierarchy().l2(), nullptr);
+  EXPECT_EQ(mem.hierarchy().bus(), nullptr);
+}
+
+TEST(MemorySystem, SharedHierarchyStacksL2AndBusLatency) {
+  auto shared = contendedHierarchy();
+  MemorySystem mem(paperDefaults(), shared);
+  EXPECT_TRUE(mem.contended());
+  // Cold: L1 (2) + L2 lookup (8, miss) + bus (79).
+  EXPECT_EQ(mem.dataAccess(0, false, 0), 2 + 8 + 79);
+  // L1 hit never leaves the core.
+  EXPECT_EQ(mem.dataAccess(0, false, 200), 2);
+  EXPECT_EQ(shared->l2()->stats().accesses, 1u);
+}
+
+TEST(MemorySystem, TwoCoresContendOnTheSharedBus) {
+  auto shared = contendedHierarchy();
+  MemorySystem a(paperDefaults(), shared);
+  MemorySystem b(paperDefaults(), shared);
+  // Three simultaneous cold misses to distinct banks: the L2 never
+  // queues, but the 2-slot bus serializes the third fill.
+  EXPECT_EQ(a.dataAccess(0, false, 0), 2 + 8 + 79);
+  EXPECT_EQ(b.dataAccess(32, false, 0), 2 + 8 + 79);
+  EXPECT_EQ(b.dataAccess(64, false, 0), 2 + 8 + 79 + 79);
+  EXPECT_EQ(shared->bus()->stats().waitCycles, 79u);
+  // The same miss pattern issued later, when the bus has drained, pays
+  // no wait: latency now depends on *when* — the contention effect.
+  EXPECT_EQ(b.dataAccess(96, false, 1000), 2 + 8 + 79);
+}
+
+TEST(MemorySystem, SharedL2KeepsAMissOnChipForTheOtherCore) {
+  auto shared = contendedHierarchy();
+  MemorySystem a(paperDefaults(), shared);
+  MemorySystem b(paperDefaults(), shared);
+  EXPECT_EQ(a.dataAccess(0, false, 0), 2 + 8 + 79);  // a fills the L2
+  // b misses its private L1 but hits the shared L2: no off-chip trip.
+  EXPECT_EQ(b.dataAccess(0, false, 500), 2 + 8);
+  EXPECT_EQ(shared->l2()->stats().hits, 1u);
+}
+
+TEST(MemorySystem, MissNeverStallsBehindItsOwnVictimWriteback) {
+  // 1-slot bus, direct-mapped 2-set L1: a miss that evicts a dirty
+  // victim must pay only its own fill (2 + 79); the victim's write-back
+  // is posted behind it, not in front of it.
+  BusConfig bus;
+  bus.maxOutstanding = 1;
+  bus.latencyCycles = 75;
+  bus.widthBytes = 8;  // occupancy 79
+  auto shared = std::make_shared<MemoryHierarchy>(75, std::nullopt, bus, 32);
+  MemoryConfig cfg = paperDefaults();
+  cfg.l1d = CacheConfig{64, 1, 32, 2};
+  MemorySystem mem(cfg, shared);
+  EXPECT_EQ(mem.dataAccess(0, /*isWrite=*/true, 0), 2 + 79);  // dirty A
+  EXPECT_EQ(mem.dataAccess(64, false, 10'000), 2 + 79);  // evicts dirty A
+  EXPECT_EQ(shared->bus()->stats().transactions, 3u);  // 2 fills + 1 posted
+  EXPECT_EQ(shared->bus()->stats().waitCycles, 0u);
+  // The posted write-back does occupy the slot: traffic right behind the
+  // second fill queues past both.
+  EXPECT_EQ(mem.dataAccess(128, false, 10'002), 2 + (79 * 2 - 2) + 79);
+}
+
+TEST(MemorySystem, ContendedAccessRunAdvancesTime) {
+  auto shared = contendedHierarchy();
+  MemorySystem mem(paperDefaults(), shared);
+  // Four lines, one miss each: 4 * (2 * 8 + 8 + 79) with every bus slot
+  // requested only after the previous miss resolved — so no bus wait.
+  const std::int64_t latency =
+      mem.accessRun(0, 4, 32, /*isWrite=*/false, /*nowCycles=*/0);
+  EXPECT_EQ(latency, 4 * (8 * 2 + 8 + 79));
+  EXPECT_EQ(shared->bus()->stats().waitCycles, 0u);
+}
+
 TEST(MemorySystem, ResetStats) {
   MemoryConfig cfg = paperDefaults();
   cfg.classifyMisses = true;

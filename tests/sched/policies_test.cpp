@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "layout/address_space.h"
 #include "sched/basic.h"
 #include "sched/dynamic_locality.h"
 #include "sched/factory.h"
@@ -34,6 +35,7 @@ TEST(ToString, AllKinds) {
   EXPECT_EQ(to_string(SchedulerKind::Sjf), "SJF");
   EXPECT_EQ(to_string(SchedulerKind::CriticalPath), "CPATH");
   EXPECT_EQ(to_string(SchedulerKind::DynamicLocality), "DLS");
+  EXPECT_EQ(to_string(SchedulerKind::L2ContentionAware), "CALS");
 }
 
 TEST(Factory, CreatesEveryKind) {
@@ -41,11 +43,31 @@ TEST(Factory, CreatesEveryKind) {
        {SchedulerKind::Random, SchedulerKind::RoundRobin,
         SchedulerKind::Locality, SchedulerKind::LocalityMapping,
         SchedulerKind::Fcfs, SchedulerKind::Sjf, SchedulerKind::CriticalPath,
-        SchedulerKind::DynamicLocality}) {
+        SchedulerKind::DynamicLocality, SchedulerKind::L2ContentionAware}) {
     const auto policy = makeScheduler(kind);
     ASSERT_NE(policy, nullptr);
     EXPECT_FALSE(policy->name().empty());
   }
+}
+
+TEST(Factory, ValidatesParamsEagerly) {
+  // A bad configuration must fail at makeScheduler, not deep inside
+  // MpsocSimulator::run().
+  SchedulerParams params;
+  params.rrsQuantumCycles = 0;
+  EXPECT_THROW(makeScheduler(SchedulerKind::RoundRobin, params), Error);
+  params.rrsQuantumCycles = -100;
+  EXPECT_THROW(makeScheduler(SchedulerKind::RoundRobin, params), Error);
+  // The quantum is an RRS-only parameter: other kinds ignore it.
+  EXPECT_NE(makeScheduler(SchedulerKind::Fcfs, params), nullptr);
+
+  params = SchedulerParams{};
+  params.l2Contention.conflictWeight = -1.0;
+  EXPECT_THROW(makeScheduler(SchedulerKind::L2ContentionAware, params), Error);
+  params = SchedulerParams{};
+  params.l2Contention.l2Geometry.sizeBytes = 1000;  // not a set multiple
+  EXPECT_THROW(makeScheduler(SchedulerKind::L2ContentionAware, params), Error);
+  EXPECT_NE(makeScheduler(SchedulerKind::Locality, params), nullptr);
 }
 
 TEST(Factory, OnlyRoundRobinIsPreemptive) {
@@ -208,6 +230,112 @@ TEST(DynamicLocalityScheduler, NoPreviousFallsBackToFifo) {
 TEST(DynamicLocalityScheduler, RequiresSharing) {
   DynamicLocalityScheduler policy;
   EXPECT_THROW(policy.reset({}), Error);
+}
+
+/// Three processes over three arrays laid out so that — in a 32-set L2
+/// view — P0's and P2's footprints co-map into the same sets while P1's
+/// occupies the other half: conflict(P0, P2) > 0, conflict(P0, P1) == 0,
+/// and nobody shares any data.
+struct ContentionRig {
+  Workload workload;
+  AddressSpace space;
+  SharingMatrix sharing;
+  SchedContext context;
+
+  static Workload build() {
+    Workload w;
+    // 512 B each, placed contiguously 32-byte aligned: X spans sets
+    // 0..15, Y sets 16..31, Z wraps back onto 0..15.
+    const ArrayId x = w.arrays.add("X", {128}, 4);
+    const ArrayId y = w.arrays.add("Y", {128}, 4);
+    const ArrayId z = w.arrays.add("Z", {128}, 4);
+    for (const ArrayId a : {x, y, z}) {
+      ProcessSpec p;
+      p.name = "P" + std::to_string(a);
+      p.nests.push_back(LoopNest{
+          IterationSpace::box({{0, 128}}),
+          {ArrayAccess{a, AffineMap{AffineExpr({1}, 0)}, AccessKind::Read}},
+          1});
+      w.graph.addProcess(std::move(p));
+    }
+    return w;
+  }
+
+  ContentionRig()
+      : workload(build()),
+        space(workload.arrays, AddressSpaceOptions{0x1000'0000, 32}),
+        sharing(workload.graph.processCount()),
+        context{&workload.graph, &sharing, 2, &workload, &space} {}
+
+  static L2ContentionOptions options(double weight) {
+    L2ContentionOptions o;
+    o.l2Geometry = CacheConfig{1024, 1, 32, 8};  // 32 sets
+    o.conflictWeight = weight;
+    return o;
+  }
+};
+
+TEST(L2ContentionAwareScheduler, ConflictMatrixFollowsTheLayout) {
+  ContentionRig rig;
+  L2ContentionAwareScheduler policy(ContentionRig::options(1.0));
+  policy.reset(rig.context);
+  EXPECT_GT(policy.conflictBetween(0, 2), 0);  // X and Z co-map
+  EXPECT_EQ(policy.conflictBetween(0, 1), 0);  // X and Y are disjoint sets
+  EXPECT_EQ(policy.conflictBetween(1, 2), 0);
+}
+
+TEST(L2ContentionAwareScheduler, AvoidsCoSchedulingConflictingFootprints) {
+  ContentionRig rig;
+  L2ContentionAwareScheduler policy(ContentionRig::options(1.0));
+  policy.reset(rig.context);
+  policy.onReady(0);
+  ASSERT_EQ(policy.pickNext(0, std::nullopt), 0u);  // P0 runs on core 0
+  policy.onReady(2);  // conflicts with running P0, ready first
+  policy.onReady(1);  // conflict-free
+  // Core 1 must prefer the conflict-free process despite FIFO order...
+  EXPECT_EQ(policy.pickNext(1, std::nullopt), 1u);
+  // ...and once P0 completes, the penalty vanishes.
+  policy.onComplete(0);
+  EXPECT_EQ(policy.pickNext(0, std::nullopt), 2u);
+}
+
+TEST(L2ContentionAwareScheduler, ZeroWeightDegeneratesToFifoTies) {
+  ContentionRig rig;
+  L2ContentionAwareScheduler policy(ContentionRig::options(0.0));
+  policy.reset(rig.context);
+  policy.onReady(0);
+  ASSERT_EQ(policy.pickNext(0, std::nullopt), 0u);
+  policy.onReady(2);
+  policy.onReady(1);
+  EXPECT_EQ(policy.pickNext(1, std::nullopt), 2u);  // plain FIFO again
+}
+
+TEST(L2ContentionAwareScheduler, PreemptionReleasesThePenalty) {
+  ContentionRig rig;
+  L2ContentionAwareScheduler policy(ContentionRig::options(1.0));
+  policy.reset(rig.context);
+  policy.onReady(0);
+  ASSERT_EQ(policy.pickNext(0, std::nullopt), 0u);
+  policy.onPreempt(0);  // suspended: no longer occupies the L2
+  policy.onReady(2);
+  // P0 is back in the queue (FIFO ahead of P2) and nothing is running,
+  // so the conflicting P2 is not penalized against anything.
+  EXPECT_EQ(policy.pickNext(1, std::nullopt), 0u);
+  EXPECT_EQ(policy.pickNext(0, ProcessId{0}), 2u);
+}
+
+TEST(L2ContentionAwareScheduler, RequiresWorkloadAndSpace) {
+  ContentionRig rig;
+  L2ContentionAwareScheduler policy(ContentionRig::options(1.0));
+  SchedContext incomplete = rig.context;
+  incomplete.workload = nullptr;
+  EXPECT_THROW(policy.reset(incomplete), Error);
+  incomplete = rig.context;
+  incomplete.space = nullptr;
+  EXPECT_THROW(policy.reset(incomplete), Error);
+  incomplete = rig.context;
+  incomplete.coreCount = 0;
+  EXPECT_THROW(policy.reset(incomplete), Error);
 }
 
 }  // namespace

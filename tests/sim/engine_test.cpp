@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/experiment.h"
 #include "sched/basic.h"
 #include "sched/factory.h"
 #include "sched/locality.h"
@@ -370,6 +371,86 @@ TEST(MpsocSimulator, EmptyWorkloadCompletesAtZero) {
   const SimResult r = sim.run();
   EXPECT_EQ(r.makespanCycles, 0);
   EXPECT_EQ(r.contextSwitches, 0u);
+}
+
+TEST(MpsocSimulator, SharedL2StatsFlowIntoTheResult) {
+  Rig rig;
+  rig.addStream(0, 4096);
+  rig.addStream(4096, 8192);
+  FcfsScheduler policy;
+  const AddressSpace space(rig.workload.arrays);
+  const SharingMatrix sharing =
+      SharingMatrix::compute(rig.workload.footprints());
+  MpsocConfig cfg = smallConfig(2);
+  cfg.sharedL2.emplace();
+  cfg.bus.emplace();
+  MpsocSimulator sim(rig.workload, space, sharing, policy, cfg);
+  const SimResult r = sim.run();
+  EXPECT_TRUE(r.sharedL2Enabled);
+  // Every L1 miss goes through the L2; every L2 miss crosses the bus.
+  EXPECT_EQ(r.l2Total.accesses, r.dcacheTotal.misses);
+  EXPECT_GT(r.l2Total.accesses, 0u);
+  EXPECT_GE(r.busTransactions, r.l2Total.misses);
+}
+
+TEST(MpsocSimulator, ContentionIsDeterministic) {
+  const auto run = [] {
+    Rig rig;
+    for (int i = 0; i < 6; ++i) rig.addStream(i * 2048, (i + 1) * 2048);
+    FcfsScheduler policy;
+    const AddressSpace space(rig.workload.arrays);
+    const SharingMatrix sharing =
+        SharingMatrix::compute(rig.workload.footprints());
+    MpsocConfig cfg = smallConfig(3);
+    cfg.sharedL2.emplace();
+    cfg.bus.emplace();
+    MpsocSimulator sim(rig.workload, space, sharing, policy, cfg);
+    return sim.run();
+  };
+  const SimResult a = run();
+  const SimResult b = run();
+  EXPECT_EQ(a.makespanCycles, b.makespanCycles);
+  EXPECT_EQ(a.busWaitCycles, b.busWaitCycles);
+  EXPECT_EQ(a.l2BankWaitCycles, b.l2BankWaitCycles);
+}
+
+TEST(MpsocSimulator, ABoundedBusStretchesTheMakespan) {
+  // Same workload, same L1 behavior: replacing the fixed-latency memory
+  // with a saturated 1-slot bus can only slow things down.
+  const auto makespan = [](bool bounded) {
+    Rig rig;
+    for (int i = 0; i < 4; ++i) rig.addStream(i * 4096, (i + 1) * 4096);
+    FcfsScheduler policy;
+    const AddressSpace space(rig.workload.arrays);
+    const SharingMatrix sharing =
+        SharingMatrix::compute(rig.workload.footprints());
+    MpsocConfig cfg = smallConfig(4);
+    if (bounded) {
+      BusConfig bus;
+      bus.maxOutstanding = 1;
+      bus.latencyCycles = 75;
+      bus.widthBytes = 8;
+      cfg.bus = bus;
+    }
+    MpsocSimulator sim(rig.workload, space, sharing, policy, cfg);
+    return sim.run().makespanCycles;
+  };
+  EXPECT_GT(makespan(true), makespan(false));
+}
+
+TEST(MpsocSimulator, ContentionAwarePolicyRunsEndToEnd) {
+  const auto suite = standardSuite(AppParams{0.25});
+  const Workload mix = concurrentScenario(suite, 2);
+  ExperimentConfig config;
+  config.mpsoc.sharedL2.emplace();
+  config.mpsoc.bus.emplace();
+  const auto r = runExperiment(mix, SchedulerKind::L2ContentionAware, config);
+  EXPECT_EQ(r.schedulerName, "CALS");
+  EXPECT_EQ(r.sim.processes.size(), mix.graph.processCount());
+  for (const auto& p : r.sim.processes) {
+    EXPECT_GE(p.completionCycle, 0) << "process " << p.id;
+  }
+  EXPECT_TRUE(r.sim.sharedL2Enabled);
 }
 
 TEST(MpsocSimulator, ConfigValidation) {

@@ -37,6 +37,12 @@ void expectIdentical(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.preemptions, b.preemptions);
   EXPECT_EQ(a.migrations, b.migrations);
   EXPECT_EQ(a.switchOverheadCycles, b.switchOverheadCycles);
+  EXPECT_EQ(a.sharedL2Enabled, b.sharedL2Enabled);
+  expectStatsEqual(a.l2Total, b.l2Total, "l2");
+  EXPECT_EQ(a.l2BankWaitCycles, b.l2BankWaitCycles);
+  EXPECT_EQ(a.inclusionWritebacks, b.inclusionWritebacks);
+  EXPECT_EQ(a.busTransactions, b.busTransactions);
+  EXPECT_EQ(a.busWaitCycles, b.busWaitCycles);
   EXPECT_EQ(a.coreBusyCycles, b.coreBusyCycles);
   EXPECT_EQ(a.coreIdleCycles, b.coreIdleCycles);
   ASSERT_EQ(a.processes.size(), b.processes.size());
@@ -208,6 +214,74 @@ TEST(RunLengthReplay, InterleavedLayoutTransform) {
   FcfsScheduler rl;
   expectIdentical(rig.run(pe, cfg, ReplayMode::PerEvent, &space),
                   rig.run(rl, cfg, ReplayMode::RunLength, &space));
+}
+
+MpsocConfig contendedConfig(std::size_t cores) {
+  MpsocConfig cfg = stressConfig(cores);
+  SharedL2Config l2;
+  l2.sizeBytes = 4096;
+  l2.assoc = 2;
+  l2.lineBytes = 32;
+  l2.bankCount = 4;
+  cfg.sharedL2 = l2;
+  BusConfig bus;
+  bus.maxOutstanding = 2;
+  cfg.bus = bus;
+  return cfg;
+}
+
+TEST(RunLengthReplay, ContendedHierarchyNonPreemptive) {
+  // Bulk-committed steps are guaranteed L1 hits and never touch the
+  // shared levels, so the replay modes must stay bit-identical even when
+  // miss latency depends on the absolute cycle (shared L2 + bounded bus).
+  StressRig rig;
+  const auto s1 = rig.addStream(0, 200);
+  rig.addMulAdd(0, 16);
+  rig.addMulAdd(16, 32);
+  const auto rev = rig.addReversed();
+  rig.workload.graph.addDependence(s1, rev);
+  FcfsScheduler pe;
+  FcfsScheduler rl;
+  expectIdentical(rig.run(pe, contendedConfig(2), ReplayMode::PerEvent),
+                  rig.run(rl, contendedConfig(2), ReplayMode::RunLength));
+}
+
+TEST(RunLengthReplay, ContendedHierarchySmallQuantum) {
+  for (const std::int64_t quantum : {7, 100, 1000}) {
+    StressRig rig;
+    rig.addStream(0, 200);
+    rig.addMulAdd(0, 16);
+    rig.addMulAdd(8, 24);
+    rig.addReversed();
+    RoundRobinScheduler pe(quantum);
+    RoundRobinScheduler rl(quantum);
+    SCOPED_TRACE(quantum);
+    expectIdentical(rig.run(pe, contendedConfig(2), ReplayMode::PerEvent),
+                    rig.run(rl, contendedConfig(2), ReplayMode::RunLength));
+  }
+}
+
+TEST(RunLengthReplay, ContendedSuitePaperSchedulers) {
+  // The contention acceptance gate: L2 + bounded bus enabled, every
+  // paper scheduler, both replay modes bit-identical on a suite mix.
+  const auto suite = standardSuite(AppParams{0.25});
+  const Workload mix = concurrentScenario(suite, 3);
+  for (const SchedulerKind kind : paperSchedulers()) {
+    ExperimentConfig config;
+    config.mpsoc.sharedL2.emplace();
+    config.mpsoc.bus.emplace();
+    config.mpsoc.memory.classifyMisses = true;
+    config.sched.rrsQuantumCycles = 2'000;
+    config.mpsoc.replayMode = ReplayMode::PerEvent;
+    const ExperimentResult perEvent = runExperiment(mix, kind, config);
+    config.mpsoc.replayMode = ReplayMode::RunLength;
+    const ExperimentResult runLength = runExperiment(mix, kind, config);
+    SCOPED_TRACE("scheduler " + perEvent.schedulerName);
+    expectIdentical(perEvent.sim, runLength.sim);
+    EXPECT_EQ(perEvent.energyMj, runLength.energyMj);
+    EXPECT_TRUE(perEvent.sim.sharedL2Enabled);
+    EXPECT_GT(perEvent.sim.l2Total.accesses, 0u);
+  }
 }
 
 TEST(RunLengthReplay, StandardSuitePaperSchedulers) {
