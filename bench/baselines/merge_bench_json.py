@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Fold bench_micro runs into the committed BENCH_micro.json baseline.
+
+Takes the google-benchmark JSON of a 1-thread run (the comparable
+baseline: every entry), optionally an 8-thread run of the parallel
+analysis benchmarks (--t8), and optionally the previous BENCH_micro.json
+(--previous) whose numbers are carried over as previous_* fields so the
+file records a before/after trajectory, not a single snapshot.
+
+Output schema (one object per benchmark, times in ns):
+  name, iterations, real_time_ns, cpu_time_ns         from the t1 run
+  t8_real_time_ns, t8_cpu_time_ns, t8_speedup         when --t8 covers it
+  previous_cpu_time_ns, speedup_vs_previous           when --previous has it
+t8_speedup is wall-time based (t1 real / t8 real): google-benchmark's
+cpu_time counts only the driving thread, which mostly waits while the
+pool works, so a cpu-time ratio would overstate parallel scaling.
+Context carries the google-benchmark host fields plus laps_threads notes.
+
+Usage:
+  merge_bench_json.py T1_JSON [--t8 T8_JSON] [--previous OLD] -o OUT
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def by_name(benchmarks):
+    return {b["name"]: b for b in benchmarks}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("t1_json", help="google-benchmark JSON at LAPS_THREADS=1")
+    parser.add_argument("--t8", help="google-benchmark JSON at LAPS_THREADS=8")
+    parser.add_argument("--previous", help="previous BENCH_micro.json to diff against")
+    parser.add_argument("-o", "--output", required=True)
+    args = parser.parse_args()
+
+    t1 = load(args.t1_json)
+    t8 = by_name(load(args.t8)["benchmarks"]) if args.t8 else {}
+    previous = {}
+    if args.previous:
+        try:
+            previous = by_name(load(args.previous)["benchmarks"])
+        except FileNotFoundError:
+            pass  # first run: no trajectory yet
+
+    out = []
+    for bench in t1["benchmarks"]:
+        name = bench["name"]
+        entry = {
+            "name": name,
+            "iterations": bench["iterations"],
+            "real_time_ns": round(bench["real_time"], 1),
+            "cpu_time_ns": round(bench["cpu_time"], 1),
+        }
+        if "label" in bench:
+            entry["label"] = bench["label"]
+        if name in t8:
+            entry["t8_real_time_ns"] = round(t8[name]["real_time"], 1)
+            entry["t8_cpu_time_ns"] = round(t8[name]["cpu_time"], 1)
+            if t8[name]["real_time"] > 0:
+                entry["t8_speedup"] = round(
+                    bench["real_time"] / t8[name]["real_time"], 3)
+        prev = previous.get(name)
+        if prev and "cpu_time_ns" in prev and entry["cpu_time_ns"] > 0:
+            entry["previous_cpu_time_ns"] = prev["cpu_time_ns"]
+            entry["speedup_vs_previous"] = round(
+                prev["cpu_time_ns"] / entry["cpu_time_ns"], 3)
+        out.append(entry)
+
+    context = dict(t1.get("context", {}))
+    context["laps_threads_baseline"] = 1
+    if args.t8:
+        context["laps_threads_parallel"] = 8
+    result = {"context": context, "benchmarks": out}
+    with open(args.output, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "core/laps.h"
+#include "util/parallel.h"
 
 namespace {
 
@@ -43,6 +44,47 @@ void contentionSweep(bool csv) {
   // carry no signal for the contention question asked here).
   const std::vector<std::size_t> ts{1, 4, 5};
 
+  // One independent runExperiment per (platform point, scheduler),
+  // flattened in emission order and fanned out over the thread pool.
+  // Every experiment is a pure function of its (workload, config), so
+  // the ordered collection keeps the CSV byte-exact with the serial
+  // sweep at any thread count.
+  struct Job {
+    std::string label;
+    std::int64_t l2Kb = 0;
+    std::int64_t width = 0;
+    std::size_t t = 0;
+    std::size_t mixIndex = 0;
+    SchedulerKind kind = SchedulerKind::Random;
+  };
+  std::vector<Workload> mixes;
+  mixes.reserve(ts.size());
+  for (const std::size_t t : ts) mixes.push_back(concurrentScenario(suite, t));
+  std::vector<Job> jobs;
+  for (const std::int64_t l2Kb : l2SizesKb) {
+    for (const std::int64_t width : busWidthsBytes) {
+      for (std::size_t ti = 0; ti < ts.size(); ++ti) {
+        const std::string label = "l2-" + std::to_string(l2Kb) + "kb_bus-" +
+                                  std::to_string(width) + "b_t-" +
+                                  std::to_string(ts[ti]);
+        for (const SchedulerKind kind : kinds) {
+          jobs.push_back(Job{label, l2Kb, width, ts[ti], ti, kind});
+        }
+      }
+    }
+  }
+
+  const std::vector<ExperimentResult> results =
+      parallelMap<ExperimentResult>(jobs.size(), [&](std::size_t i) {
+        const Job& job = jobs[i];
+        ExperimentConfig config;
+        config.mpsoc.sharedL2.emplace();
+        config.mpsoc.sharedL2->sizeBytes = job.l2Kb * 1024;
+        config.mpsoc.bus.emplace();
+        config.mpsoc.bus->widthBytes = job.width;
+        return runExperiment(mixes[job.mixIndex], job.kind, config);
+      });
+
   if (csv) {
     std::cout.precision(12);
     std::cout << "case,scheduler,l2_kb,bus_width,t,processes,"
@@ -52,40 +94,26 @@ void contentionSweep(bool csv) {
   Table table({"Case", "Sched", "Time (ms)", "D$ misses", "L2 miss%",
                "Bus wait (kcyc)"});
 
-  for (const std::int64_t l2Kb : l2SizesKb) {
-    for (const std::int64_t width : busWidthsBytes) {
-      for (const std::size_t t : ts) {
-        const Workload mix = concurrentScenario(suite, t);
-        ExperimentConfig config;
-        config.mpsoc.sharedL2.emplace();
-        config.mpsoc.sharedL2->sizeBytes = l2Kb * 1024;
-        config.mpsoc.bus.emplace();
-        config.mpsoc.bus->widthBytes = width;
-        const std::string label = "l2-" + std::to_string(l2Kb) + "kb_bus-" +
-                                  std::to_string(width) + "b_t-" +
-                                  std::to_string(t);
-        for (const SchedulerKind kind : kinds) {
-          const auto r = runExperiment(mix, kind, config);
-          if (csv) {
-            std::cout << label << ',' << r.schedulerName << ',' << l2Kb
-                      << ',' << width << ',' << t << ','
-                      << mix.graph.processCount() << ','
-                      << r.sim.makespanCycles << ',' << r.sim.seconds << ','
-                      << r.sim.dcacheTotal.misses << ','
-                      << r.sim.l2Total.accesses << ','
-                      << r.sim.l2Total.misses << ',' << r.sim.busWaitCycles
-                      << '\n';
-          } else {
-            table.row()
-                .cell(label)
-                .cell(r.schedulerName)
-                .cell(r.sim.seconds * 1e3, 3)
-                .cell(r.sim.dcacheTotal.misses)
-                .cell(r.sim.l2Total.missRate() * 100.0, 1)
-                .cell(static_cast<double>(r.sim.busWaitCycles) / 1e3, 0);
-          }
-        }
-      }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    const ExperimentResult& r = results[i];
+    if (csv) {
+      std::cout << job.label << ',' << r.schedulerName << ',' << job.l2Kb
+                << ',' << job.width << ',' << job.t << ','
+                << mixes[job.mixIndex].graph.processCount() << ','
+                << r.sim.makespanCycles << ',' << r.sim.seconds << ','
+                << r.sim.dcacheTotal.misses << ','
+                << r.sim.l2Total.accesses << ','
+                << r.sim.l2Total.misses << ',' << r.sim.busWaitCycles
+                << '\n';
+    } else {
+      table.row()
+          .cell(job.label)
+          .cell(r.schedulerName)
+          .cell(r.sim.seconds * 1e3, 3)
+          .cell(r.sim.dcacheTotal.misses)
+          .cell(r.sim.l2Total.missRate() * 100.0, 1)
+          .cell(static_cast<double>(r.sim.busWaitCycles) / 1e3, 0);
     }
   }
   if (!csv) {

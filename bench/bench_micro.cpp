@@ -32,6 +32,50 @@ void BM_IntervalSetIntersect(benchmark::State& state) {
 }
 BENCHMARK(BM_IntervalSetIntersect)->Arg(64)->Arg(1024)->Arg(16384);
 
+void BM_IntervalSetIntersectSkewed(benchmark::State& state) {
+  // One side is a handful of wide intervals, the other is tens of
+  // thousands of fragments: the shape where a galloping advance beats
+  // the element-wise merge.
+  const auto pieces = static_cast<std::int64_t>(state.range(0));
+  IntervalSet::Builder ba;
+  IntervalSet::Builder bb;
+  for (std::int64_t i = 0; i < 16; ++i) {
+    ba.add(i * pieces * 8, i * pieces * 8 + 50);
+  }
+  for (std::int64_t i = 0; i < pieces; ++i) {
+    bb.add(i * 100, i * 100 + 60);
+  }
+  const IntervalSet a = ba.build();
+  const IntervalSet b = bb.build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersectCardinality(b));
+    benchmark::DoNotOptimize(b.intersectCardinality(a));
+  }
+  state.SetItemsProcessed(state.iterations() * pieces);
+}
+BENCHMARK(BM_IntervalSetIntersectSkewed)->Arg(4096)->Arg(65536);
+
+void BM_IntervalSetSubtractSkewed(benchmark::State& state) {
+  // Sparse minuend, densely fragmented subtrahend: most cutter pieces
+  // fall in the gaps and should be skipped, not scanned.
+  const auto pieces = static_cast<std::int64_t>(state.range(0));
+  IntervalSet::Builder ba;
+  IntervalSet::Builder bb;
+  for (std::int64_t i = 0; i < 16; ++i) {
+    ba.add(i * pieces * 8, i * pieces * 8 + 50);
+  }
+  for (std::int64_t i = 0; i < pieces; ++i) {
+    bb.add(i * 100, i * 100 + 60);
+  }
+  const IntervalSet a = ba.build();
+  const IntervalSet b = bb.build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.subtract(b));
+  }
+  state.SetItemsProcessed(state.iterations() * pieces);
+}
+BENCHMARK(BM_IntervalSetSubtractSkewed)->Arg(4096)->Arg(65536);
+
 void BM_FootprintProg1(benchmark::State& state) {
   ArrayTable arrays;
   const ArrayId a = arrays.add("A", {10000, 16}, 4);
@@ -45,6 +89,22 @@ void BM_FootprintProg1(benchmark::State& state) {
 }
 BENCHMARK(BM_FootprintProg1);
 
+void BM_FootprintStridedLarge(benchmark::State& state) {
+  // A larger strided shape (64k points in stride-32 runs): the
+  // enumeration cost the strided fast path attacks.
+  ArrayTable arrays;
+  const ArrayId a = arrays.add("A", {16384, 32}, 4);
+  const ArrayAccess access{
+      a, AffineMap{AffineExpr({512, 1}, 0), AffineExpr::constant(5)},
+      AccessKind::Read};
+  const auto space = IterationSpace::box({{0, 32}, {0, 2048}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accessFootprint(space, access, arrays.at(a)));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 2048);
+}
+BENCHMARK(BM_FootprintStridedLarge);
+
 void BM_SharingMatrixSuite(benchmark::State& state) {
   const auto count = static_cast<std::size_t>(state.range(0));
   const auto suite = standardSuite();
@@ -55,7 +115,23 @@ void BM_SharingMatrixSuite(benchmark::State& state) {
   }
   state.SetLabel(std::to_string(mix.graph.processCount()) + " processes");
 }
-BENCHMARK(BM_SharingMatrixSuite)->Arg(1)->Arg(3)->Arg(6);
+// Arg(12)/Arg(24) cover the hundreds-of-processes mixes the run-length
+// replay of PR 2 unlocked (|T|=24 is 660 processes, ~217k pair
+// intersections per compute).
+BENCHMARK(BM_SharingMatrixSuite)->Arg(1)->Arg(3)->Arg(6)->Arg(12)->Arg(24);
+
+void BM_WorkloadFootprints(benchmark::State& state) {
+  // Per-process footprint construction over a concurrent mix — the
+  // other half of the analysis pipeline next to SharingMatrix::compute.
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto suite = standardSuite();
+  const Workload mix = concurrentScenario(suite, count);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mix.footprints());
+  }
+  state.SetLabel(std::to_string(mix.graph.processCount()) + " processes");
+}
+BENCHMARK(BM_WorkloadFootprints)->Arg(6)->Arg(24);
 
 void BM_CacheAccess(benchmark::State& state) {
   SetAssocCache cache(CacheConfig{});
@@ -107,7 +183,7 @@ void BM_LocalityPlan(benchmark::State& state) {
   }
   state.SetLabel(std::to_string(mix.graph.processCount()) + " processes");
 }
-BENCHMARK(BM_LocalityPlan)->Arg(1)->Arg(6);
+BENCHMARK(BM_LocalityPlan)->Arg(1)->Arg(6)->Arg(12)->Arg(24);
 
 }  // namespace
 

@@ -6,14 +6,24 @@
 # sanitizer configuration; they only re-exercise library code the tests
 # already cover).
 #
-# Usage: ci.sh [tier1|sanitize|all]   (default: all)
+# Extra modes:
+#   tsan   rebuild the tests under ThreadSanitizer (covers the parallel
+#          analysis substrate of src/util/parallel.h) and run them;
+#   bench  run bench_micro at 1 and 8 analysis threads
+#          (--benchmark_format=json) and merge the runs into
+#          BENCH_micro.json at the repo root — the machine-readable perf
+#          baseline future perf PRs diff against (the previous file's
+#          numbers are folded in as previous_* fields).
+#
+# Usage: ci.sh [tier1|sanitize|tsan|bench|all]   (default: all)
 set -eu
 
 MODE="${1:-all}"
 case "$MODE" in
-  all|tier1|sanitize) ;;
+  all|tier1|sanitize|tsan|bench) ;;
   *)
-    echo "ci.sh: unknown mode '$MODE' (expected tier1, sanitize or all)" >&2
+    echo "ci.sh: unknown mode '$MODE' (expected tier1, sanitize, tsan," \
+         "bench or all)" >&2
     exit 2
     ;;
 esac
@@ -60,4 +70,34 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "sanitize" ]; then
     -DLAPSCHED_BUILD_BENCHES=OFF -DLAPSCHED_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j
   (cd build-asan && ctest --output-on-failure -j)
+fi
+
+if [ "$MODE" = "all" ] || [ "$MODE" = "tsan" ]; then
+  # Tests-only TSan configuration: the thread pool and the parallel
+  # analysis regions run under ThreadSanitizer. LAPS_THREADS widens the
+  # default regions; the bit-identity tests additionally pin explicit
+  # thread counts themselves.
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DLAPSCHED_SANITIZE=thread \
+    -DLAPSCHED_BUILD_BENCHES=OFF -DLAPSCHED_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j
+  (cd build-tsan && LAPS_THREADS=4 ctest --output-on-failure -j)
+fi
+
+if [ "$MODE" = "bench" ]; then
+  cmake -B build -S .
+  cmake --build build -j --target bench_micro
+  if [ ! -x build/bench_micro ]; then
+    echo "ci.sh: bench_micro not built (google-benchmark missing?)" >&2
+    exit 1
+  fi
+  LAPS_THREADS=1 ./build/bench_micro --benchmark_format=json \
+    > build/bench_micro_t1.json
+  LAPS_THREADS=8 ./build/bench_micro --benchmark_format=json \
+    --benchmark_filter='BM_SharingMatrixSuite|BM_WorkloadFootprints' \
+    > build/bench_micro_t8.json
+  python3 bench/baselines/merge_bench_json.py \
+    build/bench_micro_t1.json --t8 build/bench_micro_t8.json \
+    --previous BENCH_micro.json -o BENCH_micro.json
+  echo "ci.sh: wrote BENCH_micro.json"
 fi

@@ -80,6 +80,7 @@
 
 // Utilities
 #include "util/error.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"

@@ -58,35 +58,85 @@ IntervalSet accessFootprint(const IterationSpace& space,
         "accessFootprint: enumeration budget exceeded; shrink the space or "
         "raise the budget");
 
-  // Enumerate all dimensions except runDim with an odometer.
-  IntervalSet::Builder builder(
-      static_cast<std::size_t>(outerCombos * fragmentsPerRun));
+  // Enumerate all dimensions except runDim with an odometer, collecting
+  // one run start per combination. Every run is the same arithmetic
+  // progression shape {lo + k*stride : 0 <= k < runCount}.
+  std::vector<std::int64_t> runStarts;
+  runStarts.reserve(static_cast<std::size_t>(outerCombos));
   std::vector<std::int64_t> point(rank);
   for (std::size_t d = 0; d < rank; ++d) point[d] = space.dim(d).lo;
 
   const std::int64_t spanLength = (runCount - 1) * runStep;  // signed
-  for (;;) {
+  const std::int64_t stride = std::llabs(runStep);
+  for (bool more = true; more;) {
     const std::int64_t first = linear.eval(point);
-    const std::int64_t lo = runStep > 0 ? first : first + spanLength;
-    if (std::llabs(runStep) == 1) {
-      builder.add(lo, lo + runCount);
-    } else {
-      const std::int64_t stride = std::llabs(runStep);
-      for (std::int64_t k = 0; k < runCount; ++k) {
-        builder.addPoint(lo + k * stride);
-      }
-    }
+    runStarts.push_back(runStep > 0 ? first : first + spanLength);
     // Advance the odometer, skipping runDim.
-    std::size_t d = rank;
-    for (;;) {
-      if (d == 0) return builder.build();
+    more = false;
+    for (std::size_t d = rank; d > 0;) {
       --d;
       if (d == runDim) continue;
       point[d] += space.dim(d).step;
-      if (point[d] < space.dim(d).hi) break;
+      if (point[d] < space.dim(d).hi) {
+        more = true;
+        break;
+      }
       point[d] = space.dim(d).lo;
     }
   }
+
+  if (stride == 1) {
+    // Contiguous runs: one interval each; normalize coalesces overlaps
+    // (and skips its sort when the odometer emitted in ascending order).
+    IntervalSet::Builder builder(runStarts.size());
+    for (const std::int64_t lo : runStarts) builder.add(lo, lo + runCount);
+    return builder.build();
+  }
+
+  // Strided fast path: all runs share one stride. When they also share
+  // one residue class mod the stride (the common row-major case — every
+  // outer-dimension address step is a multiple of the run stride), the
+  // union is computed on run *indices*: each run maps to the index
+  // interval [(lo - r)/stride, +runCount), the small index union
+  // deduplicates overlapping runs exactly, and the expansion back to
+  // element offsets is emitted sorted, disjoint and non-adjacent — so
+  // build() never sorts and never revisits duplicates.
+  const auto floorMod = [](std::int64_t value, std::int64_t m) {
+    const std::int64_t r = value % m;
+    return r < 0 ? r + m : r;
+  };
+  const std::int64_t residue = floorMod(runStarts.front(), stride);
+  bool singleResidue = true;
+  for (const std::int64_t lo : runStarts) {
+    if (floorMod(lo, stride) != residue) {
+      singleResidue = false;
+      break;
+    }
+  }
+  if (singleResidue) {
+    IntervalSet::Builder indexRuns(runStarts.size());
+    for (const std::int64_t lo : runStarts) {
+      const std::int64_t i0 = (lo - residue) / stride;
+      indexRuns.add(i0, i0 + runCount);
+    }
+    const IntervalSet indexSet = indexRuns.build();
+    IntervalSet::Builder builder(
+        static_cast<std::size_t>(indexSet.cardinality()));
+    for (const Interval& iv : indexSet.pieces()) {
+      builder.addStridedRun(residue + iv.lo * stride, stride,
+                            iv.hi - iv.lo);
+    }
+    return builder.build();
+  }
+
+  // Mixed residues (outer steps not multiples of the run stride): emit
+  // each run in bulk and let normalize sort the interleaved result.
+  IntervalSet::Builder builder(
+      static_cast<std::size_t>(outerCombos * fragmentsPerRun));
+  for (const std::int64_t lo : runStarts) {
+    builder.addStridedRun(lo, stride, runCount);
+  }
+  return builder.build();
 }
 
 void Footprint::add(ArrayId array, const IntervalSet& elements) {

@@ -5,6 +5,26 @@
 #include "util/error.h"
 
 namespace laps {
+namespace {
+
+/// First index >= i in \p v whose piece extends past \p x (hi > x).
+/// Valid because pieces are disjoint and sorted, so hi is increasing.
+std::size_t skipPast(const std::vector<Interval>& v, std::size_t i,
+                     std::int64_t x) {
+  const auto it = std::lower_bound(
+      v.begin() + static_cast<std::ptrdiff_t>(i), v.end(), x,
+      [](const Interval& iv, std::int64_t value) { return iv.hi <= value; });
+  return static_cast<std::size_t>(it - v.begin());
+}
+
+/// Galloping pays off when \p dense has many pieces per piece of
+/// \p sparse: lower_bound jumps over the non-overlapping span instead of
+/// stepping through it.
+bool muchDenser(std::size_t dense, std::size_t sparse) {
+  return dense >= 16 && dense / 4 > sparse;
+}
+
+}  // namespace
 
 IntervalSet::IntervalSet(std::vector<Interval> intervals)
     : pieces_(std::move(intervals)) {
@@ -13,14 +33,28 @@ IntervalSet::IntervalSet(std::vector<Interval> intervals)
 
 void IntervalSet::normalize() {
   std::erase_if(pieces_, [](const Interval& iv) { return iv.empty(); });
-  std::sort(pieces_.begin(), pieces_.end(),
-            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  normalizeNonEmpty();
+}
+
+// Sort-if-needed + coalesce, assuming no empty pieces (the Builder never
+// stores any, so build() skips normalize()'s erase pass).
+void IntervalSet::normalizeNonEmpty() {
+  // Footprint enumeration usually emits runs in ascending order; the
+  // O(n) sortedness probe then replaces the O(n log n) sort entirely.
+  const auto byLo = [](const Interval& a, const Interval& b) {
+    return a.lo < b.lo;
+  };
+  if (!std::is_sorted(pieces_.begin(), pieces_.end(), byLo)) {
+    std::sort(pieces_.begin(), pieces_.end(), byLo);
+  }
   std::size_t out = 0;
   for (std::size_t i = 0; i < pieces_.size(); ++i) {
     if (out > 0 && pieces_[out - 1].touches(pieces_[i])) {
       pieces_[out - 1].hi = std::max(pieces_[out - 1].hi, pieces_[i].hi);
-    } else {
+    } else if (out != i) {
       pieces_[out++] = pieces_[i];
+    } else {
+      ++out;
     }
   }
   pieces_.resize(out);
@@ -70,7 +104,13 @@ IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
 IntervalSet IntervalSet::subtract(const IntervalSet& other) const {
   IntervalSet out;
   std::size_t j = 0;
+  const std::size_t m = other.pieces_.size();
+  const bool gallop = muchDenser(m, pieces_.size());
   for (Interval iv : pieces_) {
+    if (gallop && j < m && other.pieces_[j].hi <= iv.lo) {
+      // Jump over the cutter pieces entirely before iv.
+      j = skipPast(other.pieces_, j + 1, iv.lo);
+    }
     while (!iv.empty() && j < other.pieces_.size() &&
            other.pieces_[j].lo < iv.hi) {
       const Interval& cut = other.pieces_[j];
@@ -102,9 +142,35 @@ std::int64_t IntervalSet::intersectCardinality(const IntervalSet& other) const {
   std::int64_t total = 0;
   std::size_t i = 0;
   std::size_t j = 0;
-  while (i < pieces_.size() && j < other.pieces_.size()) {
-    total += pieces_[i].intersect(other.pieces_[j]).length();
-    if (pieces_[i].hi < other.pieces_[j].hi) {
+  const std::size_t n = pieces_.size();
+  const std::size_t m = other.pieces_.size();
+  const bool gallopI = muchDenser(n, m);
+  const bool gallopJ = muchDenser(m, n);
+  if (!gallopI && !gallopJ) {
+    // Comparable sizes: the branch-light element-wise merge.
+    while (i < n && j < m) {
+      total += pieces_[i].intersect(other.pieces_[j]).length();
+      if (pieces_[i].hi < other.pieces_[j].hi) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return total;
+  }
+  while (i < n && j < m) {
+    const Interval& a = pieces_[i];
+    const Interval& b = other.pieces_[j];
+    if (a.hi <= b.lo) {
+      i = gallopI ? skipPast(pieces_, i + 1, b.lo) : i + 1;
+      continue;
+    }
+    if (b.hi <= a.lo) {
+      j = gallopJ ? skipPast(other.pieces_, j + 1, a.lo) : j + 1;
+      continue;
+    }
+    total += std::min(a.hi, b.hi) - std::max(a.lo, b.lo);
+    if (a.hi < b.hi) {
       ++i;
     } else {
       ++j;
@@ -139,7 +205,7 @@ Interval IntervalSet::bounds() const {
 IntervalSet IntervalSet::Builder::build() {
   IntervalSet out;
   out.pieces_ = std::move(raw_);
-  out.normalize();
+  out.normalizeNonEmpty();
   raw_.clear();
   return out;
 }

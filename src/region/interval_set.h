@@ -74,6 +74,26 @@ class IntervalSet {
     void add(std::int64_t lo, std::int64_t hi) { add(Interval{lo, hi}); }
     void addPoint(std::int64_t x) { add(Interval{x, x + 1}); }
 
+    /// Appends the arithmetic progression {lo + k*stride : 0 <= k < count}
+    /// (stride >= 1) as a bulk of pre-sorted intervals — the strided
+    /// footprint fast path. One interval for stride 1, else `count` unit
+    /// intervals emitted in one tight, pre-sized loop.
+    void addStridedRun(std::int64_t lo, std::int64_t stride,
+                       std::int64_t count) {
+      if (count <= 0) return;
+      if (stride == 1 || count == 1) {
+        raw_.push_back(Interval{lo, lo + (stride == 1 ? count : 1)});
+        return;
+      }
+      const std::size_t base = raw_.size();
+      raw_.resize(base + static_cast<std::size_t>(count));
+      std::int64_t x = lo;
+      for (std::size_t k = 0; k < static_cast<std::size_t>(count); ++k) {
+        raw_[base + k] = Interval{x, x + 1};
+        x += stride;
+      }
+    }
+
     /// Number of intervals buffered so far.
     [[nodiscard]] std::size_t size() const { return raw_.size(); }
 
@@ -86,6 +106,7 @@ class IntervalSet {
 
  private:
   void normalize();
+  void normalizeNonEmpty();
 
   std::vector<Interval> pieces_;  // sorted, disjoint, coalesced, non-empty
 };

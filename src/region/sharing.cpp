@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace laps {
 
@@ -14,15 +15,46 @@ std::size_t SharingMatrix::idx(std::size_t p, std::size_t q) const {
 }
 
 SharingMatrix SharingMatrix::compute(std::span<const Footprint> footprints) {
-  SharingMatrix m(footprints.size());
-  for (std::size_t p = 0; p < footprints.size(); ++p) {
-    m.set(p, p, footprints[p].totalElements());
-    for (std::size_t q = p + 1; q < footprints.size(); ++q) {
-      const std::int64_t shared = footprints[p].sharedElements(footprints[q]);
-      m.set(p, q, shared);
-      m.set(q, p, shared);
-    }
+  const std::size_t n = footprints.size();
+  SharingMatrix m(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    m.cell(p, p) = footprints[p].totalElements();
   }
+  if (n < 2) return m;
+
+  // The upper triangle, flattened so static chunks carry near-equal
+  // work (chunking rows would leave the last thread the short rows).
+  // rowStart[p] is the linear index of pair (p, p+1).
+  std::vector<std::size_t> rowStart(n - 1);
+  std::size_t acc = 0;
+  for (std::size_t p = 0; p + 1 < n; ++p) {
+    rowStart[p] = acc;
+    acc += n - 1 - p;
+  }
+  const std::size_t pairs = acc;
+
+  // Each linear index owns cells (p, q) and (q, p) exclusively, and
+  // sharedElements is a pure function of the two footprints — so the
+  // matrix is bit-identical to the serial loop at any thread count.
+  // Within a chunk (p, q) advances incrementally: the unranking
+  // upper_bound runs once per chunk, not per pair.
+  parallelChunks(pairs, [&](std::size_t begin, std::size_t end) {
+    std::size_t p =
+        static_cast<std::size_t>(
+            std::upper_bound(rowStart.begin(), rowStart.end(), begin) -
+            rowStart.begin()) -
+        1;
+    std::size_t q = p + 1 + (begin - rowStart[p]);
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::int64_t shared = footprints[p].sharedElements(footprints[q]);
+      m.cell(p, q) = shared;
+      m.cell(q, p) = shared;
+      if (++q == n) {
+        ++p;
+        q = p + 1;
+      }
+    }
+  });
   return m;
 }
 
@@ -36,14 +68,16 @@ void SharingMatrix::set(std::size_t p, std::size_t q, std::int64_t value) {
 
 std::int64_t SharingMatrix::rowSum(std::size_t p,
                                    std::span<const std::size_t> candidates) const {
+  check(p < n_, "SharingMatrix::rowSum: index out of range");
   std::int64_t total = 0;
   if (candidates.empty()) {
     for (std::size_t q = 0; q < n_; ++q) {
-      if (q != p) total += at(p, q);
+      if (q != p) total += cell(p, q);
     }
   } else {
     for (const std::size_t q : candidates) {
-      if (q != p) total += at(p, q);
+      check(q < n_, "SharingMatrix::rowSum: candidate out of range");
+      if (q != p) total += cell(p, q);
     }
   }
   return total;
@@ -52,7 +86,7 @@ std::int64_t SharingMatrix::rowSum(std::size_t p,
 bool SharingMatrix::isDiagonal() const {
   for (std::size_t p = 0; p < n_; ++p) {
     for (std::size_t q = 0; q < n_; ++q) {
-      if (p != q && at(p, q) != 0) return false;
+      if (p != q && cell(p, q) != 0) return false;
     }
   }
   return true;
@@ -65,7 +99,7 @@ Table SharingMatrix::toTable() const {
   for (std::size_t p = 0; p < n_; ++p) {
     t.row().cell("P" + std::to_string(p));
     for (std::size_t q = 0; q < n_; ++q) {
-      t.cell(at(p, q));
+      t.cell(cell(p, q));
     }
   }
   return t;

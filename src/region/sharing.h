@@ -22,10 +22,16 @@ class SharingMatrix {
   explicit SharingMatrix(std::size_t n);
 
   /// Computes the full matrix from per-process footprints (exact).
+  /// Pair intersections run on the parallel substrate (util/parallel.h);
+  /// each cell is written by exactly one index, so the result is
+  /// bit-identical to the serial loop at every thread count.
   static SharingMatrix compute(std::span<const Footprint> footprints);
 
   [[nodiscard]] std::size_t size() const { return n_; }
 
+  /// Bounds-checked accessors (throw laps::Error out of range). Internal
+  /// hot loops use the unchecked cell() below instead: the check fired
+  /// n^2 times per compute.
   [[nodiscard]] std::int64_t at(std::size_t p, std::size_t q) const;
   void set(std::size_t p, std::size_t q, std::int64_t value);
 
@@ -43,6 +49,15 @@ class SharingMatrix {
 
  private:
   [[nodiscard]] std::size_t idx(std::size_t p, std::size_t q) const;
+
+  /// Unchecked cell access for loops whose indices are validated once at
+  /// the boundary (p, q < n_ by construction).
+  [[nodiscard]] std::int64_t& cell(std::size_t p, std::size_t q) {
+    return cells_[p * n_ + q];
+  }
+  [[nodiscard]] std::int64_t cell(std::size_t p, std::size_t q) const {
+    return cells_[p * n_ + q];
+  }
 
   std::size_t n_ = 0;
   std::vector<std::int64_t> cells_;  // row-major n x n

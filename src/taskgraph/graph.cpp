@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace laps {
 
@@ -141,12 +142,12 @@ std::vector<std::int64_t> ExtendedProcessGraph::criticalPathCycles() const {
 
 std::vector<Footprint> ExtendedProcessGraph::footprints(
     const ArrayTable& arrays) const {
-  std::vector<Footprint> out;
-  out.reserve(processes_.size());
-  for (const auto& p : processes_) {
-    out.push_back(p.footprint(arrays));
-  }
-  return out;
+  // Each process's footprint is a pure function of its spec and the
+  // (read-only) array table, and parallelMap collects in index order —
+  // bit-identical to the serial loop at any thread count.
+  return parallelMap<Footprint>(processes_.size(), [&](std::size_t i) {
+    return processes_[i].footprint(arrays);
+  });
 }
 
 std::string ExtendedProcessGraph::toDot() const {

@@ -1,0 +1,218 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/error.h"
+
+namespace laps {
+namespace {
+
+/// True on threads owned by the pool AND on the caller thread while it
+/// participates in a region: nested regions run inline in both cases
+/// (the caller would otherwise self-deadlock on the region mutex).
+thread_local bool tlsInRegion = false;
+
+/// Marks the current thread as inside a region for the guard's lifetime.
+class RegionMark {
+ public:
+  RegionMark() : previous_(tlsInRegion) { tlsInRegion = true; }
+  ~RegionMark() { tlsInRegion = previous_; }
+  RegionMark(const RegionMark&) = delete;
+  RegionMark& operator=(const RegionMark&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// A fixed-size pool whose workers all run the same job (indexed by
+/// worker slot) once per generation. One region at a time; the region
+/// mutex below serializes callers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers) {
+    threads_.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads_.emplace_back([this, w] { workerLoop(w); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  [[nodiscard]] std::size_t workerCount() const { return threads_.size(); }
+
+  /// Starts job(w) on every worker slot w. Caller must pair with wait().
+  void dispatch(const std::function<void(std::size_t)>* job) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job_ = job;
+      ++generation_;
+      remaining_ = threads_.size();
+      firstError_ = nullptr;
+    }
+    wake_.notify_all();
+  }
+
+  /// Blocks until the dispatched generation drains; rethrows the first
+  /// worker exception, if any.
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_.wait(lock, [this] { return remaining_ == 0; });
+    if (firstError_) {
+      const std::exception_ptr error = firstError_;
+      firstError_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  void workerLoop(std::size_t slot) {
+    tlsInRegion = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+      }
+      std::exception_ptr error;
+      try {
+        (*job)(slot);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (error && !firstError_) firstError_ = error;
+        if (--remaining_ == 0) drained_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable drained_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  std::exception_ptr firstError_;
+  bool stop_ = false;
+};
+
+std::atomic<std::size_t> explicitThreadCount{0};
+
+/// Serializes parallel regions and guards the lazily-built pool.
+std::mutex& regionMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unique_ptr<ThreadPool>& poolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::size_t envThreadCount() {
+  static const std::size_t parsed = [] {
+    const char* raw = std::getenv("LAPS_THREADS");
+    if (raw == nullptr || *raw == '\0') return std::size_t{0};
+    char* end = nullptr;
+    const long value = std::strtol(raw, &end, 10);
+    if (end == nullptr || *end != '\0' || value < 1) return std::size_t{0};
+    return static_cast<std::size_t>(value);
+  }();
+  return parsed;
+}
+
+}  // namespace
+
+std::size_t parallelThreadCount() {
+  const std::size_t explicitCount =
+      explicitThreadCount.load(std::memory_order_relaxed);
+  if (explicitCount >= 1) return explicitCount;
+  if (const std::size_t env = envThreadCount(); env >= 1) return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+void setParallelThreadCount(std::size_t count) {
+  check(!tlsInRegion,
+        "setParallelThreadCount: must not be called from a parallel region");
+  explicitThreadCount.store(count, std::memory_order_relaxed);
+}
+
+void parallelChunks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t configured = parallelThreadCount();
+  const std::size_t threads = std::min(configured, n);
+  if (threads <= 1 || tlsInRegion) {
+    body(0, n);
+    return;
+  }
+
+  // Static chunking: chunk c covers [c*chunk, min(n, (c+1)*chunk)).
+  const std::size_t chunk = (n + threads - 1) / threads;
+  const auto runChunk = [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin < end) body(begin, end);
+  };
+
+  const std::lock_guard<std::mutex> region(regionMutex());
+  const RegionMark mark;  // nested regions on this thread run inline
+  // The pool is sized to the configured count, not to this region's
+  // (possibly smaller) chunk count: surplus workers draw an empty chunk,
+  // and alternating small/large regions never respawn OS threads.
+  std::unique_ptr<ThreadPool>& pool = poolSlot();
+  if (!pool || pool->workerCount() != configured - 1) {
+    pool.reset();  // join the old size before starting the new one
+    pool = std::make_unique<ThreadPool>(configured - 1);
+  }
+  // Workers take chunks 1..threads-1; the caller runs chunk 0 so the
+  // pool only ever needs threads-1 threads.
+  const std::function<void(std::size_t)> job = [&](std::size_t slot) {
+    runChunk(slot + 1);
+  };
+  pool->dispatch(&job);
+  try {
+    runChunk(0);
+  } catch (...) {
+    try {
+      pool->wait();  // drain before unwinding past `job`
+    } catch (...) {
+      // Caller's exception wins; the worker's is dropped.
+    }
+    throw;
+  }
+  pool->wait();
+}
+
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)>& body) {
+  parallelChunks(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+}  // namespace laps

@@ -1,0 +1,68 @@
+#pragma once
+/// \file parallel.h
+/// \brief Deterministic parallelism substrate: a lazily-started thread
+/// pool behind statically-chunked parallelFor / parallelMap.
+///
+/// Determinism contract: parallelFor(n, body) invokes body(i) exactly
+/// once for every i in [0, n), and each index writes only its own
+/// outputs — so any region built on it is bit-identical to the serial
+/// loop regardless of thread count or interleaving. parallelMap
+/// additionally collects results in index order. The work partition is
+/// static (contiguous chunks computed from n and the thread count
+/// alone), never work-stealing, so the index → thread assignment is
+/// itself reproducible.
+///
+/// Thread count resolution, in priority order:
+///   1. setParallelThreadCount(n) with n >= 1 (tests use this);
+///   2. the LAPS_THREADS environment variable;
+///   3. std::thread::hardware_concurrency().
+/// At 1 thread no pool is started and every region runs inline on the
+/// caller. Regions entered from inside a pool worker (nested
+/// parallelism, e.g. footprints() under a parallel bench sweep) also
+/// run inline on that worker.
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace laps {
+
+/// The thread count parallel regions will use (always >= 1).
+[[nodiscard]] std::size_t parallelThreadCount();
+
+/// Overrides the thread count; 0 restores automatic resolution
+/// (LAPS_THREADS, then hardware concurrency). Takes effect on the next
+/// parallel region. Must not be called from inside one.
+void setParallelThreadCount(std::size_t count);
+
+/// Splits [0, n) into one contiguous chunk per thread and invokes
+/// body(begin, end) once per non-empty chunk. Blocks until all chunks
+/// completed. An exception thrown by \p body is rethrown on the caller
+/// after the region drains (the caller's own chunk wins ties). This is
+/// the per-chunk primitive: hot loops that cannot afford a function
+/// call per index iterate inside \p body.
+void parallelChunks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Invokes body(i) for every i in [0, n), split into one contiguous
+/// chunk per thread. Prefer this when per-index work dwarfs a function
+/// call; use parallelChunks otherwise.
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+/// parallelFor that collects fn(i) into a vector in index order.
+/// T must be default-constructible.
+template <typename T>
+[[nodiscard]] std::vector<T> parallelMap(
+    std::size_t n, const std::function<T(std::size_t)>& fn) {
+  // vector<bool> packs bits, so neighbouring indices in different
+  // chunks would race on shared bytes; map into std::vector<char>.
+  static_assert(!std::is_same_v<T, bool>,
+                "parallelMap<bool> would race on vector<bool>'s bit packing");
+  std::vector<T> out(n);
+  parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace laps

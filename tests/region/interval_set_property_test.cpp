@@ -13,9 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bitset>
 #include <vector>
 
+#include "region/strided_interval.h"
 #include "util/rng.h"
 
 namespace laps {
@@ -105,6 +107,90 @@ TEST_P(IntervalSetProperties, SetAlgebraMatchesBitsetOracle) {
       const std::int64_t x = rng.range(0, kDomain - 1);
       EXPECT_EQ(a.contains(x), oa.test(static_cast<std::size_t>(x)));
     }
+  }
+}
+
+TEST_P(IntervalSetProperties, SkewedSizesTakeTheGallopingPathCorrectly) {
+  // intersectCardinality and subtract switch to a lower_bound galloping
+  // advance when one side has >= 16 pieces and is > 4x denser than the
+  // other; the 0..12-piece cases above never reach it. Dense side here:
+  // dozens of point-like fragments; sparse side: a handful of wide
+  // intervals (including none).
+  Rng rng(GetParam());
+  for (int round = 0; round < 100; ++round) {
+    IntervalSet::Builder denseBuilder;
+    const int densePieces = static_cast<int>(rng.range(20, 150));
+    for (int i = 0; i < densePieces; ++i) {
+      const std::int64_t lo = rng.range(0, kDomain - 4);
+      denseBuilder.add(lo, lo + rng.range(1, 3));
+    }
+    IntervalSet::Builder sparseBuilder;
+    const int sparsePieces = static_cast<int>(rng.range(0, 4));
+    for (int i = 0; i < sparsePieces; ++i) {
+      sparseBuilder.add(randomInterval(rng));
+    }
+    const IntervalSet dense = denseBuilder.build();
+    const IntervalSet sparse = sparseBuilder.build();
+    const Bits od = toBits(dense);
+    const Bits os = toBits(sparse);
+
+    EXPECT_EQ(dense.intersectCardinality(sparse),
+              static_cast<std::int64_t>((od & os).count()));
+    EXPECT_EQ(sparse.intersectCardinality(dense),
+              static_cast<std::int64_t>((od & os).count()));
+    expectMatchesOracle(sparse.subtract(dense), os & ~od);
+    expectMatchesOracle(dense.subtract(sparse), od & ~os);
+  }
+}
+
+TEST_P(IntervalSetProperties, BuilderOrderDoesNotAffectTheResult) {
+  // normalize() skips its sort when the input is already ascending;
+  // building from sorted and shuffled permutations of the same
+  // intervals must produce identical (canonical) sets.
+  Rng rng(GetParam());
+  for (int round = 0; round < 100; ++round) {
+    std::vector<Interval> intervals;
+    const int pieces = static_cast<int>(rng.range(0, 40));
+    for (int i = 0; i < pieces; ++i) intervals.push_back(randomInterval(rng));
+
+    std::vector<Interval> sorted = intervals;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+    IntervalSet::Builder fromSorted;
+    for (const Interval& iv : sorted) fromSorted.add(iv);
+
+    rng.shuffle(intervals);
+    IntervalSet::Builder fromShuffled;
+    for (const Interval& iv : intervals) fromShuffled.add(iv);
+
+    const IntervalSet a = fromSorted.build();
+    const IntervalSet b = fromShuffled.build();
+    EXPECT_EQ(a, b);
+    expectMatchesOracle(a, toBits(b));
+  }
+}
+
+TEST_P(IntervalSetProperties, AddStridedRunMatchesPerPointAdds) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    const std::int64_t stride = rng.range(1, 9);
+    const std::int64_t count = rng.range(0, 30);
+    const std::int64_t lo = rng.range(0, 100);
+
+    IntervalSet::Builder bulk;
+    bulk.addStridedRun(lo, stride, count);
+    IntervalSet::Builder perPoint;
+    for (std::int64_t k = 0; k < count; ++k) {
+      perPoint.addPoint(lo + k * stride);
+    }
+    EXPECT_EQ(bulk.build(), perPoint.build());
+
+    // And against the StridedInterval expansion (the other exact
+    // representation of the same progression).
+    const StridedInterval run{lo, std::max<std::int64_t>(stride, 1), count};
+    IntervalSet::Builder viaRun;
+    viaRun.addStridedRun(lo, run.stride, run.count);
+    EXPECT_EQ(viaRun.build(), run.toIntervalSet());
   }
 }
 

@@ -1,0 +1,136 @@
+/// \file parallel_test.cpp
+/// \brief The deterministic parallelism substrate: coverage of every
+/// index, ordered collection, nesting, knob resolution and exception
+/// propagation — at thread counts 1 (inline), 2 and 8.
+
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/error.h"
+
+namespace laps {
+namespace {
+
+/// Restores automatic thread-count resolution when a test exits.
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() { setParallelThreadCount(0); }
+};
+
+TEST(ParallelTest, ThreadCountKnobWinsOverAuto) {
+  const ThreadCountGuard guard;
+  setParallelThreadCount(5);
+  EXPECT_EQ(parallelThreadCount(), 5u);
+  setParallelThreadCount(0);
+  EXPECT_GE(parallelThreadCount(), 1u);  // auto resolution, always >= 1
+}
+
+TEST(ParallelTest, ForCoversEveryIndexExactlyOnce) {
+  const ThreadCountGuard guard;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    setParallelThreadCount(threads);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    parallelFor(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ParallelTest, ForHandlesEmptyAndTinyRanges) {
+  const ThreadCountGuard guard;
+  setParallelThreadCount(8);
+  int calls = 0;
+  parallelFor(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> one{0};
+  parallelFor(1, [&](std::size_t) { one.fetch_add(1); });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ParallelTest, ChunksPartitionTheRange) {
+  const ThreadCountGuard guard;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    setParallelThreadCount(threads);
+    constexpr std::size_t kN = 97;  // not a multiple of any thread count
+    std::vector<std::atomic<int>> hits(kN);
+    parallelChunks(kN, [&](std::size_t begin, std::size_t end) {
+      ASSERT_LT(begin, end);
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    int total = 0;
+    for (auto& h : hits) total += h.load();
+    EXPECT_EQ(total, static_cast<int>(kN)) << threads << " threads";
+  }
+}
+
+TEST(ParallelTest, MapCollectsInIndexOrder) {
+  const ThreadCountGuard guard;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    setParallelThreadCount(threads);
+    const std::vector<std::int64_t> out = parallelMap<std::int64_t>(
+        257, [](std::size_t i) { return static_cast<std::int64_t>(i * i); });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<std::int64_t>(i * i));
+    }
+  }
+}
+
+TEST(ParallelTest, NestedRegionsRunInline) {
+  const ThreadCountGuard guard;
+  setParallelThreadCount(4);
+  // Outer region saturates the pool; inner regions must degrade to the
+  // serial loop instead of deadlocking on the region mutex.
+  const std::vector<std::int64_t> out =
+      parallelMap<std::int64_t>(16, [](std::size_t i) {
+        std::int64_t sum = 0;
+        parallelFor(10, [&](std::size_t j) {
+          sum += static_cast<std::int64_t>(i * j);
+        });
+        return sum;
+      });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<std::int64_t>(45 * i));
+  }
+}
+
+TEST(ParallelTest, ExceptionsPropagateToTheCaller) {
+  const ThreadCountGuard guard;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    setParallelThreadCount(threads);
+    EXPECT_THROW(
+        parallelFor(100,
+                    [](std::size_t i) {
+                      if (i == 57) fail("boom");
+                    }),
+        Error);
+    // The pool must stay usable after an exceptional region.
+    std::atomic<int> count{0};
+    parallelFor(100, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ParallelTest, ResultsIdenticalAcrossThreadCounts) {
+  const ThreadCountGuard guard;
+  std::vector<std::vector<std::int64_t>> runs;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    setParallelThreadCount(threads);
+    runs.push_back(parallelMap<std::int64_t>(503, [](std::size_t i) {
+      return static_cast<std::int64_t>(i) * 2654435761LL % 1000003;
+    }));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+}  // namespace
+}  // namespace laps
