@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Perf gate over BENCH_micro.json: fail on >threshold speedup regressions.
+
+Compares a freshly produced BENCH_micro.json (see ``./ci.sh bench``)
+against the committed baseline and fails when any ``*_speedup`` field
+(``t8_speedup``: parallel scaling, plus any future within-host ratio)
+regresses by more than --threshold (default 0.25 = 25%) relative to the
+baseline's value. ``speedup_vs_previous`` is exempt — it is a one-time
+before/after record, not a stable invariant (see the inline comment).
+
+Benchmarks new in the current run pass (no baseline to regress from);
+benchmarks that *disappeared* fail — a silently dropped benchmark is how
+perf coverage rots. Raw cpu_time_ns is reported for context but not
+gated: absolute times shift with the runner's hardware, while the
+speedup ratios are computed within one host and stay comparable.
+
+Usage:
+  check_bench_regression.py CURRENT_JSON BASELINE_JSON [--threshold 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return data.get("context", {}), {
+        b["name"]: b for b in data.get("benchmarks", [])
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly generated BENCH_micro.json")
+    parser.add_argument("baseline", help="committed BENCH_micro.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated relative speedup regression (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    current_ctx, current = load(args.current)
+    baseline_ctx, baseline = load(args.baseline)
+
+    # Speedup ratios are only comparable within one host class: a
+    # baseline captured on a 1-CPU container records pool-overhead
+    # parity, and diffing a multicore run against it would neither catch
+    # real scaling regressions nor avoid spurious ones. Coverage (no
+    # benchmark silently dropped) is still enforced; refresh the
+    # committed baseline from this host's artifact to arm the gate.
+    gate_speedups = True
+    cpus = (baseline_ctx.get("num_cpus"), current_ctx.get("num_cpus"))
+    if cpus[0] != cpus[1]:
+        message = (
+            f"bench gate disarmed: baseline num_cpus={cpus[0]} vs run "
+            f"num_cpus={cpus[1]} — speedup gating skipped; commit this "
+            f"run's BENCH_micro.json artifact to arm the gate"
+        )
+        print(f"check_bench_regression: {message}")
+        # GitHub Actions warning annotation, so the disarmed state is
+        # visible in the UI instead of silently green.
+        print(f"::warning file=BENCH_micro.json::{message}")
+        gate_speedups = False
+
+    errors = []
+    checked = 0
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            errors.append(f"{name}: present in baseline but missing from run")
+            continue
+        if not gate_speedups:
+            continue
+        for field in sorted(set(base) & set(cur)):
+            if not field.endswith("_speedup"):
+                continue
+            # speedup_vs_previous is deliberately NOT gated: it records a
+            # one-time before/after trajectory (prev run / this run), so a
+            # perf PR that improved it makes the next parity run "regress"
+            # by construction. Only stable within-host ratios (t8_speedup)
+            # are invariants worth failing CI over.
+            want = base[field]
+            have = cur[field]
+            if not isinstance(want, (int, float)) or want <= 0:
+                continue
+            checked += 1
+            if have < want * (1.0 - args.threshold):
+                errors.append(
+                    f"{name}: {field} regressed {want:.3f} -> {have:.3f} "
+                    f"(more than {args.threshold:.0%}; "
+                    f"cpu {base.get('cpu_time_ns')} -> "
+                    f"{cur.get('cpu_time_ns')} ns)"
+                )
+    new = sorted(set(current) - set(baseline))
+    if errors:
+        print(f"check_bench_regression: {len(errors)} violation(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(
+        f"check_bench_regression: OK — {checked} speedup field(s) within "
+        f"{args.threshold:.0%} of baseline"
+        + (f", {len(new)} new benchmark(s)" if new else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

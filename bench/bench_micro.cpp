@@ -120,6 +120,29 @@ void BM_SharingMatrixSuite(benchmark::State& state) {
 // intersections per compute).
 BENCHMARK(BM_SharingMatrixSuite)->Arg(1)->Arg(3)->Arg(6)->Arg(12)->Arg(24);
 
+void BM_SharingMatrixIncremental(benchmark::State& state) {
+  // One open-workload arrival event at steady state: removeProcess +
+  // addProcess of a single row against |T| resident applications. The
+  // comparison point is BM_SharingMatrixSuite at the same Arg — a full
+  // recompute per event; the incremental path must beat it by >= 5x at
+  // Arg(24) (it touches O(n) pairs instead of O(n^2)).
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto suite = standardSuite();
+  const Workload mix = concurrentScenario(suite, count);
+  const auto footprints = mix.footprints();
+  SharingMatrix m = SharingMatrix::compute(footprints);
+  const std::size_t p = footprints.size() / 2;
+  for (auto _ : state) {
+    m.removeProcess(p);
+    m.addProcess(footprints, p);
+    benchmark::DoNotOptimize(m.at(p, p));
+  }
+  state.SetLabel(std::to_string(mix.graph.processCount()) + " processes");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(footprints.size()));
+}
+BENCHMARK(BM_SharingMatrixIncremental)->Arg(12)->Arg(24);
+
 void BM_WorkloadFootprints(benchmark::State& state) {
   // Per-process footprint construction over a concurrent mix — the
   // other half of the analysis pipeline next to SharingMatrix::compute.

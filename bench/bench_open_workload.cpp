@@ -1,0 +1,148 @@
+/// \file bench_open_workload.cpp
+/// \brief The open-workload sweep: arrival rate x |T| x scheduler.
+///
+/// The paper evaluates a closed system (every process resident at
+/// cycle 0). This bench opens it (docs/ARCHITECTURE.md §9): task
+/// cohorts arrive at seeded inter-arrival distances
+/// (MpsocConfig::arrivals), an optional per-process lifetime retires
+/// overstayers, and the schedulers compared are the ones that make
+/// sense without a whole-set static plan — RS, RRS, and the dynamic
+/// trio DLS / CALS / OLS (the incremental replanner this sweep
+/// exists to exercise).
+///
+/// With --csv the sweep is emitted as CSV for
+/// bench/baselines/check_shapes.py, which diffs it against the
+/// committed baseline (open_workload.csv) — the simulation is
+/// deterministic, so any drift is a behavior change. The paper-shape
+/// orderings are skipped (--no-shapes): LS/LSM are closed-workload
+/// policies and do not appear here.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/laps.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace laps;
+
+struct Job {
+  std::string label;
+  std::int64_t arrivalKcyc = 0;   // mean inter-arrival, kilocycles
+  std::int64_t lifetimeKcyc = 0;  // 0 = unlimited
+  std::size_t t = 0;
+  std::size_t mixIndex = 0;
+  SchedulerKind kind = SchedulerKind::Random;
+};
+
+void sweep(bool csv) {
+  const auto suite = standardSuite();
+  const std::vector<SchedulerKind> kinds = openSchedulers();
+  const std::vector<std::int64_t> arrivalMeansKcyc{100, 400};
+  const std::vector<std::int64_t> lifetimesKcyc{0, 300};
+  const std::vector<std::size_t> ts{2, 4};
+
+  std::vector<Workload> mixes;
+  mixes.reserve(ts.size());
+  for (const std::size_t t : ts) mixes.push_back(concurrentScenario(suite, t));
+
+  std::vector<Job> jobs;
+  for (const std::int64_t arrival : arrivalMeansKcyc) {
+    for (const std::int64_t lifetime : lifetimesKcyc) {
+      for (std::size_t ti = 0; ti < ts.size(); ++ti) {
+        const std::string label =
+            "arr-" + std::to_string(arrival) + "k_life-" +
+            (lifetime == 0 ? std::string("inf")
+                           : std::to_string(lifetime) + "k") +
+            "_t-" + std::to_string(ts[ti]);
+        for (const SchedulerKind kind : kinds) {
+          jobs.push_back(Job{label, arrival, lifetime, ts[ti], ti, kind});
+        }
+      }
+    }
+  }
+
+  // Independent experiments fanned over the analysis pool with ordered
+  // collection: the emitted rows are byte-exact with a serial sweep at
+  // any thread count (each runExperiment is a pure function of its
+  // inputs, including the seeded arrival schedule).
+  const std::vector<ExperimentResult> results =
+      parallelMap<ExperimentResult>(jobs.size(), [&](std::size_t i) {
+        const Job& job = jobs[i];
+        ExperimentConfig config;
+        config.mpsoc.arrivals.emplace();
+        config.mpsoc.arrivals->meanInterArrivalCycles =
+            job.arrivalKcyc * 1000;
+        if (job.lifetimeKcyc > 0) {
+          config.mpsoc.arrivals->processLifetimeCycles =
+              job.lifetimeKcyc * 1000;
+        }
+        return runExperiment(mixes[job.mixIndex], job.kind, config);
+      });
+
+  if (csv) {
+    std::cout << "case,scheduler,arrival_kcyc,lifetime_kcyc,t,processes,"
+                 "cohorts,makespan_cycles,dcache_misses,context_switches,"
+                 "retired,total_latency_cycles,max_cohort_makespan_cycles\n";
+  }
+  Table table({"Case", "Sched", "Makespan (Mcyc)", "D$ misses",
+               "Mean sojourn (kcyc)", "Retired"});
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    const SimResult& r = results[i].sim;
+    std::int64_t totalLatency = 0;
+    std::int64_t maxCohortMakespan = 0;
+    std::size_t processCount = 0;
+    for (const CohortStats& cohort : r.cohorts) {
+      totalLatency += cohort.totalLatencyCycles;
+      maxCohortMakespan = std::max(maxCohortMakespan, cohort.makespanCycles());
+      processCount += cohort.processCount;
+    }
+    if (csv) {
+      std::cout << job.label << ',' << results[i].schedulerName << ','
+                << job.arrivalKcyc << ',' << job.lifetimeKcyc << ','
+                << job.t << ',' << mixes[job.mixIndex].graph.processCount()
+                << ',' << r.cohorts.size() << ',' << r.makespanCycles << ','
+                << r.dcacheTotal.misses << ',' << r.contextSwitches << ','
+                << r.retiredProcesses << ',' << totalLatency << ','
+                << maxCohortMakespan << '\n';
+    } else {
+      table.row()
+          .cell(job.label)
+          .cell(results[i].schedulerName)
+          .cell(static_cast<double>(r.makespanCycles) / 1e6, 3)
+          .cell(r.dcacheTotal.misses)
+          .cell(processCount
+                    ? static_cast<double>(totalLatency) /
+                          (1e3 * static_cast<double>(processCount))
+                    : 0.0,
+                1)
+          .cell(r.retiredProcesses);
+    }
+  }
+  if (!csv) {
+    std::cout << "=== Open-workload sweep (arrival mean x lifetime x |T| "
+                 "x scheduler) ===\n"
+              << table.ascii() << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else {
+      std::cerr << "usage: bench_open_workload [--csv]\n";
+      return 2;
+    }
+  }
+  sweep(csv);
+  return 0;
+}

@@ -7,29 +7,39 @@
 # already cover).
 #
 # Extra modes:
-#   tsan   rebuild the tests under ThreadSanitizer (covers the parallel
-#          analysis substrate of src/util/parallel.h) and run them;
-#   bench  run bench_micro at 1 and 8 analysis threads
-#          (--benchmark_format=json) and merge the runs into
-#          BENCH_micro.json at the repo root — the machine-readable perf
-#          baseline future perf PRs diff against (the previous file's
-#          numbers are folded in as previous_* fields).
+#   tsan        rebuild the tests under ThreadSanitizer (covers the
+#               parallel analysis substrate of src/util/parallel.h) and
+#               run them;
+#   bench       run bench_micro at 1 and 8 analysis threads
+#               (--benchmark_format=json) and merge the runs into
+#               BENCH_micro.json at the repo root — the machine-readable
+#               perf baseline future perf PRs diff against (the previous
+#               file's numbers are folded in as previous_* fields);
+#   bench-gate  run the bench mode against a saved copy of the committed
+#               BENCH_micro.json and fail if any *_speedup field
+#               regressed >25% (bench/baselines/check_bench_regression.py)
+#               — the scheduled CI perf gate.
 #
-# Usage: ci.sh [tier1|sanitize|tsan|bench|all]   (default: all)
+# Every cmake configure honours LAPSCHED_WERROR (default OFF); CI
+# exports LAPSCHED_WERROR=ON so all CI configurations build -Werror.
+#
+# Usage: ci.sh [tier1|sanitize|tsan|bench|bench-gate|all]   (default: all)
 set -eu
 
 MODE="${1:-all}"
 case "$MODE" in
-  all|tier1|sanitize|tsan|bench) ;;
+  all|tier1|sanitize|tsan|bench|bench-gate) ;;
   *)
     echo "ci.sh: unknown mode '$MODE' (expected tier1, sanitize, tsan," \
-         "bench or all)" >&2
+         "bench, bench-gate or all)" >&2
     exit 2
     ;;
 esac
 
+WERROR="${LAPSCHED_WERROR:-OFF}"
+
 if [ "$MODE" = "all" ] || [ "$MODE" = "tier1" ]; then
-  cmake -B build -S .
+  cmake -B build -S . -DLAPSCHED_WERROR="$WERROR"
   cmake --build build -j
   (cd build && ctest --output-on-failure -j)
 
@@ -58,6 +68,11 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "tier1" ]; then
       ./bench_tables --csv > bench_tables.csv
       python3 ../bench/baselines/check_shapes.py bench_tables.csv \
         --baseline ../bench/baselines/tables.csv
+      # Open-workload sweep: no LS/LSM rows, so the paper-shape
+      # orderings are skipped; the deterministic CSV is baselined.
+      ./bench_open_workload --csv > bench_open_workload.csv
+      python3 ../bench/baselines/check_shapes.py bench_open_workload.csv \
+        --no-shapes --baseline ../bench/baselines/open_workload.csv
     )
   else
     echo "ci.sh: python3 not found; skipping bench baseline checks" >&2
@@ -66,7 +81,7 @@ fi
 
 if [ "$MODE" = "all" ] || [ "$MODE" = "sanitize" ]; then
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
-    -DLAPSCHED_SANITIZE=ON \
+    -DLAPSCHED_SANITIZE=ON -DLAPSCHED_WERROR="$WERROR" \
     -DLAPSCHED_BUILD_BENCHES=OFF -DLAPSCHED_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j
   (cd build-asan && ctest --output-on-failure -j)
@@ -78,14 +93,22 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "tsan" ]; then
   # default regions; the bit-identity tests additionally pin explicit
   # thread counts themselves.
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
-    -DLAPSCHED_SANITIZE=thread \
+    -DLAPSCHED_SANITIZE=thread -DLAPSCHED_WERROR="$WERROR" \
     -DLAPSCHED_BUILD_BENCHES=OFF -DLAPSCHED_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j
   (cd build-tsan && LAPS_THREADS=4 ctest --output-on-failure -j)
 fi
 
-if [ "$MODE" = "bench" ]; then
-  cmake -B build -S .
+if [ "$MODE" = "bench" ] || [ "$MODE" = "bench-gate" ]; then
+  if [ "$MODE" = "bench-gate" ]; then
+    # Snapshot the committed baseline before the bench run folds the
+    # fresh numbers into BENCH_micro.json.
+    cp BENCH_micro.json build_bench_baseline.json 2>/dev/null || {
+      echo "ci.sh: no committed BENCH_micro.json to gate against" >&2
+      exit 1
+    }
+  fi
+  cmake -B build -S . -DLAPSCHED_WERROR="$WERROR"
   cmake --build build -j --target bench_micro
   if [ ! -x build/bench_micro ]; then
     echo "ci.sh: bench_micro not built (google-benchmark missing?)" >&2
@@ -94,10 +117,15 @@ if [ "$MODE" = "bench" ]; then
   LAPS_THREADS=1 ./build/bench_micro --benchmark_format=json \
     > build/bench_micro_t1.json
   LAPS_THREADS=8 ./build/bench_micro --benchmark_format=json \
-    --benchmark_filter='BM_SharingMatrixSuite|BM_WorkloadFootprints' \
+    --benchmark_filter='BM_SharingMatrixSuite|BM_WorkloadFootprints|BM_SharingMatrixIncremental' \
     > build/bench_micro_t8.json
   python3 bench/baselines/merge_bench_json.py \
     build/bench_micro_t1.json --t8 build/bench_micro_t8.json \
     --previous BENCH_micro.json -o BENCH_micro.json
   echo "ci.sh: wrote BENCH_micro.json"
+  if [ "$MODE" = "bench-gate" ]; then
+    python3 bench/baselines/check_bench_regression.py \
+      BENCH_micro.json build_bench_baseline.json
+    rm -f build_bench_baseline.json
+  fi
 fi

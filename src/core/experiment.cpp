@@ -10,13 +10,28 @@ std::vector<SchedulerKind> paperSchedulers() {
           SchedulerKind::Locality, SchedulerKind::LocalityMapping};
 }
 
+std::vector<SchedulerKind> openSchedulers() {
+  return {SchedulerKind::Random, SchedulerKind::RoundRobin,
+          SchedulerKind::DynamicLocality, SchedulerKind::L2ContentionAware,
+          SchedulerKind::OnlineLocality};
+}
+
 ExperimentResult runExperiment(const Workload& workload, SchedulerKind kind,
                                const ExperimentConfig& config) {
   validateWorkload(workload);
 
-  // §2: exact per-process data sets and the sharing matrix.
+  // §2: exact per-process data sets and the sharing matrix. In open
+  // mode (MpsocConfig::arrivals) the engine maintains its own live
+  // matrix incrementally — one row per arrival — and never reads this
+  // one, so the O(n^2) full compute is skipped; LSM is the exception,
+  // because its re-layout pipeline below consumes the full matrix
+  // before simulation starts.
   const std::vector<Footprint> footprints = workload.footprints();
-  const SharingMatrix sharing = SharingMatrix::compute(footprints);
+  const bool openMode = config.mpsoc.arrivals.has_value();
+  const SharingMatrix sharing =
+      openMode && kind != SchedulerKind::LocalityMapping
+          ? SharingMatrix::inactive(footprints.size())
+          : SharingMatrix::compute(footprints);
 
   AddressSpace space(workload.arrays, config.addressSpace);
 
@@ -90,6 +105,7 @@ ExperimentResult runExperiment(const Workload& workload, SchedulerKind kind,
   }
 
   MpsocSimulator simulator(workload, space, sharing, *policy, config.mpsoc);
+  if (openMode) simulator.provideFootprints(footprints);
   result.sim = simulator.run();
   result.energyMj = config.energy.totalMj(result.sim);
   return result;

@@ -59,4 +59,9 @@ struct ExperimentResult {
 /// The paper's evaluation set {RS, RRS, LS, LSM} in presentation order.
 [[nodiscard]] std::vector<SchedulerKind> paperSchedulers();
 
+/// The policies that make sense under an open workload (no static
+/// whole-set plan): {RS, RRS, DLS, CALS, OLS} — the set
+/// bench_open_workload sweeps.
+[[nodiscard]] std::vector<SchedulerKind> openSchedulers();
+
 }  // namespace laps

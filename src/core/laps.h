@@ -64,9 +64,11 @@
 #include "sched/dynamic_locality.h"
 #include "sched/factory.h"
 #include "sched/locality.h"
+#include "sched/online_locality.h"
 #include "sched/scheduler.h"
 
 // MPSoC simulator (Simics substitute)
+#include "sim/arrivals.h"
 #include "sim/config.h"
 #include "sim/energy.h"
 #include "sim/engine.h"

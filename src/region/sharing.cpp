@@ -7,11 +7,77 @@
 
 namespace laps {
 
-SharingMatrix::SharingMatrix(std::size_t n) : n_(n), cells_(n * n, 0) {}
+SharingMatrix::SharingMatrix(std::size_t n)
+    : n_(n), cells_(n * n, 0), active_(n, 1) {}
+
+SharingMatrix SharingMatrix::inactive(std::size_t n) {
+  SharingMatrix m(n);
+  m.active_.assign(n, 0);
+  return m;
+}
 
 std::size_t SharingMatrix::idx(std::size_t p, std::size_t q) const {
   check(p < n_ && q < n_, "SharingMatrix: index out of range");
   return p * n_ + q;
+}
+
+void SharingMatrix::addProcess(std::span<const Footprint> footprints,
+                               std::size_t p) {
+  check(footprints.size() == n_,
+        "SharingMatrix::addProcess: footprint universe size mismatch");
+  check(p < n_, "SharingMatrix::addProcess: index out of range");
+  check(!active_[p], "SharingMatrix::addProcess: process already active");
+  active_[p] = 1;
+  cell(p, p) = footprints[p].totalElements();
+  // Only the active processes intersect p; inactive rows stay zero. Each
+  // index q owns cells (p, q) and (q, p) exclusively, so the parallel
+  // update is bit-identical to the serial loop at any thread count. The
+  // operand order mirrors compute()'s upper-triangle evaluation
+  // (footprints[min].sharedElements(footprints[max])), so the values are
+  // the very same calls a from-scratch compute over the active set makes.
+  const auto updateRange = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t q = begin; q < end; ++q) {
+      if (q == p || !active_[q]) continue;
+      const std::size_t lo = std::min(p, q);
+      const std::size_t hi = std::max(p, q);
+      const std::int64_t shared =
+          footprints[lo].sharedElements(footprints[hi]);
+      cell(p, q) = shared;
+      cell(q, p) = shared;
+    }
+  };
+  // A row update is O(n) cheap intersections; below this width the
+  // pool's dispatch+sync overhead exceeds the whole row's work (the
+  // committed BM_SharingMatrixIncremental numbers show the update in
+  // single-digit microseconds even at 660 processes), so small
+  // universes run inline. Same calls, same cells — identical result.
+  constexpr std::size_t kParallelRowCutoff = 256;
+  if (n_ < kParallelRowCutoff) {
+    updateRange(0, n_);
+  } else {
+    parallelChunks(n_, updateRange);
+  }
+}
+
+void SharingMatrix::removeProcess(std::size_t p) {
+  check(p < n_, "SharingMatrix::removeProcess: index out of range");
+  check(active_[p], "SharingMatrix::removeProcess: process not active");
+  active_[p] = 0;
+  for (std::size_t q = 0; q < n_; ++q) {
+    cell(p, q) = 0;
+    cell(q, p) = 0;
+  }
+}
+
+bool SharingMatrix::isActive(std::size_t p) const {
+  check(p < n_, "SharingMatrix::isActive: index out of range");
+  return active_[p] != 0;
+}
+
+std::size_t SharingMatrix::activeCount() const {
+  std::size_t count = 0;
+  for (const char a : active_) count += static_cast<std::size_t>(a);
+  return count;
 }
 
 SharingMatrix SharingMatrix::compute(std::span<const Footprint> footprints) {

@@ -14,18 +14,53 @@ namespace laps {
 /// Symmetric matrix M where M[p][q] = |SS_{p,q}| = number of array
 /// elements processes p and q both touch. Diagonal entries hold each
 /// process's own footprint size.
+///
+/// Two maintenance regimes:
+///  * closed (the paper's): compute() builds every pair once, up front;
+///  * open (in-OS arrivals/exits): inactive(n) starts with every process
+///    absent, and addProcess/removeProcess keep the matrix equal to what
+///    a from-scratch compute over the currently active set would
+///    produce, touching only the affected row and column — O(n) pair
+///    intersections per event instead of O(n^2).
 class SharingMatrix {
  public:
   SharingMatrix() = default;
 
-  /// n x n zero matrix.
+  /// n x n zero matrix; every process counts as active (so manually
+  /// set() matrices behave as before the open-workload extension).
   explicit SharingMatrix(std::size_t n);
+
+  /// n x n matrix with every process inactive — the starting point of
+  /// incremental maintenance under process arrival/exit.
+  [[nodiscard]] static SharingMatrix inactive(std::size_t n);
 
   /// Computes the full matrix from per-process footprints (exact).
   /// Pair intersections run on the parallel substrate (util/parallel.h);
   /// each cell is written by exactly one index, so the result is
   /// bit-identical to the serial loop at every thread count.
   static SharingMatrix compute(std::span<const Footprint> footprints);
+
+  /// Activates process \p p: fills row/column p from \p footprints
+  /// (which must describe the full n-process universe), intersecting p
+  /// only against the currently active processes. The new row's pair
+  /// intersections run on the parallel substrate; each index writes its
+  /// own (p, q)/(q, p) pair, so the result is bit-identical to a serial
+  /// update at every thread count — and, by construction, to a
+  /// from-scratch compute() over the active set (the same
+  /// Footprint::sharedElements call evaluated in the same operand
+  /// order). Throws laps::Error if \p p is already active or the
+  /// universe size mismatches.
+  void addProcess(std::span<const Footprint> footprints, std::size_t p);
+
+  /// Deactivates process \p p, zeroing its row and column (including the
+  /// diagonal). Throws laps::Error if \p p is not active.
+  void removeProcess(std::size_t p);
+
+  /// True when \p p is present (added and not removed).
+  [[nodiscard]] bool isActive(std::size_t p) const;
+
+  /// Number of active processes.
+  [[nodiscard]] std::size_t activeCount() const;
 
   [[nodiscard]] std::size_t size() const { return n_; }
 
@@ -61,6 +96,7 @@ class SharingMatrix {
 
   std::size_t n_ = 0;
   std::vector<std::int64_t> cells_;  // row-major n x n
+  std::vector<char> active_;         // per-process presence flags
 };
 
 }  // namespace laps

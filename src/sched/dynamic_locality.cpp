@@ -19,10 +19,20 @@ void DynamicLocalityScheduler::reset(const SchedContext& context) {
   check(context.sharing != nullptr, "DynamicLocalityScheduler: sharing required");
   sharing_ = context.sharing;
   ready_.clear();
+  aging_.reset(context.sharing->size());
 }
 
 void DynamicLocalityScheduler::onReady(ProcessId process) {
   ready_.push_back(process);
+}
+
+void DynamicLocalityScheduler::onArrival(ProcessId process) {
+  aging_.stamp(process);
+}
+
+void DynamicLocalityScheduler::onExit(ProcessId process) {
+  const auto it = std::find(ready_.begin(), ready_.end(), process);
+  if (it != ready_.end()) ready_.erase(it);
 }
 
 std::optional<ProcessId> DynamicLocalityScheduler::pickNext(
@@ -31,11 +41,18 @@ std::optional<ProcessId> DynamicLocalityScheduler::pickNext(
   std::size_t bestIdx = 0;
   if (previous) {
     std::int64_t bestSharing = -1;
+    std::int64_t bestSeq = -1;
     for (std::size_t i = 0; i < ready_.size(); ++i) {
       const std::int64_t s = sharing_->at(*previous, ready_[i]);
-      // Ties fall to the earliest-ready (FIFO) process.
-      if (s > bestSharing) {
+      const std::int64_t seq = aging_.seqOf(ready_[i]);
+      // Equal sharing: ArrivalAging decides (earliest arrival in open
+      // workloads, plain ready-order FIFO in closed ones).
+      const bool better =
+          s > bestSharing ||
+          (s == bestSharing && ArrivalAging::beatsTie(seq, bestSeq));
+      if (better) {
         bestSharing = s;
+        bestSeq = seq;
         bestIdx = i;
       }
     }
@@ -63,6 +80,7 @@ void L2ContentionAwareScheduler::reset(const SchedContext& context) {
   ready_.clear();
   conflictMemo_.clear();
   runningOn_.assign(context.coreCount, std::nullopt);
+  aging_.reset(context.sharing->size());
 
   // Per-process line occupancy over the shared L2's set space, through
   // the live address layout.
@@ -111,6 +129,7 @@ std::optional<ProcessId> L2ContentionAwareScheduler::pickNext(
   if (ready_.empty()) return std::nullopt;
   std::size_t bestIdx = 0;
   double bestScore = 0.0;
+  std::int64_t bestSeq = -1;
   bool haveBest = false;
   for (std::size_t i = 0; i < ready_.size(); ++i) {
     const ProcessId candidate = ready_[i];
@@ -122,10 +141,16 @@ std::optional<ProcessId> L2ContentionAwareScheduler::pickNext(
       score -= options_.conflictWeight *
                static_cast<double>(conflictBetween(candidate, *runningOn_[c]));
     }
-    // Ties fall to the earliest-ready (FIFO) process.
-    if (!haveBest || score > bestScore) {
+    const std::int64_t seq = aging_.seqOf(candidate);
+    // Equal score: ArrivalAging decides (earliest arrival in open
+    // workloads, plain ready-order FIFO in closed ones).
+    const bool better =
+        !haveBest || score > bestScore ||
+        (score == bestScore && ArrivalAging::beatsTie(seq, bestSeq));
+    if (better) {
       haveBest = true;
       bestScore = score;
+      bestSeq = seq;
       bestIdx = i;
     }
   }
@@ -148,6 +173,19 @@ void L2ContentionAwareScheduler::onPreempt(ProcessId process) {
 
 void L2ContentionAwareScheduler::onComplete(ProcessId process) {
   stopRunning(process);
+}
+
+void L2ContentionAwareScheduler::onArrival(ProcessId process) {
+  aging_.stamp(process);
+}
+
+void L2ContentionAwareScheduler::onExit(ProcessId process) {
+  // A retired process may have been running (no onComplete fires for a
+  // retirement): it stops occupying the shared L2 either way. Drop any
+  // stale ready entry too.
+  stopRunning(process);
+  const auto it = std::find(ready_.begin(), ready_.end(), process);
+  if (it != ready_.end()) ready_.erase(it);
 }
 
 }  // namespace laps

@@ -17,14 +17,55 @@
 
 #include "cache/config.h"
 #include "sched/scheduler.h"
+#include "util/error.h"
 
 namespace laps {
 
+/// Arrival stamps and the aging tie-break shared by the dynamic
+/// policies (DLS, CALS): in open workloads, equal-score candidates fall
+/// to the earliest-arrived process instead of plain ready order — a
+/// preempted old process ages ahead of fresh arrivals nobody shares
+/// with (starvation resistance under churn). In closed workloads no
+/// arrival ever fires, every stamp stays unknown (-1), and beatsTie is
+/// always false — the original FIFO tie-break, bit-identical.
+class ArrivalAging {
+ public:
+  void reset(std::size_t processCount) {
+    seq_.assign(processCount, -1);
+    next_ = 0;
+  }
+
+  void stamp(ProcessId process) {
+    check(process < seq_.size(), "ArrivalAging: unknown process");
+    seq_[process] = next_++;
+  }
+
+  [[nodiscard]] std::int64_t seqOf(ProcessId process) const {
+    return seq_[process];
+  }
+
+  /// True when, at equal score, the candidate stamped \p seq should
+  /// displace the incumbent stamped \p bestSeq.
+  [[nodiscard]] static bool beatsTie(std::int64_t seq, std::int64_t bestSeq) {
+    return seq >= 0 && bestSeq >= 0 && seq < bestSeq;
+  }
+
+ private:
+  std::vector<std::int64_t> seq_;  // -1 = unknown (closed mode)
+  std::int64_t next_ = 0;
+};
+
 /// Online greedy locality policy (see file comment).
+///
+/// Open workloads: onArrival stamps the process for the ArrivalAging
+/// tie-break (see above); onExit drops any stale queue entry for the
+/// leaving process.
 class DynamicLocalityScheduler final : public SchedulerPolicy {
  public:
   void reset(const SchedContext& context) override;
   void onReady(ProcessId process) override;
+  void onArrival(ProcessId process) override;
+  void onExit(ProcessId process) override;
   std::optional<ProcessId> pickNext(std::size_t core,
                                     std::optional<ProcessId> previous) override;
   [[nodiscard]] std::string name() const override { return "DLS"; }
@@ -32,6 +73,7 @@ class DynamicLocalityScheduler final : public SchedulerPolicy {
  private:
   const SharingMatrix* sharing_ = nullptr;
   std::vector<ProcessId> ready_;
+  ArrivalAging aging_;
 };
 
 /// Tunables of L2ContentionAwareScheduler.
@@ -71,6 +113,8 @@ class L2ContentionAwareScheduler final : public SchedulerPolicy {
                                     std::optional<ProcessId> previous) override;
   void onPreempt(ProcessId process) override;
   void onComplete(ProcessId process) override;
+  void onArrival(ProcessId process) override;
+  void onExit(ProcessId process) override;
   [[nodiscard]] std::string name() const override { return "CALS"; }
 
   /// Co-mapped L2 line pairs of two processes' footprints (exposed for
@@ -89,6 +133,7 @@ class L2ContentionAwareScheduler final : public SchedulerPolicy {
   std::unordered_map<std::uint64_t, std::int64_t> conflictMemo_;
   /// runningOn_[core] = process currently executing there.
   std::vector<std::optional<ProcessId>> runningOn_;
+  ArrivalAging aging_;  // open-workload tie-break (see ArrivalAging)
 };
 
 }  // namespace laps

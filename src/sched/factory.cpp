@@ -17,6 +17,7 @@ std::string to_string(SchedulerKind kind) {
     case SchedulerKind::CriticalPath: return "CPATH";
     case SchedulerKind::DynamicLocality: return "DLS";
     case SchedulerKind::L2ContentionAware: return "CALS";
+    case SchedulerKind::OnlineLocality: return "OLS";
   }
   fail("to_string: unknown SchedulerKind");
 }
@@ -30,6 +31,9 @@ void validateSchedulerParams(SchedulerKind kind,
       break;
     case SchedulerKind::L2ContentionAware:
       params.l2Contention.validate();
+      break;
+    case SchedulerKind::OnlineLocality:
+      params.onlineLocality.validate();
       break;
     default:
       break;  // the other policies consume no constrained parameter
@@ -60,6 +64,10 @@ std::unique_ptr<SchedulerPolicy> makeScheduler(SchedulerKind kind,
       return std::make_unique<DynamicLocalityScheduler>();
     case SchedulerKind::L2ContentionAware:
       return std::make_unique<L2ContentionAwareScheduler>(params.l2Contention);
+    case SchedulerKind::OnlineLocality:
+      // OLS carries its own initialMinSharingRound inside
+      // OnlineLocalityOptions; lsInitialMinSharingRound stays LS/LSM-only.
+      return std::make_unique<OnlineLocalityScheduler>(params.onlineLocality);
   }
   fail("makeScheduler: unknown SchedulerKind");
 }

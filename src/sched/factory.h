@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "sched/dynamic_locality.h"
+#include "sched/online_locality.h"
 #include "sched/scheduler.h"
 
 namespace laps {
@@ -15,6 +16,7 @@ struct SchedulerParams {
   std::uint64_t randomSeed = 1;            ///< RS seed
   bool lsInitialMinSharingRound = true;    ///< LS ablation switch
   L2ContentionOptions l2Contention{};      ///< CALS geometry and weight
+  OnlineLocalityOptions onlineLocality{};  ///< OLS rebuild threshold
 };
 
 /// Throws laps::Error when a parameter the policy implementing \p kind

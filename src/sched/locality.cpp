@@ -26,7 +26,8 @@ std::size_t LocalityPlan::processCount() const {
 LocalityPlan buildLocalityPlan(const ExtendedProcessGraph& graph,
                                const SharingMatrix& sharing,
                                std::size_t coreCount,
-                               const LocalityOptions& options) {
+                               const LocalityOptions& options,
+                               std::span<const ProcessId> subset) {
   check(coreCount >= 1, "buildLocalityPlan: need at least one core");
   check(sharing.size() == graph.processCount(),
         "buildLocalityPlan: sharing matrix size mismatch");
@@ -37,8 +38,33 @@ LocalityPlan buildLocalityPlan(const ExtendedProcessGraph& graph,
   plan.perCore.resize(coreCount);
   if (n == 0) return plan;
 
-  // --- Initialization: IN = independent processes (EPG roots). ---
-  std::vector<ProcessId> in = graph.roots();
+  // inSubset masks the processes to place; the full-set case keeps every
+  // loop below byte-identical to the pre-subset algorithm.
+  std::vector<bool> inSubset(n, subset.empty());
+  for (const ProcessId p : subset) {
+    check(p < n, "buildLocalityPlan: subset id out of range");
+    check(!inSubset[p], "buildLocalityPlan: duplicate subset id");
+    inSubset[p] = true;
+  }
+
+  // --- Initialization: IN = independent processes (EPG roots) — for a
+  // subset, the members with no predecessor inside the subset. ---
+  std::vector<ProcessId> in;
+  if (subset.empty()) {
+    in = graph.roots();
+  } else {
+    for (ProcessId p = 0; p < n; ++p) {
+      if (!inSubset[p]) continue;
+      bool isRoot = true;
+      for (const ProcessId pred : graph.predecessors(p)) {
+        if (inSubset[pred]) {
+          isRoot = false;
+          break;
+        }
+      }
+      if (isRoot) in.push_back(p);
+    }
+  }
   std::vector<bool> inPlan(n, false);
 
   // Trim IN down to the core count by repeatedly removing the candidate
@@ -76,15 +102,17 @@ LocalityPlan buildLocalityPlan(const ExtendedProcessGraph& graph,
     inPlan[in[c]] = true;
   }
 
-  // Remaining pool: everything not yet placed.
-  std::vector<bool> pending(n, true);
+  // Remaining pool: every subset member not yet placed.
+  std::vector<bool> pending = inSubset;
   for (std::size_t c = 0; c < plan.perCore.size(); ++c) {
     for (const ProcessId p : plan.perCore[c]) pending[p] = false;
   }
 
   auto schedulable = [&](ProcessId q) {
     for (const ProcessId pred : graph.predecessors(q)) {
-      if (!inPlan[pred]) return false;  // depends on an unscheduled process
+      // A predecessor outside the subset is satisfied by assumption
+      // (completed/retired/foreign task); inside, it must be placed.
+      if (inSubset[pred] && !inPlan[pred]) return false;
     }
     return true;
   };
@@ -130,6 +158,22 @@ LocalityPlan buildLocalityPlan(const ExtendedProcessGraph& graph,
           "buildLocalityPlan: no schedulable process in a full round");
   }
   return plan;
+}
+
+std::optional<ProcessId> pickMaxSharing(const std::vector<bool>& ready,
+                                        const SharingMatrix& sharing,
+                                        std::optional<ProcessId> previous) {
+  std::optional<ProcessId> best;
+  std::int64_t bestSharing = -1;
+  for (ProcessId q = 0; q < ready.size(); ++q) {
+    if (!ready[q]) continue;
+    const std::int64_t s = previous ? sharing.at(*previous, q) : 0;
+    if (s > bestSharing) {
+      bestSharing = s;
+      best = q;
+    }
+  }
+  return best;
 }
 
 LocalityScheduler::LocalityScheduler(LocalityOptions options)
@@ -185,19 +229,10 @@ std::optional<ProcessId> LocalityScheduler::pickNext(
     if (ready_[planned]) return take(planned);
   }
 
-  // Online Fig. 3 rule: among ready processes, maximize sharing with the
-  // process this core ran last (smallest id breaks ties; without a
-  // previous process the first ready one wins).
-  std::optional<ProcessId> best;
-  std::int64_t bestSharing = -1;
-  for (ProcessId q = 0; q < ready_.size(); ++q) {
-    if (!ready_[q]) continue;
-    const std::int64_t s = previous ? sharing_->at(*previous, q) : 0;
-    if (s > bestSharing) {
-      bestSharing = s;
-      best = q;
-    }
-  }
+  // Online Fig. 3 rule (pickMaxSharing): maximize sharing with the
+  // process this core ran last.
+  const std::optional<ProcessId> best =
+      pickMaxSharing(ready_, *sharing_, previous);
   if (!best) return std::nullopt;
   return take(*best);
 }

@@ -16,6 +16,7 @@
 /// placement order guarantees this never deadlocks (each process waits
 /// only on processes placed strictly earlier).
 
+#include <span>
 #include <vector>
 
 #include "sched/scheduler.h"
@@ -54,10 +55,28 @@ struct LocalityOptions {
 
 /// Runs the Fig. 3 algorithm. Requires an acyclic graph; every process is
 /// placed on exactly one core.
+///
+/// A non-empty \p subset restricts the plan to those processes (the
+/// open-workload replanner rebuilds over the currently live set):
+/// dependences on processes outside the subset are treated as satisfied
+/// (they completed, were retired, or — by the cohort arrival model —
+/// belong to another task), and only subset members are placed. An
+/// empty subset means every process, exactly as before.
 [[nodiscard]] LocalityPlan buildLocalityPlan(const ExtendedProcessGraph& graph,
                                              const SharingMatrix& sharing,
                                              std::size_t coreCount,
-                                             const LocalityOptions& options = {});
+                                             const LocalityOptions& options = {},
+                                             std::span<const ProcessId> subset = {});
+
+/// The online Fig. 3 dispatch rule shared by LS and the open-workload
+/// replanner (OLS's steal fallback): among ready processes
+/// (ready[q] == true), the one maximizing sharing with \p previous —
+/// smallest id breaks ties; without a previous process the first ready
+/// one wins. nullopt when nothing is ready. Pure; the caller clears the
+/// chosen process's ready flag.
+[[nodiscard]] std::optional<ProcessId> pickMaxSharing(
+    const std::vector<bool>& ready, const SharingMatrix& sharing,
+    std::optional<ProcessId> previous);
 
 /// The paper's LS policy (LSM reuses it after re-layout).
 ///

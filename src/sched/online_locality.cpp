@@ -1,0 +1,212 @@
+#include "sched/online_locality.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace laps {
+
+void OnlineLocalityOptions::validate() const {
+  check(rebuildThreshold >= 0,
+        "OnlineLocalityOptions: rebuildThreshold must be >= 0");
+}
+
+OnlineLocalityScheduler::OnlineLocalityScheduler(OnlineLocalityOptions options)
+    : options_(options) {
+  options_.validate();
+}
+
+void OnlineLocalityScheduler::reset(const SchedContext& context) {
+  check(context.graph != nullptr && context.sharing != nullptr,
+        "OnlineLocalityScheduler: context incomplete");
+  check(context.coreCount >= 1,
+        "OnlineLocalityScheduler: need at least one core");
+  graph_ = context.graph;
+  sharing_ = context.sharing;
+  coreCount_ = context.coreCount;
+  const std::size_t n = graph_->processCount();
+
+  // Closed-workload assumption until the first arrival proves otherwise:
+  // plan over the full process set, exactly like LocalityScheduler.
+  // In open mode this build is discarded at cohort 0's onArrival —
+  // accepted cost: plan() is documented (and differentially tested) to
+  // equal the static LS plan right after reset(), so the build cannot
+  // be deferred to first dispatch without breaking that contract.
+  LocalityOptions lsOptions;
+  lsOptions.initialMinSharingRound = options_.initialMinSharingRound;
+  plan_ = buildLocalityPlan(*graph_, *sharing_, coreCount_, lsOptions);
+
+  open_ = false;
+  arrived_.assign(n, false);
+  exited_.assign(n, false);
+  ready_.assign(n, false);
+  dispatched_.assign(n, false);
+  anchor_.assign(coreCount_, std::nullopt);
+  readyCount_ = 0;
+  patchesSinceRebuild_ = 0;
+  rebuilds_ = 0;
+  events_ = 0;
+}
+
+bool OnlineLocalityScheduler::live(ProcessId process) const {
+  return (!open_ || arrived_[process]) && !exited_[process];
+}
+
+bool OnlineLocalityScheduler::consumePatchBudget() {
+  if (options_.rebuildThreshold == 0) return true;
+  if (++patchesSinceRebuild_ > options_.rebuildThreshold) return true;
+  return false;
+}
+
+void OnlineLocalityScheduler::rebuild() {
+  // The plan covers pending work only: dispatched (running) processes
+  // keep their core and are excluded from the rebuild.
+  std::vector<ProcessId> liveSet;
+  for (ProcessId p = 0; p < exited_.size(); ++p) {
+    if (live(p) && !dispatched_[p]) liveSet.push_back(p);
+  }
+  if (liveSet.empty()) {
+    // An empty subset span would mean "everything"; an empty live set
+    // means an empty plan.
+    plan_ = LocalityPlan{};
+    plan_.perCore.resize(coreCount_);
+  } else {
+    LocalityOptions lsOptions;
+    lsOptions.initialMinSharingRound = options_.initialMinSharingRound;
+    plan_ = buildLocalityPlan(*graph_, *sharing_, coreCount_, lsOptions,
+                              liveSet);
+  }
+  patchesSinceRebuild_ = 0;
+  ++rebuilds_;
+}
+
+void OnlineLocalityScheduler::patchArrival(ProcessId process) {
+  // Fig. 3's greedy append, applied to one process: the core whose most
+  // recently planned — or, when its plan ran dry, last dispatched —
+  // process shares the most data with it (an idle-and-empty core scores
+  // 0; ties fall to the lowest core index).
+  std::size_t bestCore = 0;
+  std::int64_t bestSharing = -1;
+  for (std::size_t c = 0; c < plan_.perCore.size(); ++c) {
+    std::int64_t s = 0;
+    if (!plan_.perCore[c].empty()) {
+      s = sharing_->at(plan_.perCore[c].back(), process);
+    } else if (anchor_[c]) {
+      s = sharing_->at(*anchor_[c], process);
+    }
+    if (s > bestSharing) {
+      bestSharing = s;
+      bestCore = c;
+    }
+  }
+  plan_.perCore[bestCore].push_back(process);
+}
+
+void OnlineLocalityScheduler::patchExit(ProcessId process) {
+  for (auto& order : plan_.perCore) {
+    const auto it = std::find(order.begin(), order.end(), process);
+    if (it != order.end()) {
+      order.erase(it);
+      return;
+    }
+  }
+}
+
+void OnlineLocalityScheduler::onArrival(ProcessId process) {
+  check(process < exited_.size(), "OnlineLocalityScheduler: unknown process");
+  if (!open_) {
+    // First arrival: this is an open workload after all. The reset-time
+    // plan assumed everybody was resident — drop it and plan over what
+    // has actually arrived.
+    open_ = true;
+    plan_ = LocalityPlan{};
+    plan_.perCore.resize(coreCount_);
+    patchesSinceRebuild_ = 0;
+  }
+  check(!arrived_[process],
+        "OnlineLocalityScheduler: process arrived twice");
+  arrived_[process] = true;
+  ++events_;
+  if (consumePatchBudget()) {
+    rebuild();
+  } else {
+    patchArrival(process);
+  }
+}
+
+void OnlineLocalityScheduler::onExit(ProcessId process) {
+  check(process < exited_.size(), "OnlineLocalityScheduler: unknown process");
+  if (exited_[process]) return;
+  exited_[process] = true;
+  if (ready_[process]) {  // defensive: an exit may race a stale readiness
+    ready_[process] = false;
+    --readyCount_;
+  }
+  if (!open_) return;  // closed workload: completions never replan
+  ++events_;
+  if (consumePatchBudget()) {
+    rebuild();
+  } else {
+    patchExit(process);
+  }
+}
+
+void OnlineLocalityScheduler::onReady(ProcessId process) {
+  check(process < ready_.size(), "OnlineLocalityScheduler: unknown process");
+  check(live(process), "OnlineLocalityScheduler: ready process not live");
+  if (!ready_[process]) {
+    ready_[process] = true;
+    ++readyCount_;
+  }
+}
+
+void OnlineLocalityScheduler::onPreempt(ProcessId process) {
+  check(process < ready_.size(), "OnlineLocalityScheduler: unknown process");
+  // A suspended process is pending again: plan it back onto a core so
+  // plan-guided dispatch (not just the steal fallback) can resume it.
+  if (dispatched_[process]) {
+    dispatched_[process] = false;
+    patchArrival(process);
+  }
+  onReady(process);
+}
+
+std::optional<ProcessId> OnlineLocalityScheduler::pickNext(
+    std::size_t core, std::optional<ProcessId> previous) {
+  check(core < coreCount_, "OnlineLocalityScheduler: unknown core");
+  if (readyCount_ == 0) return std::nullopt;
+
+  const auto take = [&](ProcessId p) {
+    ready_[p] = false;
+    dispatched_[p] = true;
+    anchor_[core] = p;
+    --readyCount_;
+    return p;
+  };
+
+  // Plan-guided dispatch: the first ready process remaining in this
+  // core's plan (skipping entries whose dependences are still pending —
+  // work conservation beats rigid plan order).
+  auto& order = plan_.perCore[core];
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (ready_[order[i]]) {
+      const ProcessId planned = order[i];
+      order.erase(order.begin() + static_cast<std::ptrdiff_t>(i));
+      return take(planned);
+    }
+  }
+
+  // Steal fallback: LS's online rule (pickMaxSharing — maximize sharing
+  // with the process this core ran last). An exited previous process
+  // has a zeroed row in the live sharing matrix, so the rule degrades
+  // to smallest-id — the cache it warmed is still there, but nobody
+  // left shares with it.
+  const std::optional<ProcessId> best =
+      pickMaxSharing(ready_, *sharing_, previous);
+  if (!best) return std::nullopt;
+  // The stolen process leaves whichever plan held it.
+  patchExit(*best);
+  return take(*best);
+}
+
+}  // namespace laps

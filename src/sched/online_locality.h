@@ -1,0 +1,122 @@
+#pragma once
+/// \file online_locality.h
+/// \brief Replanning locality scheduling for open workloads (extension).
+///
+/// The paper's LS builds one Fig. 3 plan before execution and never
+/// looks back — fine for a closed process set, useless when
+/// applications launch and exit at run time: a full rebuild costs
+/// O(n^2) sharing lookups per event. OnlineLocalityScheduler keeps a
+/// LocalityPlan alive across arrival/exit events instead:
+///
+///  * onArrival(p) appends p to the core whose most recently planned
+///    process shares the most data with p — one O(cores) patch;
+///  * onExit(p) deletes p from its core's plan — one O(n) patch;
+///  * after more than rebuildThreshold patches accumulate, the plan is
+///    rebuilt from scratch over the live set (buildLocalityPlan with a
+///    subset), bounding how far the patched plan can drift from the
+///    Fig. 3 fixed point. Threshold 0 = rebuild on every event (the
+///    most faithful, most expensive setting); a large threshold is
+///    pure incremental patching.
+///
+/// Dispatch is plan-guided and work-conserving: an idle core takes the
+/// first *ready* process remaining in its per-core plan; when its plan
+/// holds nothing ready it steals by LS's online rule (maximum sharing
+/// with the process it ran last) so no core idles while work exists.
+/// Dispatched processes leave the plan — the plan always holds exactly
+/// the pending work.
+///
+/// On a closed workload no arrival event ever fires, so the reset()-
+/// time plan is byte-identical to buildLocalityPlan — i.e. to the
+/// static LS plan — at every threshold; the differential test pins
+/// that equivalence, and with rebuild-threshold 0 the plan equals a
+/// from-scratch rebuild over the live set after every event.
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/locality.h"
+#include "sched/scheduler.h"
+
+namespace laps {
+
+/// Tunables of OnlineLocalityScheduler.
+struct OnlineLocalityOptions {
+  /// Arrival/exit patches tolerated before the plan is rebuilt from
+  /// scratch over the live set (>= 0; 0 rebuilds on every event).
+  std::int64_t rebuildThreshold = 8;
+
+  /// Apply the Fig. 3 initial min-sharing round in every (re)build.
+  bool initialMinSharingRound = true;
+
+  /// Throws laps::Error on a negative rebuild threshold. The single
+  /// source of this constraint: the scheduler's constructor and
+  /// makeScheduler both enforce it.
+  void validate() const;
+};
+
+/// LS with incremental replanning under process arrival/exit (see file
+/// comment).
+class OnlineLocalityScheduler final : public SchedulerPolicy {
+ public:
+  explicit OnlineLocalityScheduler(OnlineLocalityOptions options = {});
+
+  void reset(const SchedContext& context) override;
+  void onArrival(ProcessId process) override;
+  void onExit(ProcessId process) override;
+  void onReady(ProcessId process) override;
+  void onPreempt(ProcessId process) override;
+  std::optional<ProcessId> pickNext(std::size_t core,
+                                    std::optional<ProcessId> previous) override;
+  [[nodiscard]] std::string name() const override { return "OLS"; }
+
+  /// The current (patched or rebuilt) plan — the pending, undispatched
+  /// work per core. Right after reset() on a closed workload this is
+  /// the full static LS plan.
+  [[nodiscard]] const LocalityPlan& plan() const { return plan_; }
+
+  /// Full rebuilds performed since reset().
+  [[nodiscard]] std::size_t rebuildCount() const { return rebuilds_; }
+
+  /// Arrival/exit events absorbed since reset() (patched or not).
+  [[nodiscard]] std::size_t eventCount() const { return events_; }
+
+ private:
+  /// True when \p process is in the system and unfinished.
+  [[nodiscard]] bool live(ProcessId process) const;
+
+  /// Rebuilds the plan over the live set and resets the patch budget.
+  void rebuild();
+
+  /// Appends \p process to the core with maximum sharing between the
+  /// core's last planned process and \p process (ties: lowest core).
+  void patchArrival(ProcessId process);
+
+  /// Deletes \p process from whichever per-core plan holds it.
+  void patchExit(ProcessId process);
+
+  /// Counts one event against the patch budget; returns true when the
+  /// caller should rebuild instead of patching.
+  [[nodiscard]] bool consumePatchBudget();
+
+  OnlineLocalityOptions options_;
+  const ExtendedProcessGraph* graph_ = nullptr;
+  const SharingMatrix* sharing_ = nullptr;
+  std::size_t coreCount_ = 0;
+  LocalityPlan plan_;
+  /// False until the first onArrival: a closed workload never opens, so
+  /// the reset()-time full plan stands (it equals the static LS plan).
+  bool open_ = false;
+  std::vector<bool> arrived_;  // meaningful once open_
+  std::vector<bool> exited_;
+  std::vector<bool> ready_;
+  std::vector<bool> dispatched_;  // picked and not re-readied
+  /// Last process dispatched on each core — the sharing anchor for
+  /// arrival patches when a core's plan has run dry.
+  std::vector<std::optional<ProcessId>> anchor_;
+  std::size_t readyCount_ = 0;
+  std::int64_t patchesSinceRebuild_ = 0;
+  std::size_t rebuilds_ = 0;
+  std::size_t events_ = 0;
+};
+
+}  // namespace laps

@@ -7,14 +7,18 @@
 /// online variant in dynamic_locality.h; factory.h constructs any of
 /// them from a SchedulerKind.
 ///
-/// The simulation engine drives a SchedulerPolicy through four events:
-///  * onReady(p)      — all of p's predecessors completed;
+/// The simulation engine drives a SchedulerPolicy through six events:
+///  * onArrival(p)    — p entered the system (open workloads only);
+///  * onReady(p)      — p arrived and all its predecessors completed;
 ///  * pickNext(core)  — the core is idle, choose its next process;
 ///  * onPreempt(p)    — p's quantum expired, p was suspended;
-///  * onComplete(p)   — p finished (policies tracking the running set).
+///  * onComplete(p)   — p finished (policies tracking the running set);
+///  * onExit(p)       — p left the system: completion or lifetime
+///                      retirement (open workloads).
 /// Policies with a quantum() are preemptive (the paper's RRS); the others
 /// run every process to completion.
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -39,7 +43,25 @@ enum class SchedulerKind {
   CriticalPath,     ///< extension: longest-critical-path-first
   DynamicLocality,  ///< extension: online greedy locality (no static plan)
   L2ContentionAware,  ///< extension: DLS minus shared-L2 set conflicts
+  OnlineLocality,   ///< extension: LS plan patched incrementally on
+                    ///< arrival/exit (open workloads)
 };
+
+/// Every SchedulerKind, in declaration order. Tests iterate this to keep
+/// to_string/makeScheduler exhaustive; extend it together with the enum.
+inline constexpr std::array<SchedulerKind, 10> kAllSchedulerKinds{
+    SchedulerKind::Random,          SchedulerKind::RoundRobin,
+    SchedulerKind::Locality,        SchedulerKind::LocalityMapping,
+    SchedulerKind::Fcfs,            SchedulerKind::Sjf,
+    SchedulerKind::CriticalPath,    SchedulerKind::DynamicLocality,
+    SchedulerKind::L2ContentionAware, SchedulerKind::OnlineLocality,
+};
+// Ties the catalogue's size to the last enumerator: adding a kind
+// without extending kAllSchedulerKinds fails to compile here instead of
+// letting the exhaustiveness tests pass vacuously.
+static_assert(static_cast<std::size_t>(SchedulerKind::OnlineLocality) + 1 ==
+                  kAllSchedulerKinds.size(),
+              "kAllSchedulerKinds is out of sync with SchedulerKind");
 
 /// Short stable name ("RS", "RRS", "LS", "LSM", ...).
 [[nodiscard]] std::string to_string(SchedulerKind kind);
@@ -81,6 +103,18 @@ class SchedulerPolicy {
   /// A process ran to completion. Default: ignored — only policies that
   /// track the currently running set (e.g. contention-aware ones) care.
   virtual void onComplete(ProcessId process) { (void)process; }
+
+  /// Open workloads: \p process entered the system. Fires before any
+  /// onReady for it; never fires in closed workloads (so overriding it
+  /// cannot change closed-workload behavior). Default: ignored.
+  virtual void onArrival(ProcessId process) { (void)process; }
+
+  /// Open workloads: \p process left the system — it ran to completion
+  /// (after onComplete) or was retired at its lifetime deadline (in
+  /// which case no onComplete fires, and the process may have been
+  /// running or waiting). Policies holding per-process state (running
+  /// sets, plans, queues) drop it here. Default: ignored.
+  virtual void onExit(ProcessId process) { (void)process; }
 
   /// Quantum in cycles; nullopt = non-preemptive.
   [[nodiscard]] virtual std::optional<std::int64_t> quantum() const {

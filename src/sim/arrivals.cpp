@@ -1,0 +1,42 @@
+#include "sim/arrivals.h"
+
+#include <limits>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace laps {
+
+void ArrivalSchedule::validate() const {
+  check(meanInterArrivalCycles > 0,
+        "ArrivalSchedule: meanInterArrivalCycles must be positive");
+  // The gap draw computes 2*mean - 1 in int64: bound the mean so that
+  // intermediate cannot overflow (which would wrap negative and
+  // silently collapse every gap to 1 cycle).
+  check(meanInterArrivalCycles <=
+            std::numeric_limits<std::int64_t>::max() / 2,
+        "ArrivalSchedule: meanInterArrivalCycles too large (2*mean must "
+        "fit in int64)");
+  check(!processLifetimeCycles || *processLifetimeCycles > 0,
+        "ArrivalSchedule: processLifetimeCycles must be positive when set");
+}
+
+std::vector<std::int64_t> cohortArrivalCycles(const ArrivalSchedule& schedule,
+                                              std::size_t cohortCount) {
+  schedule.validate();
+  std::vector<std::int64_t> arrivals;
+  arrivals.reserve(cohortCount);
+  Rng rng(schedule.seed);
+  std::int64_t cycle = 0;
+  for (std::size_t k = 0; k < cohortCount; ++k) {
+    arrivals.push_back(cycle);
+    // Uniform on [1, 2*mean - 1]: integer-exact with mean exactly
+    // meanInterArrivalCycles (the mean == 1 edge collapses to a fixed
+    // gap of 1).
+    const std::int64_t hi = 2 * schedule.meanInterArrivalCycles - 1;
+    cycle += rng.range(1, hi >= 1 ? hi : 1);
+  }
+  return arrivals;
+}
+
+}  // namespace laps

@@ -1,0 +1,54 @@
+#pragma once
+/// \file arrivals.h
+/// \brief Open-workload arrival schedules (docs/ARCHITECTURE.md §9).
+///
+/// The paper's schedulers assume the whole process set is resident
+/// before cycle 0. The in-OS use case is open: applications launch and
+/// exit at run time. An ArrivalSchedule makes the simulated workload
+/// open — *tasks* (applications) arrive as whole cohorts at seeded
+/// inter-arrival distances, and an optional per-process lifetime retires
+/// processes that overstay it.
+///
+/// Determinism: inter-arrival gaps are drawn from laps::Rng (integer
+/// rejection sampling, no floating point), so a (workload, schedule)
+/// pair produces the same arrival cycles on every platform and build.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace laps {
+
+/// When and for how long processes are resident in an open workload.
+///
+/// Cohort granularity is the task: all processes of one task arrive
+/// together (an application launches with its whole process graph), in
+/// the workload's task order. The first cohort arrives at cycle 0 so
+/// the simulation always has work; cohort k+1 arrives a seeded uniform
+/// gap in [1, 2*meanInterArrivalCycles - 1] after cohort k (mean =
+/// meanInterArrivalCycles, integer-exact).
+struct ArrivalSchedule {
+  /// Seed of the inter-arrival stream.
+  std::uint64_t seed = 1;
+
+  /// Mean cycles between successive cohort arrivals (> 0).
+  std::int64_t meanInterArrivalCycles = 200'000;
+
+  /// Optional residence cap: a process still unfinished
+  /// processLifetimeCycles after its arrival is retired at the next
+  /// scheduling boundary (> 0 when set). Retirement releases the
+  /// process's dependents like a completion, so open workloads never
+  /// deadlock on a killed producer.
+  std::optional<std::int64_t> processLifetimeCycles;
+
+  /// Throws laps::Error on a non-positive mean or lifetime.
+  void validate() const;
+};
+
+/// Arrival cycle of each of \p cohortCount cohorts under \p schedule:
+/// element 0 is 0, gaps are seeded as documented above. Monotonically
+/// non-decreasing (strictly increasing for cohortCount > 1).
+[[nodiscard]] std::vector<std::int64_t> cohortArrivalCycles(
+    const ArrivalSchedule& schedule, std::size_t cohortCount);
+
+}  // namespace laps

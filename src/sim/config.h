@@ -9,6 +9,7 @@
 #include "cache/bus.h"
 #include "cache/hierarchy.h"
 #include "cache/shared_l2.h"
+#include "sim/arrivals.h"
 
 namespace laps {
 
@@ -39,6 +40,13 @@ struct MpsocConfig {
   /// Optional off-chip bus with bounded outstanding transactions and
   /// queueing delay. Disabled = fixed memory.memLatencyCycles per miss.
   std::optional<BusConfig> bus;
+
+  /// Optional open-workload arrival schedule (docs/ARCHITECTURE.md §9):
+  /// tasks arrive as cohorts at seeded inter-arrival distances and an
+  /// optional lifetime retires overstaying processes. Disabled = the
+  /// paper's closed workload (everything resident at cycle 0),
+  /// bit-identical to the pre-arrival simulator.
+  std::optional<ArrivalSchedule> arrivals;
 
   double clockHz = 200e6;           ///< Table 2: 200 MHz
   std::int64_t switchCycles = 400;  ///< context-switch overhead per switch

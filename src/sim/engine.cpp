@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 
 #include "sim/replay.h"
@@ -62,7 +63,7 @@ std::int64_t MpsocSimulator::runSegment(std::size_t coreIdx, ProcessId process,
   auto& record = result_.processes[process];
   if (record.firstStartCycle < 0) record.firstStartCycle = now;
 
-  const std::optional<std::int64_t> quantum = policy_->quantum();
+  std::optional<std::int64_t> quantum = policy_->quantum();
   const std::int64_t iHit = config_.memory.l1i.hitLatencyCycles;
   MemorySystem& mem = *core.memory;
 
@@ -71,6 +72,16 @@ std::int64_t MpsocSimulator::runSegment(std::size_t coreIdx, ProcessId process,
   // contention calendars up to here.
   hierarchy_->retireBefore(now);
   const std::int64_t segStart = now + switchOverhead;
+
+  // Lifetime enforcement: cap the segment at the process's deadline so
+  // an overstaying process is cut exactly there (the caller retires it
+  // when the segment ends at or past the deadline). The cap acts like a
+  // per-segment quantum, so it composes with preemptive policies.
+  if (openWorkload_ && config_.arrivals->processLifetimeCycles) {
+    const std::int64_t remain =
+        std::max<std::int64_t>(deadline(process) - segStart, 1);
+    quantum = quantum ? std::min(*quantum, remain) : remain;
+  }
 
   std::int64_t cycles = 0;
   if (config_.replayMode == ReplayMode::RunLength) {
@@ -99,19 +110,70 @@ std::int64_t MpsocSimulator::runSegment(std::size_t coreIdx, ProcessId process,
   return now + switchOverhead + cycles;
 }
 
-void MpsocSimulator::complete(ProcessId process, std::size_t coreIdx,
-                              std::int64_t now) {
+void MpsocSimulator::provideFootprints(std::vector<Footprint> footprints) {
+  check(footprints.size() == workload_->graph.processCount(),
+        "MpsocSimulator::provideFootprints: footprint count mismatch");
+  footprints_ = std::move(footprints);
+  footprintsProvided_ = true;
+}
+
+std::int64_t MpsocSimulator::deadline(ProcessId process) const {
+  if (!openWorkload_ || !config_.arrivals->processLifetimeCycles) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return arrivalCycle_[process] + *config_.arrivals->processLifetimeCycles;
+}
+
+void MpsocSimulator::exitProcess(ProcessId process, std::size_t coreIdx,
+                                 std::int64_t now, bool retired) {
+  // A retired process logically left at its deadline; the engine may
+  // only *notice* later (a waiting process is lazily retired at its
+  // next pick). Record the deadline, not the notice time — otherwise a
+  // starvation-prone policy would be credited unbounded sojourn for
+  // processes the lifetime model says were already gone.
+  if (retired) now = std::min(now, deadline(process));
   completed_[process] = true;
   ++completedCount_;
   auto& record = result_.processes[process];
   record.completionCycle = now;
   record.lastCore = coreIdx;
-  policy_->onComplete(process);
+  record.retired = retired;
+  if (retired) {
+    ++result_.retiredProcesses;
+  } else {
+    policy_->onComplete(process);
+  }
+  if (openWorkload_) {
+    policy_->onExit(process);
+    liveSharing_.removeProcess(process);
+    CohortStats& cohort = result_.cohorts[cohortOfProcess_[process]];
+    cohort.completionCycle = std::max(cohort.completionCycle, now);
+    cohort.totalLatencyCycles += now - arrivalCycle_[process];
+    if (retired) ++cohort.retiredCount;
+  }
+  // Dependents are released on retirement too: a killed producer must
+  // not strand its consumers (they run against whatever data exists —
+  // the simulation models timing, not values).
   for (const ProcessId succ : workload_->graph.successors(process)) {
     check(remainingPreds_[succ] > 0, "MpsocSimulator: dependence accounting");
-    if (--remainingPreds_[succ] == 0) {
+    if (--remainingPreds_[succ] == 0 && arrived_[succ]) {
       policy_->onReady(succ);
     }
+  }
+}
+
+void MpsocSimulator::admitCohort(std::size_t cohortIdx, std::int64_t now) {
+  // Every arrival is announced before any readiness: replanning policies
+  // patch their plan with the whole cohort in view before the first
+  // dispatch decision against it.
+  for (const ProcessId p : cohortMembers_[cohortIdx]) {
+    arrived_[p] = true;
+    result_.processes[p].arrivalCycle = now;
+    liveSharing_.addProcess(footprints_, p);
+    policy_->onArrival(p);
+  }
+  for (const ProcessId p : cohortMembers_[cohortIdx]) {
+    if (remainingPreds_[p] == 0) policy_->onReady(p);
   }
 }
 
@@ -140,14 +202,56 @@ SimResult MpsocSimulator::run() {
   remainingPreds_.resize(n);
   std::vector<bool> running(n, false);
 
-  const SchedContext context{&workload_->graph, sharing_, config_.coreCount,
-                             workload_, space_};
+  // Open-workload state: cohort (= task) arrival cycles, per-process
+  // arrival bookkeeping, and the incrementally-maintained live sharing
+  // matrix. Inert in closed mode — the closed path below is untouched.
+  openWorkload_ = config_.arrivals.has_value();
+  arrived_.assign(n, !openWorkload_);
+  arrivalCycle_.assign(n, 0);
+  cohortOfProcess_.clear();
+  cohortMembers_.clear();
+  cohortArrival_.clear();
+  if (!footprintsProvided_) footprints_.clear();
+  liveSharing_ = SharingMatrix{};
+  if (openWorkload_) {
+    config_.arrivals->validate();
+    const std::vector<TaskId> tasks = workload_->graph.tasks();
+    check(!tasks.empty(), "MpsocSimulator: open workload has no tasks");
+    cohortArrival_ = cohortArrivalCycles(*config_.arrivals, tasks.size());
+    cohortMembers_.resize(tasks.size());
+    cohortOfProcess_.assign(n, 0);
+    result_.cohorts.resize(tasks.size());
+    for (std::size_t k = 0; k < tasks.size(); ++k) {
+      cohortMembers_[k] = workload_->graph.processesOfTask(tasks[k]);
+      for (const ProcessId p : cohortMembers_[k]) {
+        cohortOfProcess_[p] = k;
+        arrivalCycle_[p] = cohortArrival_[k];
+        // result_.processes[p].arrivalCycle is stamped by admitCohort —
+        // every cohort is eventually admitted (the event loop drains
+        // cohortArrival_ completely).
+      }
+      result_.cohorts[k].task = tasks[k];
+      result_.cohorts[k].arrivalCycle = cohortArrival_[k];
+      result_.cohorts[k].completionCycle = cohortArrival_[k];
+      result_.cohorts[k].processCount = cohortMembers_[k].size();
+    }
+    if (!footprintsProvided_) footprints_ = workload_->footprints();
+    liveSharing_ = SharingMatrix::inactive(n);
+  }
+
+  const SchedContext context{&workload_->graph,
+                             openWorkload_ ? &liveSharing_ : sharing_,
+                             config_.coreCount, workload_, space_};
   policy_->reset(context);
   for (ProcessId p = 0; p < n; ++p) {
     remainingPreds_[p] = workload_->graph.predecessors(p).size();
-    if (remainingPreds_[p] == 0) {
+    if (!openWorkload_ && remainingPreds_[p] == 0) {
       policy_->onReady(p);
     }
+  }
+  std::size_t nextCohort = 0;
+  if (openWorkload_ && cohortArrival_[0] == 0) {
+    admitCohort(nextCohort++, 0);
   }
 
   // Busy cores, ordered by segment end time (core index breaks ties).
@@ -155,19 +259,32 @@ SimResult MpsocSimulator::run() {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
 
   // Offers work to an idle core; returns true when a segment started.
+  // A picked process whose lifetime already expired is retired on the
+  // spot (it never gets another segment) and the policy is asked again —
+  // lazy retirement at the scheduling boundary keeps every policy's
+  // ready-queue bookkeeping valid without new obligations.
   const auto offer = [&](std::size_t coreIdx, std::int64_t now) {
-    const auto pick = policy_->pickNext(coreIdx, cores_[coreIdx].lastScheduled);
-    if (!pick) return false;
-    const ProcessId p = *pick;
-    check(p < n, "scheduler picked an unknown process");
-    check(!completed_[p], "scheduler picked a completed process");
-    check(!running[p], "scheduler picked a process already running");
-    check(remainingPreds_[p] == 0, "scheduler picked a dependent process");
-    result_.coreIdleCycles[coreIdx] += now - cores_[coreIdx].freeAt;
-    running[p] = true;
-    const std::int64_t end = runSegment(coreIdx, p, now);
-    events.emplace(end, coreIdx);
-    return true;
+    while (true) {
+      const auto pick =
+          policy_->pickNext(coreIdx, cores_[coreIdx].lastScheduled);
+      if (!pick) return false;
+      const ProcessId p = *pick;
+      check(p < n, "scheduler picked an unknown process");
+      check(!completed_[p], "scheduler picked a completed process");
+      check(!running[p], "scheduler picked a process already running");
+      check(arrived_[p], "scheduler picked a process that has not arrived");
+      check(remainingPreds_[p] == 0, "scheduler picked a dependent process");
+      if (deadline(p) <= now) {
+        exitProcess(p, lastRanOn_[p].value_or(coreIdx), now,
+                    /*retired=*/true);
+        continue;
+      }
+      result_.coreIdleCycles[coreIdx] += now - cores_[coreIdx].freeAt;
+      running[p] = true;
+      const std::int64_t end = runSegment(coreIdx, p, now);
+      events.emplace(end, coreIdx);
+      return true;
+    }
   };
 
   for (std::size_t c = 0; c < config_.coreCount; ++c) {
@@ -175,7 +292,21 @@ SimResult MpsocSimulator::run() {
   }
 
   std::int64_t now = 0;
-  while (!events.empty()) {
+  while (!events.empty() || nextCohort < cohortArrival_.size()) {
+    // Arrivals first at equal cycles: a core freeing at t must see the
+    // processes that arrive at t.
+    const std::int64_t nextArrival =
+        nextCohort < cohortArrival_.size()
+            ? cohortArrival_[nextCohort]
+            : std::numeric_limits<std::int64_t>::max();
+    if (events.empty() || nextArrival <= events.top().first) {
+      now = nextArrival;
+      admitCohort(nextCohort++, now);
+      for (std::size_t c = 0; c < config_.coreCount; ++c) {
+        if (!cores_[c].current) offer(c, now);
+      }
+      continue;
+    }
     const auto [t, coreIdx] = events.top();
     events.pop();
     now = t;
@@ -185,7 +316,10 @@ SimResult MpsocSimulator::run() {
     core.freeAt = now;
     running[p] = false;
     if (cursors_[p]->done()) {
-      complete(p, coreIdx, now);
+      exitProcess(p, coreIdx, now, /*retired=*/false);
+    } else if (deadline(p) <= now) {
+      // The lifetime cap cut this segment: the process overstayed.
+      exitProcess(p, coreIdx, now, /*retired=*/true);
     } else {
       ++result_.preemptions;
       policy_->onPreempt(p);

@@ -18,6 +18,12 @@
 ///    compute cycles;
 ///  * scheduling decisions happen when a core goes idle (process finished
 ///    or quantum expired) and when new processes become ready;
+///  * with an arrival schedule (MpsocConfig::arrivals, docs §9) the
+///    workload is open: task cohorts are admitted mid-simulation (the
+///    policy hears onArrival, the live sharing matrix gains the row
+///    incrementally), processes that outlive their deadline are retired
+///    at the next scheduling boundary (onExit; dependents are released
+///    as on completion), and SimResult reports per-cohort latency;
 ///  * a preempted process resumes where it stopped, on any core;
 ///  * context switches cost MpsocConfig::switchCycles, charged outside
 ///    the quantum (overhead must not shrink the policy's time slice) and
@@ -51,6 +57,12 @@ class MpsocSimulator {
                  const SharingMatrix& sharing, SchedulerPolicy& policy,
                  MpsocConfig config);
 
+  /// Open workloads: supply precomputed per-process footprints so run()
+  /// does not recompute them for the incremental sharing-matrix
+  /// maintenance (the experiment harness already has them). Must cover
+  /// every process of the workload; ignored in closed mode.
+  void provideFootprints(std::vector<Footprint> footprints);
+
   /// Simulates to completion and returns the metrics. Throws laps::Error
   /// if the policy strands work (deadlock) or schedules an ineligible
   /// process.
@@ -70,9 +82,20 @@ class MpsocSimulator {
   std::int64_t runSegment(std::size_t coreIdx, ProcessId process,
                           std::int64_t now);
 
-  /// Marks \p process complete at \p now and announces newly ready
-  /// successors to the policy.
-  void complete(ProcessId process, std::size_t coreIdx, std::int64_t now);
+  /// Marks \p process gone at \p now — naturally completed (\p retired
+  /// false) or retired at its lifetime deadline — and announces newly
+  /// ready successors to the policy. Either way dependents are released,
+  /// so retirement cannot strand downstream work.
+  void exitProcess(ProcessId process, std::size_t coreIdx, std::int64_t now,
+                   bool retired);
+
+  /// Admits arrival cohort \p cohortIdx at \p now: activates its rows in
+  /// the live sharing matrix, announces onArrival (then onReady for
+  /// dependence-free processes) to the policy.
+  void admitCohort(std::size_t cohortIdx, std::int64_t now);
+
+  /// Lifetime deadline of \p process (max int64 when unlimited).
+  [[nodiscard]] std::int64_t deadline(ProcessId process) const;
 
   const Workload* workload_;
   const AddressSpace* space_;
@@ -88,6 +111,25 @@ class MpsocSimulator {
   std::vector<bool> completed_;
   std::size_t completedCount_ = 0;
   SimResult result_;
+
+  /// \name Open-workload state (inert when config_.arrivals is empty)
+  /// @{
+  bool openWorkload_ = false;
+  std::vector<bool> arrived_;
+  std::vector<std::int64_t> arrivalCycle_;     // per process
+  std::vector<std::size_t> cohortOfProcess_;   // index into cohorts
+  std::vector<std::vector<ProcessId>> cohortMembers_;
+  std::vector<std::int64_t> cohortArrival_;
+  /// Per-process footprints for the incremental sharing-matrix
+  /// maintenance: provideFootprints()'s copy, else computed per run.
+  std::vector<Footprint> footprints_;
+  bool footprintsProvided_ = false;
+  /// The sharing matrix the policy actually sees in open mode: rows are
+  /// activated on arrival (SharingMatrix::addProcess) and cleared on
+  /// exit, so the policy only ever reads values of live processes —
+  /// identical, for those, to the full precomputed matrix.
+  SharingMatrix liveSharing_;
+  /// @}
 };
 
 }  // namespace laps

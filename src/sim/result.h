@@ -14,10 +14,34 @@ namespace laps {
 /// Execution record of one process.
 struct ProcessRunRecord {
   ProcessId id = 0;
+  std::int64_t arrivalCycle = 0;      ///< 0 in closed workloads
   std::int64_t firstStartCycle = -1;  ///< -1 = never ran
   std::int64_t completionCycle = -1;  ///< -1 = did not complete
   std::size_t lastCore = 0;           ///< core that ran the final segment
   std::uint32_t segments = 0;         ///< 1 = ran uninterrupted
+  /// Open workloads only: the process exceeded its lifetime and was
+  /// retired before finishing its trace. completionCycle then holds the
+  /// lifetime deadline — when the process logically left — even when
+  /// the engine only enforced it at a later scheduling boundary.
+  bool retired = false;
+};
+
+/// Per-arrival-cohort metrics of an open workload (one cohort = all
+/// processes of one task, arriving together).
+struct CohortStats {
+  TaskId task = 0;                  ///< task id of this cohort
+  std::int64_t arrivalCycle = 0;    ///< when the cohort entered
+  std::int64_t completionCycle = 0; ///< last exit (completion or retire)
+  std::size_t processCount = 0;
+  std::size_t retiredCount = 0;     ///< processes killed by the lifetime
+  /// Sum over the cohort's processes of (exit cycle - arrival cycle) —
+  /// divide by processCount for the mean sojourn time.
+  std::int64_t totalLatencyCycles = 0;
+
+  /// Response time of the whole cohort.
+  [[nodiscard]] std::int64_t makespanCycles() const {
+    return completionCycle - arrivalCycle;
+  }
 };
 
 /// Everything a simulation run reports.
@@ -46,6 +70,14 @@ struct SimResult {
   std::uint64_t contextSwitches = 0;  ///< segments that changed the process
   std::uint64_t preemptions = 0;      ///< quantum expirations
   std::uint64_t migrations = 0;       ///< resumes on a different core
+
+  /// \name Open-workload statistics (empty/zero in closed workloads)
+  /// @{
+  /// Per-arrival-cohort metrics, in arrival order (= task order).
+  std::vector<CohortStats> cohorts;
+  /// Processes retired at their lifetime deadline before completing.
+  std::uint64_t retiredProcesses = 0;
+  /// @}
 
   /// Cycles spent on context-switch overhead (summed over cores). Kept
   /// out of coreBusyCycles: switch overhead is neither useful work nor

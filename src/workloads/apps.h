@@ -63,6 +63,13 @@ std::vector<Application> standardSuite(const AppParams& params = {});
 /// beyond the suite size cycle through it (application i is
 /// suite[i % size]), each instance fully independent — the way the
 /// |T| axis extends to hundreds of resident applications.
+///
+/// Under an open workload (MpsocConfig::arrivals,
+/// docs/ARCHITECTURE.md §9) each merged task is one arrival cohort, in
+/// this merge order: application i is the i-th cohort to launch. The
+/// zero inter-application sharing and absence of cross-task dependences
+/// are exactly what the cohort arrival model assumes (a later cohort
+/// never depends on one that has not arrived).
 Workload concurrentScenario(const std::vector<Application>& suite,
                             std::size_t count);
 

@@ -1,0 +1,189 @@
+/// \file sharing_incremental_test.cpp
+/// \brief Incremental SharingMatrix maintenance vs from-scratch compute.
+///
+/// The open-workload engine maintains the sharing matrix one
+/// addProcess/removeProcess at a time. These tests pin the promise that
+/// after ANY interleaved sequence of such events, the matrix is
+/// bit-identical to a from-scratch compute over the surviving (active)
+/// set — i.e. to the full matrix with inactive rows/columns zeroed —
+/// including when the new-row intersections run on the parallel pool
+/// (thread counts {1, 8}).
+
+#include <gtest/gtest.h>
+
+#include "core/laps.h"
+#include "util/parallel.h"
+
+namespace laps {
+namespace {
+
+/// Restores automatic thread-count resolution when a test exits.
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() { setParallelThreadCount(0); }
+};
+
+/// The oracle: full compute over every footprint, masked down to the
+/// active set (a from-scratch compute over the survivors produces
+/// exactly these values for the active pairs and zero elsewhere).
+void expectMatchesMaskedCompute(const SharingMatrix& incremental,
+                                std::span<const Footprint> footprints,
+                                const std::vector<bool>& active) {
+  const SharingMatrix full = SharingMatrix::compute(footprints);
+  ASSERT_EQ(incremental.size(), full.size());
+  for (std::size_t p = 0; p < full.size(); ++p) {
+    ASSERT_EQ(incremental.isActive(p), static_cast<bool>(active[p]));
+    for (std::size_t q = 0; q < full.size(); ++q) {
+      const std::int64_t expected =
+          active[p] && active[q] ? full.at(p, q) : 0;
+      ASSERT_EQ(incremental.at(p, q), expected)
+          << "cell (" << p << ", " << q << ")";
+    }
+  }
+}
+
+std::vector<Footprint> suiteFootprints(std::size_t apps) {
+  const auto suite = standardSuite();
+  return concurrentScenario(suite, apps).footprints();
+}
+
+TEST(SharingMatrixIncremental, StartsInactiveAndEmpty) {
+  const SharingMatrix m = SharingMatrix::inactive(4);
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_EQ(m.activeCount(), 0u);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_FALSE(m.isActive(p));
+  }
+  EXPECT_TRUE(m.isDiagonal());
+}
+
+TEST(SharingMatrixIncremental, ComputeMarksEveryProcessActive) {
+  const auto footprints = suiteFootprints(1);
+  const SharingMatrix m = SharingMatrix::compute(footprints);
+  EXPECT_EQ(m.activeCount(), footprints.size());
+  EXPECT_TRUE(m.isActive(0));
+}
+
+TEST(SharingMatrixIncremental, AddThenRemoveRoundTrips) {
+  const auto footprints = suiteFootprints(1);
+  const std::size_t n = footprints.size();
+  SharingMatrix m = SharingMatrix::inactive(n);
+  std::vector<bool> active(n, false);
+
+  for (std::size_t p = 0; p < n; ++p) {
+    m.addProcess(footprints, p);
+    active[p] = true;
+  }
+  expectMatchesMaskedCompute(m, footprints, active);
+  EXPECT_EQ(m.activeCount(), n);
+
+  m.removeProcess(2);
+  active[2] = false;
+  expectMatchesMaskedCompute(m, footprints, active);
+
+  // Re-adding restores the row exactly.
+  m.addProcess(footprints, 2);
+  active[2] = true;
+  expectMatchesMaskedCompute(m, footprints, active);
+}
+
+TEST(SharingMatrixIncremental, PreconditionsThrow) {
+  const auto footprints = suiteFootprints(1);
+  SharingMatrix m = SharingMatrix::inactive(footprints.size());
+  EXPECT_THROW(m.removeProcess(0), Error);  // not active yet
+  m.addProcess(footprints, 0);
+  EXPECT_THROW(m.addProcess(footprints, 0), Error);  // already active
+  EXPECT_THROW(m.addProcess(footprints, footprints.size()), Error);
+  EXPECT_THROW(m.removeProcess(footprints.size()), Error);
+  // Universe size mismatch.
+  const std::span<const Footprint> slice(footprints.data(),
+                                         footprints.size() - 1);
+  EXPECT_THROW(m.addProcess(slice, 1), Error);
+  // compute()'d matrices are fully active: removal works directly.
+  SharingMatrix full = SharingMatrix::compute(footprints);
+  full.removeProcess(3);
+  EXPECT_FALSE(full.isActive(3));
+  EXPECT_EQ(full.at(3, 1), 0);
+}
+
+TEST(SharingMatrixIncremental,
+     RandomInterleavingMatchesComputeAtThreadCounts1And8) {
+  const ThreadCountGuard guard;
+  // Two concurrent applications: real footprints with heavy intra-task
+  // sharing and inter-task disjointness.
+  const auto footprints = suiteFootprints(2);
+  const std::size_t n = footprints.size();
+
+  for (const std::size_t threads : {1u, 8u}) {
+    setParallelThreadCount(threads);
+    Rng rng(0xA11CE + threads);
+    SharingMatrix m = SharingMatrix::inactive(n);
+    std::vector<bool> active(n, false);
+    std::vector<std::size_t> activeIds;
+    std::vector<std::size_t> inactiveIds(n);
+    for (std::size_t p = 0; p < n; ++p) inactiveIds[p] = p;
+
+    for (int step = 0; step < 200; ++step) {
+      // 60% arrivals while anything is inactive, else exits.
+      const bool add =
+          !inactiveIds.empty() && (activeIds.empty() || rng.chance(0.6));
+      if (add) {
+        const std::size_t i = rng.index(inactiveIds.size());
+        const std::size_t p = inactiveIds[i];
+        inactiveIds.erase(inactiveIds.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        activeIds.push_back(p);
+        active[p] = true;
+        m.addProcess(footprints, p);
+      } else {
+        const std::size_t i = rng.index(activeIds.size());
+        const std::size_t p = activeIds[i];
+        activeIds.erase(activeIds.begin() + static_cast<std::ptrdiff_t>(i));
+        inactiveIds.push_back(p);
+        active[p] = false;
+        m.removeProcess(p);
+      }
+      // Check every 20 events (and at the end) to keep runtime sane.
+      if (step % 20 == 19 || step == 199) {
+        expectMatchesMaskedCompute(m, footprints, active);
+      }
+      ASSERT_EQ(m.activeCount(), activeIds.size());
+    }
+  }
+}
+
+TEST(SharingMatrixIncremental, ParallelRowPathMatchesAtLargeUniverse) {
+  // addProcess runs the new row inline below a cutoff (~256) — the
+  // interleaving test above covers that path. This one forces the
+  // parallel path: a 330-process universe (|T| = 12), updated at 8
+  // threads, must still match the masked full compute bit-for-bit.
+  const ThreadCountGuard guard;
+  const auto footprints = suiteFootprints(12);
+  const std::size_t n = footprints.size();
+  ASSERT_GE(n, 256u);  // keep this test on the parallel path
+
+  setParallelThreadCount(8);
+  Rng rng(0xB0B);
+  SharingMatrix m = SharingMatrix::inactive(n);
+  std::vector<bool> active(n, false);
+  std::vector<std::size_t> activeIds;
+  for (int step = 0; step < 40; ++step) {
+    if (activeIds.empty() || rng.chance(0.75)) {
+      std::size_t p = static_cast<std::size_t>(rng.index(n));
+      while (active[p]) p = (p + 1) % n;
+      active[p] = true;
+      activeIds.push_back(p);
+      m.addProcess(footprints, p);
+    } else {
+      const std::size_t i = rng.index(activeIds.size());
+      const std::size_t p = activeIds[i];
+      activeIds.erase(activeIds.begin() + static_cast<std::ptrdiff_t>(i));
+      active[p] = false;
+      m.removeProcess(p);
+    }
+  }
+  expectMatchesMaskedCompute(m, footprints, active);
+}
+
+}  // namespace
+}  // namespace laps

@@ -1,0 +1,221 @@
+/// \file online_locality_test.cpp
+/// \brief OnlineLocalityScheduler: closed-workload equivalence with the
+/// static LS plan, incremental patch/rebuild behavior under arrival and
+/// exit events, and parameter validation.
+
+#include <gtest/gtest.h>
+
+#include "core/laps.h"
+
+namespace laps {
+namespace {
+
+void expectPlansEqual(const LocalityPlan& a, const LocalityPlan& b) {
+  ASSERT_EQ(a.perCore.size(), b.perCore.size());
+  for (std::size_t c = 0; c < a.perCore.size(); ++c) {
+    ASSERT_EQ(a.perCore[c], b.perCore[c]) << "core " << c;
+  }
+}
+
+TEST(OnlineLocalityOptions, RejectsNegativeThreshold) {
+  OnlineLocalityOptions options;
+  options.rebuildThreshold = -1;
+  EXPECT_THROW(options.validate(), Error);
+  EXPECT_THROW(OnlineLocalityScheduler{options}, Error);
+  SchedulerParams params;
+  params.onlineLocality.rebuildThreshold = -5;
+  EXPECT_THROW(makeScheduler(SchedulerKind::OnlineLocality, params), Error);
+  // Threshold 0 (rebuild every event) is valid.
+  params.onlineLocality.rebuildThreshold = 0;
+  EXPECT_NE(makeScheduler(SchedulerKind::OnlineLocality, params), nullptr);
+}
+
+TEST(OnlineLocality, ClosedWorkloadPlanMatchesStaticLocalityPlan) {
+  // On a closed workload no arrival event ever fires: the reset()-time
+  // plan must be the static Fig. 3 plan, at threshold 0 and beyond.
+  const auto suite = standardSuite();
+  const Workload mix = concurrentScenario(suite, 2);
+  const SharingMatrix sharing = SharingMatrix::compute(mix.footprints());
+  const LocalityPlan reference =
+      buildLocalityPlan(mix.graph, sharing, 8);
+
+  for (const std::int64_t threshold : {std::int64_t{0}, std::int64_t{8}}) {
+    OnlineLocalityOptions options;
+    options.rebuildThreshold = threshold;
+    OnlineLocalityScheduler policy(options);
+    policy.reset(SchedContext{&mix.graph, &sharing, 8});
+    expectPlansEqual(policy.plan(), reference);
+  }
+}
+
+TEST(OnlineLocality, ClosedWorkloadSimulationCompletes) {
+  // Full simulation under OLS on a closed workload: every process runs,
+  // and the policy never strands work.
+  const Application app = makeShape();
+  const auto r =
+      runExperiment(app.workload, SchedulerKind::OnlineLocality, {});
+  EXPECT_EQ(r.schedulerName, "OLS");
+  EXPECT_GT(r.sim.makespanCycles, 0);
+  for (const auto& p : r.sim.processes) {
+    EXPECT_GE(p.completionCycle, 0);
+    EXPECT_FALSE(p.retired);
+  }
+}
+
+/// Four independent processes over one shared array: P0/P1 share a
+/// range, P2/P3 share a disjoint range, and nothing crosses the pairs.
+struct PatchRig {
+  ExtendedProcessGraph graph;
+  SharingMatrix sharing{4};
+
+  PatchRig() {
+    for (int i = 0; i < 4; ++i) {
+      ProcessSpec p;
+      p.name = "P" + std::to_string(i);
+      p.nests.push_back(LoopNest{IterationSpace::box({{0, 10}}), {}, 1});
+      graph.addProcess(std::move(p));
+    }
+    const auto link = [&](std::size_t a, std::size_t b, std::int64_t s) {
+      sharing.set(a, b, s);
+      sharing.set(b, a, s);
+    };
+    link(0, 1, 100);
+    link(2, 3, 100);
+    for (int i = 0; i < 4; ++i) sharing.set(i, i, 10);
+  }
+};
+
+TEST(OnlineLocality, ArrivalPatchAppendsToMaxSharingCore) {
+  PatchRig rig;
+  OnlineLocalityOptions options;
+  options.rebuildThreshold = 100;  // pure incremental patching
+  OnlineLocalityScheduler policy(options);
+  policy.reset(SchedContext{&rig.graph, &rig.sharing, 2});
+
+  // First arrival opens the workload: the closed-assumption plan is
+  // dropped and P0 lands on core 0.
+  policy.onArrival(0);
+  ASSERT_EQ(policy.plan().perCore[0], std::vector<ProcessId>{0});
+  EXPECT_TRUE(policy.plan().perCore[1].empty());
+
+  // P2 shares nothing with P0 — both cores score 0, tie falls to core 0
+  // whose plan is nonempty... unless sharing says otherwise: P1 shares
+  // 100 with P0, so it must join P0's core; P2 starts core 1's plan
+  // after P3? Exercise the actual rule:
+  policy.onArrival(1);  // sharing(0, 1) = 100 > 0 -> core 0
+  ASSERT_EQ(policy.plan().perCore[0], (std::vector<ProcessId>{0, 1}));
+  policy.onArrival(2);  // sharing(1, 2) = 0, empty core 1 ties at 0 ->
+                        // lowest core with max score is core 0
+  // The greedy append puts P2 wherever the score is maximal; with all
+  // scores equal it is core 0. Verify the invariant that matters: P3
+  // joins P2's core (sharing 100 beats 0).
+  policy.onArrival(3);
+  bool p3FollowsP2 = false;
+  for (const auto& order : policy.plan().perCore) {
+    bool hasP2 = false;
+    bool hasP3 = false;
+    for (const ProcessId p : order) {
+      hasP2 |= (p == 2);
+      hasP3 |= (p == 3);
+    }
+    if (hasP2 && hasP3) p3FollowsP2 = true;
+  }
+  EXPECT_TRUE(p3FollowsP2);
+  EXPECT_EQ(policy.eventCount(), 4u);
+  EXPECT_EQ(policy.rebuildCount(), 0u);  // below threshold: only patches
+}
+
+TEST(OnlineLocality, ThresholdZeroRebuildsEveryEventToFreshPlan) {
+  PatchRig rig;
+  OnlineLocalityOptions options;
+  options.rebuildThreshold = 0;
+  OnlineLocalityScheduler policy(options);
+  policy.reset(SchedContext{&rig.graph, &rig.sharing, 2});
+
+  std::vector<ProcessId> live;
+  for (const ProcessId p : {0u, 2u, 1u, 3u}) {
+    policy.onArrival(p);
+    live.push_back(p);
+    std::sort(live.begin(), live.end());
+    // Rebuild-every-event: the plan equals a from-scratch
+    // buildLocalityPlan over exactly the live set.
+    const LocalityPlan reference =
+        buildLocalityPlan(rig.graph, rig.sharing, 2, {}, live);
+    expectPlansEqual(policy.plan(), reference);
+  }
+  EXPECT_EQ(policy.rebuildCount(), 4u);
+
+  // Exits rebuild too.
+  policy.onExit(0);
+  live.erase(live.begin());
+  const LocalityPlan reference =
+      buildLocalityPlan(rig.graph, rig.sharing, 2, {}, live);
+  expectPlansEqual(policy.plan(), reference);
+  EXPECT_EQ(policy.rebuildCount(), 5u);
+}
+
+TEST(OnlineLocality, ExitPatchRemovesFromPlan) {
+  PatchRig rig;
+  OnlineLocalityOptions options;
+  options.rebuildThreshold = 100;
+  OnlineLocalityScheduler policy(options);
+  policy.reset(SchedContext{&rig.graph, &rig.sharing, 2});
+  for (const ProcessId p : {0u, 1u, 2u, 3u}) policy.onArrival(p);
+  policy.onExit(1);
+  for (const auto& order : policy.plan().perCore) {
+    for (const ProcessId p : order) {
+      EXPECT_NE(p, 1u);
+    }
+  }
+}
+
+TEST(OnlineLocality, RebuildAfterThresholdPatches) {
+  PatchRig rig;
+  OnlineLocalityOptions options;
+  options.rebuildThreshold = 2;
+  OnlineLocalityScheduler policy(options);
+  policy.reset(SchedContext{&rig.graph, &rig.sharing, 2});
+  policy.onArrival(0);  // patch 1
+  policy.onArrival(1);  // patch 2
+  EXPECT_EQ(policy.rebuildCount(), 0u);
+  policy.onArrival(2);  // patch 3 > threshold -> rebuild
+  EXPECT_EQ(policy.rebuildCount(), 1u);
+  policy.onArrival(3);  // budget restarted: patch again
+  EXPECT_EQ(policy.rebuildCount(), 1u);
+}
+
+TEST(OnlineLocality, PlanGuidedDispatchThenSteal) {
+  PatchRig rig;
+  OnlineLocalityOptions options;
+  options.rebuildThreshold = 100;
+  OnlineLocalityScheduler policy(options);
+  policy.reset(SchedContext{&rig.graph, &rig.sharing, 2});
+  for (const ProcessId p : {0u, 1u, 2u, 3u}) {
+    policy.onArrival(p);
+    policy.onReady(p);
+  }
+  // Core 0's plan leads with P0; dispatch follows it.
+  const auto core0Plan = policy.plan().perCore[0];
+  ASSERT_FALSE(core0Plan.empty());
+  const auto first = policy.pickNext(0, std::nullopt);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, core0Plan.front());
+  // Drain everything: each ready process is dispatched exactly once.
+  std::vector<bool> seen(4, false);
+  seen[*first] = true;
+  for (int i = 0; i < 3; ++i) {
+    const auto pick = policy.pickNext(i % 2, first);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_FALSE(seen[*pick]);
+    seen[*pick] = true;
+  }
+  EXPECT_FALSE(policy.pickNext(0, first).has_value());
+}
+
+TEST(OnlineLocality, RequiresContext) {
+  OnlineLocalityScheduler policy;
+  EXPECT_THROW(policy.reset({}), Error);
+}
+
+}  // namespace
+}  // namespace laps

@@ -36,17 +36,33 @@ TEST(ToString, AllKinds) {
   EXPECT_EQ(to_string(SchedulerKind::CriticalPath), "CPATH");
   EXPECT_EQ(to_string(SchedulerKind::DynamicLocality), "DLS");
   EXPECT_EQ(to_string(SchedulerKind::L2ContentionAware), "CALS");
+  EXPECT_EQ(to_string(SchedulerKind::OnlineLocality), "OLS");
+}
+
+TEST(ToString, ExhaustiveOverEveryKind) {
+  // kAllSchedulerKinds is the enum's declaration-order catalogue (the
+  // compiler's -Werror=switch on to_string's switch keeps them in sync);
+  // every kind must map to a unique, non-empty, stable short name.
+  std::set<std::string> names;
+  for (const SchedulerKind kind : kAllSchedulerKinds) {
+    const std::string name = to_string(kind);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate scheduler name " << name;
+  }
+  EXPECT_EQ(names.size(), kAllSchedulerKinds.size());
 }
 
 TEST(Factory, CreatesEveryKind) {
-  for (const auto kind :
-       {SchedulerKind::Random, SchedulerKind::RoundRobin,
-        SchedulerKind::Locality, SchedulerKind::LocalityMapping,
-        SchedulerKind::Fcfs, SchedulerKind::Sjf, SchedulerKind::CriticalPath,
-        SchedulerKind::DynamicLocality, SchedulerKind::L2ContentionAware}) {
+  for (const auto kind : kAllSchedulerKinds) {
     const auto policy = makeScheduler(kind);
     ASSERT_NE(policy, nullptr);
     EXPECT_FALSE(policy->name().empty());
+    // The factory's policy answers to the catalogue name (LSM shares
+    // LS's policy object; the re-layout half lives in the harness).
+    if (kind != SchedulerKind::LocalityMapping) {
+      EXPECT_EQ(policy->name(), to_string(kind));
+    }
   }
 }
 
@@ -68,6 +84,14 @@ TEST(Factory, ValidatesParamsEagerly) {
   params.l2Contention.l2Geometry.sizeBytes = 1000;  // not a set multiple
   EXPECT_THROW(makeScheduler(SchedulerKind::L2ContentionAware, params), Error);
   EXPECT_NE(makeScheduler(SchedulerKind::Locality, params), nullptr);
+
+  params = SchedulerParams{};
+  params.onlineLocality.rebuildThreshold = -1;
+  EXPECT_THROW(makeScheduler(SchedulerKind::OnlineLocality, params), Error);
+  EXPECT_THROW(validateSchedulerParams(SchedulerKind::OnlineLocality, params),
+               Error);
+  // The threshold is OLS-only: other kinds ignore it.
+  EXPECT_NE(makeScheduler(SchedulerKind::DynamicLocality, params), nullptr);
 }
 
 TEST(Factory, OnlyRoundRobinIsPreemptive) {
@@ -232,6 +256,52 @@ TEST(DynamicLocalityScheduler, RequiresSharing) {
   EXPECT_THROW(policy.reset({}), Error);
 }
 
+TEST(DynamicLocalityScheduler, ArrivalStampsBreakTiesByArrivalOrder) {
+  // P1, P2, P3 share equally with previous P0; P3 arrived first but was
+  // readied last (a preempted old process re-queues at the tail). With
+  // arrival stamps, the tie falls to the earliest arrival, not to ready
+  // order.
+  const auto g = nProcesses(4);
+  SharingMatrix m(4);
+  for (const std::size_t q : {1u, 2u, 3u}) {
+    m.set(0, q, 50);
+    m.set(q, 0, 50);
+  }
+  DynamicLocalityScheduler policy;
+  policy.reset(SchedContext{&g, &m, 2});
+  policy.onArrival(3);
+  policy.onArrival(1);
+  policy.onArrival(2);
+  policy.onReady(1);
+  policy.onReady(2);
+  policy.onReady(3);  // readied last, arrived first
+  EXPECT_EQ(policy.pickNext(0, ProcessId{0}), 3u);
+  EXPECT_EQ(policy.pickNext(0, ProcessId{0}), 1u);
+  EXPECT_EQ(policy.pickNext(0, ProcessId{0}), 2u);
+}
+
+TEST(DynamicLocalityScheduler, ClosedModeKeepsFifoTiesWithoutArrivals) {
+  const auto g = nProcesses(4);
+  SharingMatrix m(4);
+  DynamicLocalityScheduler policy;
+  policy.reset(SchedContext{&g, &m, 2});
+  policy.onReady(3);
+  policy.onReady(1);
+  EXPECT_EQ(policy.pickNext(0, ProcessId{0}), 3u);  // plain ready order
+}
+
+TEST(DynamicLocalityScheduler, ExitDropsStaleReadyEntry) {
+  const auto g = nProcesses(3);
+  SharingMatrix m(3);
+  DynamicLocalityScheduler policy;
+  policy.reset(SchedContext{&g, &m, 1});
+  policy.onReady(0);
+  policy.onReady(1);
+  policy.onExit(0);  // e.g. retired while waiting
+  EXPECT_EQ(policy.pickNext(0, std::nullopt), 1u);
+  EXPECT_FALSE(policy.pickNext(0, std::nullopt).has_value());
+}
+
 /// Three processes over three arrays laid out so that — in a 32-set L2
 /// view — P0's and P2's footprints co-map into the same sets while P1's
 /// occupies the other half: conflict(P0, P2) > 0, conflict(P0, P1) == 0,
@@ -322,6 +392,32 @@ TEST(L2ContentionAwareScheduler, PreemptionReleasesThePenalty) {
   // so the conflicting P2 is not penalized against anything.
   EXPECT_EQ(policy.pickNext(1, std::nullopt), 0u);
   EXPECT_EQ(policy.pickNext(0, ProcessId{0}), 2u);
+}
+
+TEST(L2ContentionAwareScheduler, ExitOfARunningProcessReleasesThePenalty) {
+  // A retirement fires onExit without onComplete: the retired process
+  // must stop penalizing co-runners all the same.
+  ContentionRig rig;
+  L2ContentionAwareScheduler policy(ContentionRig::options(1.0));
+  policy.reset(rig.context);
+  policy.onReady(0);
+  ASSERT_EQ(policy.pickNext(0, std::nullopt), 0u);  // P0 occupies the L2
+  policy.onReady(2);
+  policy.onReady(1);
+  EXPECT_EQ(policy.pickNext(1, std::nullopt), 1u);  // P2 conflicts with P0
+  policy.onExit(0);  // retired mid-run
+  EXPECT_EQ(policy.pickNext(0, std::nullopt), 2u);  // penalty gone
+}
+
+TEST(L2ContentionAwareScheduler, ExitDropsStaleReadyEntry) {
+  ContentionRig rig;
+  L2ContentionAwareScheduler policy(ContentionRig::options(1.0));
+  policy.reset(rig.context);
+  policy.onReady(0);
+  policy.onReady(1);
+  policy.onExit(0);  // left while still queued
+  EXPECT_EQ(policy.pickNext(0, std::nullopt), 1u);
+  EXPECT_FALSE(policy.pickNext(1, std::nullopt).has_value());
 }
 
 TEST(L2ContentionAwareScheduler, RequiresWorkloadAndSpace) {

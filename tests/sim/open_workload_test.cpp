@@ -1,0 +1,172 @@
+/// \file open_workload_test.cpp
+/// \brief The open-workload engine: seeded arrival schedules, cohort
+/// admission, lifetime retirement, and determinism.
+
+#include <gtest/gtest.h>
+
+#include "core/laps.h"
+
+namespace laps {
+namespace {
+
+ExperimentConfig openConfig(std::int64_t meanInterArrival = 100'000,
+                            std::optional<std::int64_t> lifetime = {}) {
+  ExperimentConfig config;
+  config.mpsoc.arrivals.emplace();
+  config.mpsoc.arrivals->meanInterArrivalCycles = meanInterArrival;
+  config.mpsoc.arrivals->processLifetimeCycles = lifetime;
+  return config;
+}
+
+TEST(ArrivalSchedule, ValidatesParameters) {
+  ArrivalSchedule schedule;
+  schedule.meanInterArrivalCycles = 0;
+  EXPECT_THROW(schedule.validate(), Error);
+  schedule.meanInterArrivalCycles = 100;
+  schedule.processLifetimeCycles = 0;
+  EXPECT_THROW(schedule.validate(), Error);
+  schedule.processLifetimeCycles = 1;
+  schedule.validate();
+}
+
+TEST(ArrivalSchedule, SeededCohortCyclesAreDeterministicAndIncreasing) {
+  ArrivalSchedule schedule;
+  schedule.seed = 42;
+  schedule.meanInterArrivalCycles = 10'000;
+  const auto a = cohortArrivalCycles(schedule, 16);
+  const auto b = cohortArrivalCycles(schedule, 16);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 16u);
+  EXPECT_EQ(a[0], 0);  // the first cohort starts the simulation
+  for (std::size_t k = 1; k < a.size(); ++k) {
+    EXPECT_GT(a[k], a[k - 1]);
+    // Uniform on [1, 2*mean - 1].
+    EXPECT_LE(a[k] - a[k - 1], 2 * schedule.meanInterArrivalCycles - 1);
+  }
+  schedule.seed = 43;
+  EXPECT_NE(cohortArrivalCycles(schedule, 16), a);
+}
+
+TEST(OpenWorkload, CohortsReportedPerTask) {
+  const auto suite = standardSuite();
+  const Workload mix = concurrentScenario(suite, 3);
+  const auto r =
+      runExperiment(mix, SchedulerKind::DynamicLocality, openConfig());
+  ASSERT_EQ(r.sim.cohorts.size(), 3u);  // one cohort per task
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < r.sim.cohorts.size(); ++k) {
+    const CohortStats& cohort = r.sim.cohorts[k];
+    total += cohort.processCount;
+    EXPECT_GE(cohort.completionCycle, cohort.arrivalCycle);
+    EXPECT_GE(cohort.totalLatencyCycles, 0);
+    EXPECT_EQ(cohort.retiredCount, 0u);  // no lifetime configured
+    if (k > 0) {
+      EXPECT_GT(cohort.arrivalCycle, r.sim.cohorts[k - 1].arrivalCycle);
+    }
+  }
+  EXPECT_EQ(total, mix.graph.processCount());
+  EXPECT_EQ(r.sim.retiredProcesses, 0u);
+}
+
+TEST(OpenWorkload, NoProcessStartsBeforeItsArrival) {
+  const auto suite = standardSuite();
+  const Workload mix = concurrentScenario(suite, 3);
+  const auto r = runExperiment(mix, SchedulerKind::Random, openConfig());
+  for (const ProcessRunRecord& p : r.sim.processes) {
+    EXPECT_GE(p.firstStartCycle, p.arrivalCycle) << "process " << p.id;
+    EXPECT_GE(p.completionCycle, p.firstStartCycle);
+  }
+  // Later cohorts really arrive later than the first cohort's start.
+  EXPECT_GT(r.sim.cohorts.back().arrivalCycle, 0);
+}
+
+TEST(OpenWorkload, DeterministicAcrossRuns) {
+  const auto suite = standardSuite();
+  const Workload mix = concurrentScenario(suite, 2);
+  const auto config = openConfig(50'000, 400'000);
+  for (const SchedulerKind kind : openSchedulers()) {
+    const auto a = runExperiment(mix, kind, config);
+    const auto b = runExperiment(mix, kind, config);
+    EXPECT_EQ(a.sim.makespanCycles, b.sim.makespanCycles)
+        << to_string(kind);
+    EXPECT_EQ(a.sim.dcacheTotal.misses, b.sim.dcacheTotal.misses)
+        << to_string(kind);
+    EXPECT_EQ(a.sim.retiredProcesses, b.sim.retiredProcesses)
+        << to_string(kind);
+  }
+}
+
+TEST(OpenWorkload, ArrivalSeedChangesTheSchedule) {
+  const auto suite = standardSuite();
+  const Workload mix = concurrentScenario(suite, 3);
+  auto config = openConfig(200'000);
+  const auto a = runExperiment(mix, SchedulerKind::DynamicLocality, config);
+  config.mpsoc.arrivals->seed = 7;
+  const auto b = runExperiment(mix, SchedulerKind::DynamicLocality, config);
+  // Different arrival cycles shift the whole simulation.
+  EXPECT_NE(a.sim.cohorts[1].arrivalCycle, b.sim.cohorts[1].arrivalCycle);
+}
+
+TEST(OpenWorkload, LifetimeRetiresOverstayersAndReleasesDependents) {
+  const auto suite = standardSuite();
+  // A single task keeps the dependence structure interesting (stages),
+  // and a tiny lifetime guarantees retirement.
+  const Workload mix = concurrentScenario(suite, 1);
+  const auto r = runExperiment(mix, SchedulerKind::Fcfs,
+                               openConfig(100'000, 20'000));
+  EXPECT_GT(r.sim.retiredProcesses, 0u);
+  // Every process exits exactly once — retirement releases dependents,
+  // so nothing deadlocks and nothing is left unfinished. (A retired
+  // process that was *running* exits at its deadline; one that was
+  // queued exits at its next pick, which can be later — both count.)
+  for (const ProcessRunRecord& p : r.sim.processes) {
+    EXPECT_GE(p.completionCycle, 0) << "process " << p.id;
+    EXPECT_GE(p.completionCycle, p.arrivalCycle) << "process " << p.id;
+  }
+  ASSERT_FALSE(r.sim.cohorts.empty());
+  std::size_t retired = 0;
+  for (const auto& cohort : r.sim.cohorts) retired += cohort.retiredCount;
+  EXPECT_EQ(retired, r.sim.retiredProcesses);
+}
+
+TEST(OpenWorkload, EveryPolicyKindSurvivesAnOpenWorkload) {
+  const auto suite = standardSuite();
+  const Workload mix = concurrentScenario(suite, 2);
+  const auto config = openConfig(80'000, 500'000);
+  for (const SchedulerKind kind : kAllSchedulerKinds) {
+    const auto r = runExperiment(mix, kind, config);
+    EXPECT_GT(r.sim.makespanCycles, 0) << to_string(kind);
+    for (const ProcessRunRecord& p : r.sim.processes) {
+      EXPECT_GE(p.completionCycle, 0)
+          << to_string(kind) << " stranded process " << p.id;
+    }
+  }
+}
+
+TEST(OpenWorkload, ClosedModeReportsNoCohorts) {
+  const Application app = makeShape();
+  const auto r = runExperiment(app.workload, SchedulerKind::Locality, {});
+  EXPECT_TRUE(r.sim.cohorts.empty());
+  EXPECT_EQ(r.sim.retiredProcesses, 0u);
+  for (const ProcessRunRecord& p : r.sim.processes) {
+    EXPECT_EQ(p.arrivalCycle, 0);
+    EXPECT_FALSE(p.retired);
+  }
+}
+
+TEST(OpenWorkload, PreemptivePolicyComposesWithLifetimes) {
+  // RRS quanta and lifetime deadlines both cut segments; the shorter
+  // one must win each time and retirement still be exact.
+  const auto suite = standardSuite();
+  const Workload mix = concurrentScenario(suite, 2);
+  const auto r = runExperiment(mix, SchedulerKind::RoundRobin,
+                               openConfig(60'000, 150'000));
+  EXPECT_GT(r.sim.preemptions, 0u);
+  EXPECT_GT(r.sim.retiredProcesses, 0u);
+  for (const ProcessRunRecord& p : r.sim.processes) {
+    EXPECT_GE(p.completionCycle, 0);
+  }
+}
+
+}  // namespace
+}  // namespace laps
