@@ -24,7 +24,23 @@ whose first column is the group key) and verifies:
     --gap-tol as |T| grows: contention is supposed to make the
     re-layout matter *more*, not less.
 
- 3. Drift against a committed baseline CSV (--baseline): every row must
+ 3. With --percentile-monotone (any CSV carrying sojourn percentile
+    columns): sojourn_p50 <= sojourn_p95 <= sojourn_p99 on every row —
+    the order-statistics sanity of the exact percentile accounting.
+
+ 4. With --saturation-shapes (the bench_saturation sweep): per arrival
+    level,
+      * under AdmitAll the best locality-aware policy (DLS/CALS/OLS)
+        has p95 sojourn no worse than the best locality-blind baseline
+        (RS/RRS) — locality-awareness shortens effective service time,
+        so the knee sits at a higher arrival rate;
+      * for every (arrival, scheduler) pair, p99 under SloShed never
+        exceeds p99 under AdmitAll (equal while the SLO is loose);
+    and at the knee (some arrival level), every scheduler sheds under
+    SloShed, and at the heaviest level every scheduler sheds under
+    QueueCap.
+
+ 5. Drift against a committed baseline CSV (--baseline): every row must
     exist in both files, integer columns must match exactly (the
     simulator is deterministic), and float columns within a relative
     1e-9. With --columns only the named columns are compared, so a
@@ -38,6 +54,8 @@ the baselines after an intentional behavior change:
     build/bench_fig7_concurrent --csv > bench/baselines/fig7.csv
     build/bench_ablation --csv > bench/baselines/ablation_contention.csv
     build/bench_tables --csv > bench/baselines/tables.csv
+    build/bench_open_workload --csv > bench/baselines/open_workload.csv
+    build/bench_saturation --csv > bench/baselines/saturation.csv
 """
 
 import argparse
@@ -134,6 +152,110 @@ def check_lsm_gap_monotone(header, rows, gap_tol):
     return errors
 
 
+def check_percentile_monotone(header, rows):
+    """sojourn_p50 <= sojourn_p95 <= sojourn_p99 on every row."""
+    needed = {"sojourn_p50", "sojourn_p95", "sojourn_p99"}
+    missing = needed - set(header)
+    if missing:
+        return [f"--percentile-monotone: input lacks columns {sorted(missing)}"]
+    errors = []
+    key_cols = [header[0]] + (["scheduler"] if "scheduler" in header else [])
+    for row in rows:
+        p50, p95, p99 = (
+            int(row["sojourn_p50"]),
+            int(row["sojourn_p95"]),
+            int(row["sojourn_p99"]),
+        )
+        if not p50 <= p95 <= p99:
+            key = tuple(row[c] for c in key_cols)
+            errors.append(
+                f"row {key}: percentiles not monotone "
+                f"(p50={p50}, p95={p95}, p99={p99})"
+            )
+    return errors
+
+
+LOCALITY_AWARE = {"DLS", "CALS", "OLS"}
+LOCALITY_BLIND = {"RS", "RRS"}
+
+
+def check_saturation_shapes(header, rows):
+    """Knee ordering and admission-control shapes of bench_saturation."""
+    needed = {
+        "scheduler",
+        "admission",
+        "arrival_cyc",
+        "rejected",
+        "sojourn_p95",
+        "sojourn_p99",
+    }
+    missing = needed - set(header)
+    if missing:
+        return [f"--saturation-shapes: input lacks columns {sorted(missing)}"]
+    errors = []
+    # levels[arrival][admission][scheduler] = row
+    levels = {}
+    for row in rows:
+        levels.setdefault(int(row["arrival_cyc"]), {}).setdefault(
+            row["admission"], {}
+        )[row["scheduler"]] = row
+    schedulers = sorted({row["scheduler"] for row in rows})
+    slo_knee_levels = 0
+    for arrival in sorted(levels):
+        by_admission = levels[arrival]
+        admit_all = by_admission.get("AdmitAll", {})
+        aware = [
+            int(r["sojourn_p95"])
+            for s, r in admit_all.items()
+            if s in LOCALITY_AWARE
+        ]
+        blind = [
+            int(r["sojourn_p95"])
+            for s, r in admit_all.items()
+            if s in LOCALITY_BLIND
+        ]
+        if not aware or not blind:
+            errors.append(
+                f"arrival {arrival}: AdmitAll rows lack a locality-aware or "
+                f"locality-blind scheduler"
+            )
+        elif min(aware) > min(blind):
+            errors.append(
+                f"arrival {arrival}: best locality-aware p95 ({min(aware)}) "
+                f"worse than best locality-blind p95 ({min(blind)})"
+            )
+        slo = by_admission.get("SloShed", {})
+        for sched, row in slo.items():
+            if sched not in admit_all:
+                errors.append(
+                    f"arrival {arrival}: {sched} has a SloShed row but no "
+                    f"AdmitAll row"
+                )
+                continue
+            p99_slo = int(row["sojourn_p99"])
+            p99_all = int(admit_all[sched]["sojourn_p99"])
+            if p99_slo > p99_all:
+                errors.append(
+                    f"arrival {arrival}, {sched}: SloShed p99 ({p99_slo}) "
+                    f"exceeds AdmitAll p99 ({p99_all})"
+                )
+        if slo and all(int(r["rejected"]) > 0 for r in slo.values()):
+            slo_knee_levels += 1
+    if slo_knee_levels == 0:
+        errors.append(
+            "no arrival level where every scheduler sheds under SloShed "
+            "(the sweep never crosses the SLO knee)"
+        )
+    heaviest = levels.get(min(levels), {}).get("QueueCap", {})
+    for sched in schedulers:
+        if sched not in heaviest or int(heaviest[sched]["rejected"]) == 0:
+            errors.append(
+                f"heaviest arrival level: {sched} sheds nothing under "
+                f"QueueCap (the sweep never saturates the waiting room)"
+            )
+    return errors
+
+
 def check_baseline(header, rows, baseline_path, columns):
     errors = []
     base_header, base_rows = read_rows(baseline_path)
@@ -222,6 +344,17 @@ def main():
         help="absolute gap shrink tolerated by --lsm-gap-monotone "
         "(default 0.02 = 2 points)",
     )
+    parser.add_argument(
+        "--percentile-monotone",
+        action="store_true",
+        help="require sojourn_p50 <= sojourn_p95 <= sojourn_p99 per row",
+    )
+    parser.add_argument(
+        "--saturation-shapes",
+        action="store_true",
+        help="check the bench_saturation knee ordering and "
+        "admission-control shapes",
+    )
     args = parser.parse_args()
 
     header, rows = read_rows(args.csv)
@@ -238,6 +371,12 @@ def main():
     if args.lsm_gap_monotone:
         errors += check_lsm_gap_monotone(header, rows, args.gap_tol)
         checks.append("LSM gap monotone")
+    if args.percentile_monotone:
+        errors += check_percentile_monotone(header, rows)
+        checks.append("percentiles monotone")
+    if args.saturation_shapes:
+        errors += check_saturation_shapes(header, rows)
+        checks.append("saturation shapes hold")
     if args.baseline:
         columns = args.columns.split(",") if args.columns else None
         errors += check_baseline(header, rows, args.baseline, columns)

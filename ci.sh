@@ -73,6 +73,15 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "tier1" ]; then
       ./bench_open_workload --csv > bench_open_workload.csv
       python3 ../bench/baselines/check_shapes.py bench_open_workload.csv \
         --no-shapes --baseline ../bench/baselines/open_workload.csv
+      # Saturation sweep: per-process heavy-tailed arrivals x admission
+      # policy. Checks the exact percentile ordering per row, the knee
+      # ordering (locality-aware policies saturate later) and the
+      # SloShed/QueueCap shedding shapes, then diffs the deterministic
+      # CSV against the baseline.
+      ./bench_saturation --csv > bench_saturation.csv
+      python3 ../bench/baselines/check_shapes.py bench_saturation.csv \
+        --no-shapes --percentile-monotone --saturation-shapes \
+        --baseline ../bench/baselines/saturation.csv
     )
   else
     echo "ci.sh: python3 not found; skipping bench baseline checks" >&2
@@ -123,6 +132,16 @@ if [ "$MODE" = "bench" ] || [ "$MODE" = "bench-gate" ]; then
     build/bench_micro_t1.json --t8 build/bench_micro_t8.json \
     --previous BENCH_micro.json -o BENCH_micro.json
   echo "ci.sh: wrote BENCH_micro.json"
+  # Saturation sweep CSV next to the micro numbers: deterministic, so it
+  # doubles as a cross-host reproducibility probe of the integer-only
+  # arrival sampling (the artifact must match the committed baseline on
+  # any runner).
+  cmake --build build -j --target bench_saturation
+  ./build/bench_saturation --csv > build/bench_saturation.csv
+  python3 bench/baselines/check_shapes.py build/bench_saturation.csv \
+    --no-shapes --percentile-monotone --saturation-shapes \
+    --baseline bench/baselines/saturation.csv
+  echo "ci.sh: wrote build/bench_saturation.csv"
   if [ "$MODE" = "bench-gate" ]; then
     python3 bench/baselines/check_bench_regression.py \
       BENCH_micro.json build_bench_baseline.json

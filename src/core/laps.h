@@ -68,6 +68,7 @@
 #include "sched/scheduler.h"
 
 // MPSoC simulator (Simics substitute)
+#include "sim/admission.h"
 #include "sim/arrivals.h"
 #include "sim/config.h"
 #include "sim/energy.h"
@@ -76,6 +77,7 @@
 
 // The six applications of Table 1
 #include "workloads/apps.h"
+#include "workloads/service.h"
 
 // Experiment harness
 #include "core/experiment.h"

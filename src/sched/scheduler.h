@@ -17,6 +17,12 @@
 ///                      retirement (open workloads).
 /// Policies with a quantum() are preemptive (the paper's RRS); the others
 /// run every process to completion.
+///
+/// A process turned away by admission control (MpsocConfig::admission)
+/// is a non-event: no onArrival, no onReady, never offered by pickNext.
+/// Policies need no rejection handling — an admitted process's
+/// dependence on a rejected one is resolved by the engine before any
+/// onReady fires for it.
 
 #include <array>
 #include <cstdint>

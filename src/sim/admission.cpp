@@ -1,0 +1,47 @@
+#include "sim/admission.h"
+
+#include "util/error.h"
+
+namespace laps {
+
+std::string to_string(AdmissionKind kind) {
+  switch (kind) {
+    case AdmissionKind::AdmitAll:
+      return "AdmitAll";
+    case AdmissionKind::QueueCap:
+      return "QueueCap";
+    case AdmissionKind::SloShed:
+      return "SloShed";
+  }
+  throw Error("to_string: unknown AdmissionKind");
+}
+
+void AdmissionConfig::validate() const {
+  check(sloTargetCycles > 0,
+        "AdmissionConfig: sloTargetCycles must be positive");
+  check(sloEwmaShift >= 0 && sloEwmaShift <= 30,
+        "AdmissionConfig: sloEwmaShift must be in [0, 30]");
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config) {
+  config_.validate();
+}
+
+bool AdmissionController::admit(std::size_t waitingCount) const {
+  switch (config_.kind) {
+    case AdmissionKind::AdmitAll:
+      return true;
+    case AdmissionKind::QueueCap:
+      return waitingCount < config_.queueCap;
+    case AdmissionKind::SloShed:
+      return ewma_ <= config_.sloTargetCycles;
+  }
+  throw Error("AdmissionController: unknown AdmissionKind");
+}
+
+void AdmissionController::recordSojourn(std::int64_t sojournCycles) {
+  ewma_ += (sojournCycles - ewma_) >> config_.sloEwmaShift;
+}
+
+}  // namespace laps

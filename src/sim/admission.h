@@ -1,0 +1,87 @@
+#pragma once
+/// \file admission.h
+/// \brief Admission control for open workloads (docs/ARCHITECTURE.md §10).
+///
+/// Under overload an open system must choose between unbounded queueing
+/// (sojourn percentiles diverge) and shedding load. The engine consults
+/// an AdmissionController at every arrival, *before* the scheduling
+/// policy hears anything: a rejected process is a non-event to the
+/// policy (no onArrival/onReady/onExit), it releases its dependents
+/// immediately (a rejected producer must not strand consumers), and it
+/// is counted in SimResult::rejectedProcesses and the per-cohort reject
+/// stats instead of the sojourn percentiles.
+///
+/// All state is integer-only (the EWMA uses a power-of-two smoothing
+/// shift), so admission decisions are platform-identical.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace laps {
+
+/// The admission policies bench_saturation ablates.
+enum class AdmissionKind {
+  /// Admit everything (the default; open-mode behavior of PR 5).
+  AdmitAll,
+  /// Bounded waiting room: admit only while fewer than queueCap
+  /// admitted processes are waiting (in the system but not running), so
+  /// the waiting count never exceeds queueCap. queueCap == 0 rejects
+  /// every arrival.
+  QueueCap,
+  /// SLO-driven shedding: reject arrivals while the running
+  /// exponentially-weighted moving average of observed sojourns exceeds
+  /// sloTargetCycles. Feedback keeps tail latency of the admitted work
+  /// bounded where AdmitAll diverges.
+  SloShed,
+};
+
+/// Short stable name ("AdmitAll", "QueueCap", "SloShed").
+[[nodiscard]] std::string to_string(AdmissionKind kind);
+
+/// Admission policy configuration. Defaults are the PR 5 semantics:
+/// everything is admitted.
+struct AdmissionConfig {
+  AdmissionKind kind = AdmissionKind::AdmitAll;
+
+  /// QueueCap: maximum number of admitted-but-not-running processes.
+  std::size_t queueCap = 64;
+
+  /// SloShed: sojourn-EWMA target in cycles (> 0).
+  std::int64_t sloTargetCycles = 1'000'000;
+
+  /// SloShed: EWMA smoothing ewma += (sojourn - ewma) >> sloEwmaShift;
+  /// shift 3 weighs each new sojourn 1/8. In [0, 30].
+  int sloEwmaShift = 3;
+
+  /// Throws laps::Error on a non-positive SLO target or an
+  /// out-of-range smoothing shift.
+  void validate() const;
+};
+
+/// Per-run admission state: decides arrivals, tracks the sojourn EWMA.
+class AdmissionController {
+ public:
+  AdmissionController() = default;
+  /// Validates \p config.
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  /// Decision for one arriving process given the current number of
+  /// admitted-but-not-running processes. Pure in the controller state:
+  /// the caller records the consequences (the controller holds no queue
+  /// of its own).
+  [[nodiscard]] bool admit(std::size_t waitingCount) const;
+
+  /// Feeds one observed sojourn (exit cycle - arrival cycle, completed
+  /// or retired) into the SLO estimator.
+  void recordSojourn(std::int64_t sojournCycles);
+
+  /// Current sojourn EWMA in cycles (0 until the first exit).
+  [[nodiscard]] std::int64_t sojournEwma() const { return ewma_; }
+
+ private:
+  AdmissionConfig config_{};
+  std::int64_t ewma_ = 0;
+};
+
+}  // namespace laps

@@ -9,6 +9,7 @@
 #include "cache/bus.h"
 #include "cache/hierarchy.h"
 #include "cache/shared_l2.h"
+#include "sim/admission.h"
 #include "sim/arrivals.h"
 
 namespace laps {
@@ -41,12 +42,19 @@ struct MpsocConfig {
   /// queueing delay. Disabled = fixed memory.memLatencyCycles per miss.
   std::optional<BusConfig> bus;
 
-  /// Optional open-workload arrival schedule (docs/ARCHITECTURE.md §9):
-  /// tasks arrive as cohorts at seeded inter-arrival distances and an
-  /// optional lifetime retires overstaying processes. Disabled = the
-  /// paper's closed workload (everything resident at cycle 0),
-  /// bit-identical to the pre-arrival simulator.
+  /// Optional open-workload arrival schedule (docs/ARCHITECTURE.md
+  /// §§9-10): work arrives at seeded inter-arrival distances — whole
+  /// task cohorts or individual processes, uniform / geometric /
+  /// heavy-tailed gaps — and an optional lifetime retires overstaying
+  /// processes. Disabled = the paper's closed workload (everything
+  /// resident at cycle 0), bit-identical to the pre-arrival simulator.
   std::optional<ArrivalSchedule> arrivals;
+
+  /// Admission control for open workloads (docs/ARCHITECTURE.md §10):
+  /// consulted once per arriving process, before the scheduling policy
+  /// hears anything. The default AdmitAll keeps PR 5 semantics
+  /// bit-identical; ignored entirely in closed workloads.
+  AdmissionConfig admission{};
 
   double clockHz = 200e6;           ///< Table 2: 200 MHz
   std::int64_t switchCycles = 400;  ///< context-switch overhead per switch

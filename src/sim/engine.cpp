@@ -6,6 +6,7 @@
 
 #include "sim/replay.h"
 #include "util/error.h"
+#include "util/stats.h"
 
 namespace laps {
 
@@ -33,6 +34,7 @@ MpsocSimulator::MpsocSimulator(const Workload& workload,
   if (config_.memory.modelICache) config_.memory.l1i.validate();
   if (config_.sharedL2) config_.sharedL2->validate();
   if (config_.bus) config_.bus->validate();
+  config_.admission.validate();
 }
 
 std::int64_t MpsocSimulator::runSegment(std::size_t coreIdx, ProcessId process,
@@ -146,6 +148,10 @@ void MpsocSimulator::exitProcess(ProcessId process, std::size_t coreIdx,
   if (openWorkload_) {
     policy_->onExit(process);
     liveSharing_.removeProcess(process);
+    --inSystem_;
+    // Feed the exit's sojourn into the admission controller's SLO
+    // estimator (SloShed; a no-op state update for the other kinds).
+    admission_.recordSojourn(now - arrivalCycle_[process]);
     CohortStats& cohort = result_.cohorts[cohortOfProcess_[process]];
     cohort.completionCycle = std::max(cohort.completionCycle, now);
     cohort.totalLatencyCycles += now - arrivalCycle_[process];
@@ -157,23 +163,61 @@ void MpsocSimulator::exitProcess(ProcessId process, std::size_t coreIdx,
   for (const ProcessId succ : workload_->graph.successors(process)) {
     check(remainingPreds_[succ] > 0, "MpsocSimulator: dependence accounting");
     if (--remainingPreds_[succ] == 0 && arrived_[succ]) {
-      policy_->onReady(succ);
+      announceReady(succ);
     }
   }
 }
 
-void MpsocSimulator::admitCohort(std::size_t cohortIdx, std::int64_t now) {
-  // Every arrival is announced before any readiness: replanning policies
-  // patch their plan with the whole cohort in view before the first
-  // dispatch decision against it.
-  for (const ProcessId p : cohortMembers_[cohortIdx]) {
+void MpsocSimulator::announceReady(ProcessId process) {
+  if (readyAnnounced_[process]) return;
+  readyAnnounced_[process] = true;
+  policy_->onReady(process);
+}
+
+void MpsocSimulator::rejectProcess(ProcessId process, std::int64_t now) {
+  completed_[process] = true;
+  ++completedCount_;
+  auto& record = result_.processes[process];
+  record.arrivalCycle = now;
+  record.completionCycle = now;
+  record.rejected = true;
+  ++result_.rejectedProcesses;
+  ++result_.cohorts[cohortOfProcess_[process]].rejectedCount;
+  // A rejected producer releases its dependents exactly like an exiting
+  // one — the admission decision must never strand downstream work. A
+  // rejected process itself can never become ready: arrived_ stays
+  // false, so the release path skips it even when its own predecessors
+  // later complete.
+  for (const ProcessId succ : workload_->graph.successors(process)) {
+    check(remainingPreds_[succ] > 0, "MpsocSimulator: dependence accounting");
+    if (--remainingPreds_[succ] == 0 && arrived_[succ]) {
+      announceReady(succ);
+    }
+  }
+}
+
+void MpsocSimulator::admitBatch(std::size_t batchIdx, std::int64_t now) {
+  // Admission control first, then every admitted arrival is announced
+  // before any readiness: replanning policies patch their plan with the
+  // whole batch in view before the first dispatch decision against it,
+  // and rejected processes are non-events to the policy.
+  const ArrivalBatch& batch = arrivalBatches_[batchIdx];
+  for (const ProcessId p : batch.members) {
+    if (!admission_.admit(inSystem_ - runningCount_)) {
+      rejectProcess(p, now);
+      continue;
+    }
     arrived_[p] = true;
+    ++inSystem_;
     result_.processes[p].arrivalCycle = now;
     liveSharing_.addProcess(footprints_, p);
     policy_->onArrival(p);
   }
-  for (const ProcessId p : cohortMembers_[cohortIdx]) {
-    if (remainingPreds_[p] == 0) policy_->onReady(p);
+  // announceReady's exactly-once guard matters here: an in-batch
+  // rejection may have already released an admitted batch member via
+  // rejectProcess.
+  for (const ProcessId p : batch.members) {
+    if (arrived_[p] && remainingPreds_[p] == 0) announceReady(p);
   }
 }
 
@@ -202,38 +246,67 @@ SimResult MpsocSimulator::run() {
   remainingPreds_.resize(n);
   std::vector<bool> running(n, false);
 
-  // Open-workload state: cohort (= task) arrival cycles, per-process
-  // arrival bookkeeping, and the incrementally-maintained live sharing
-  // matrix. Inert in closed mode — the closed path below is untouched.
+  // Open-workload state: arrival batches (cohort or per-process
+  // granularity), per-process arrival bookkeeping, admission control,
+  // and the incrementally-maintained live sharing matrix. Inert in
+  // closed mode — the closed path below is untouched.
   openWorkload_ = config_.arrivals.has_value();
   arrived_.assign(n, !openWorkload_);
+  readyAnnounced_.assign(n, false);
   arrivalCycle_.assign(n, 0);
   cohortOfProcess_.clear();
   cohortMembers_.clear();
   cohortArrival_.clear();
+  arrivalBatches_.clear();
+  admission_ = AdmissionController(config_.admission);
+  inSystem_ = openWorkload_ ? 0 : n;
+  runningCount_ = 0;
   if (!footprintsProvided_) footprints_.clear();
   liveSharing_ = SharingMatrix{};
   if (openWorkload_) {
     config_.arrivals->validate();
     const std::vector<TaskId> tasks = workload_->graph.tasks();
     check(!tasks.empty(), "MpsocSimulator: open workload has no tasks");
-    cohortArrival_ = cohortArrivalCycles(*config_.arrivals, tasks.size());
     cohortMembers_.resize(tasks.size());
     cohortOfProcess_.assign(n, 0);
     result_.cohorts.resize(tasks.size());
     for (std::size_t k = 0; k < tasks.size(); ++k) {
       cohortMembers_[k] = workload_->graph.processesOfTask(tasks[k]);
-      for (const ProcessId p : cohortMembers_[k]) {
-        cohortOfProcess_[p] = k;
-        arrivalCycle_[p] = cohortArrival_[k];
-        // result_.processes[p].arrivalCycle is stamped by admitCohort —
-        // every cohort is eventually admitted (the event loop drains
-        // cohortArrival_ completely).
-      }
+      for (const ProcessId p : cohortMembers_[k]) cohortOfProcess_[p] = k;
       result_.cohorts[k].task = tasks[k];
+      result_.cohorts[k].processCount = cohortMembers_[k].size();
+    }
+    if (config_.arrivals->granularity == ArrivalGranularity::Cohort) {
+      // PR 5 semantics: one batch per cohort, all members together.
+      cohortArrival_ = cohortArrivalCycles(*config_.arrivals, tasks.size());
+      arrivalBatches_.resize(tasks.size());
+      for (std::size_t k = 0; k < tasks.size(); ++k) {
+        arrivalBatches_[k] = ArrivalBatch{cohortArrival_[k], cohortMembers_[k]};
+        for (const ProcessId p : cohortMembers_[k]) {
+          arrivalCycle_[p] = cohortArrival_[k];
+        }
+      }
+    } else {
+      // Per-process streams: one batch per process, in process-id
+      // order; a cohort's arrival is its first member's.
+      const std::vector<std::int64_t> perProcess =
+          processArrivalCycles(*config_.arrivals, n);
+      arrivalBatches_.resize(n);
+      cohortArrival_.assign(tasks.size(),
+                            std::numeric_limits<std::int64_t>::max());
+      for (ProcessId p = 0; p < n; ++p) {
+        arrivalBatches_[p] = ArrivalBatch{perProcess[p], {p}};
+        arrivalCycle_[p] = perProcess[p];
+        std::int64_t& cohortArrival = cohortArrival_[cohortOfProcess_[p]];
+        cohortArrival = std::min(cohortArrival, perProcess[p]);
+      }
+    }
+    for (std::size_t k = 0; k < tasks.size(); ++k) {
+      // result_.processes[p].arrivalCycle is stamped by admitBatch —
+      // every batch is eventually admitted (the event loop drains
+      // arrivalBatches_ completely).
       result_.cohorts[k].arrivalCycle = cohortArrival_[k];
       result_.cohorts[k].completionCycle = cohortArrival_[k];
-      result_.cohorts[k].processCount = cohortMembers_[k].size();
     }
     if (!footprintsProvided_) footprints_ = workload_->footprints();
     liveSharing_ = SharingMatrix::inactive(n);
@@ -246,12 +319,12 @@ SimResult MpsocSimulator::run() {
   for (ProcessId p = 0; p < n; ++p) {
     remainingPreds_[p] = workload_->graph.predecessors(p).size();
     if (!openWorkload_ && remainingPreds_[p] == 0) {
-      policy_->onReady(p);
+      announceReady(p);
     }
   }
-  std::size_t nextCohort = 0;
-  if (openWorkload_ && cohortArrival_[0] == 0) {
-    admitCohort(nextCohort++, 0);
+  std::size_t nextBatch = 0;
+  if (openWorkload_ && arrivalBatches_[0].cycle == 0) {
+    admitBatch(nextBatch++, 0);
   }
 
   // Busy cores, ordered by segment end time (core index breaks ties).
@@ -281,6 +354,7 @@ SimResult MpsocSimulator::run() {
       }
       result_.coreIdleCycles[coreIdx] += now - cores_[coreIdx].freeAt;
       running[p] = true;
+      ++runningCount_;
       const std::int64_t end = runSegment(coreIdx, p, now);
       events.emplace(end, coreIdx);
       return true;
@@ -292,16 +366,16 @@ SimResult MpsocSimulator::run() {
   }
 
   std::int64_t now = 0;
-  while (!events.empty() || nextCohort < cohortArrival_.size()) {
+  while (!events.empty() || nextBatch < arrivalBatches_.size()) {
     // Arrivals first at equal cycles: a core freeing at t must see the
     // processes that arrive at t.
     const std::int64_t nextArrival =
-        nextCohort < cohortArrival_.size()
-            ? cohortArrival_[nextCohort]
+        nextBatch < arrivalBatches_.size()
+            ? arrivalBatches_[nextBatch].cycle
             : std::numeric_limits<std::int64_t>::max();
     if (events.empty() || nextArrival <= events.top().first) {
       now = nextArrival;
-      admitCohort(nextCohort++, now);
+      admitBatch(nextBatch++, now);
       for (std::size_t c = 0; c < config_.coreCount; ++c) {
         if (!cores_[c].current) offer(c, now);
       }
@@ -315,6 +389,7 @@ SimResult MpsocSimulator::run() {
     core.current.reset();
     core.freeAt = now;
     running[p] = false;
+    --runningCount_;
     if (cursors_[p]->done()) {
       exitProcess(p, coreIdx, now, /*retired=*/false);
     } else if (deadline(p) <= now) {
@@ -339,6 +414,35 @@ SimResult MpsocSimulator::run() {
 
   result_.makespanCycles = now;
   result_.seconds = config_.cyclesToSeconds(now);
+  if (openWorkload_) {
+    // Exact sojourn order statistics, per cohort and global, over the
+    // admitted processes (rejected ones never sojourned). No sampling:
+    // every sojourn is ranked.
+    const auto fill = [](SojournPercentiles& out,
+                         std::vector<std::int64_t>& sojourns) {
+      out.samples = sojourns.size();
+      if (sojourns.empty()) return;
+      out.p50 = percentileNearestRank(sojourns, 50);
+      out.p95 = percentileNearestRank(sojourns, 95);
+      out.p99 = percentileNearestRank(sojourns, 99);
+    };
+    std::vector<std::int64_t> global;
+    global.reserve(n);
+    std::vector<std::int64_t> perCohort;
+    for (std::size_t k = 0; k < result_.cohorts.size(); ++k) {
+      perCohort.clear();
+      for (const ProcessId p : cohortMembers_[k]) {
+        const ProcessRunRecord& record = result_.processes[p];
+        if (record.rejected) continue;
+        const std::int64_t sojourn =
+            record.completionCycle - record.arrivalCycle;
+        perCohort.push_back(sojourn);
+        global.push_back(sojourn);
+      }
+      fill(result_.cohorts[k].sojourn, perCohort);
+    }
+    fill(result_.sojourn, global);
+  }
   for (std::size_t c = 0; c < config_.coreCount; ++c) {
     result_.coreBusyCycles[c] = cores_[c].busyCycles;
     result_.coreIdleCycles[c] += now - cores_[c].freeAt;

@@ -18,12 +18,19 @@
 ///    compute cycles;
 ///  * scheduling decisions happen when a core goes idle (process finished
 ///    or quantum expired) and when new processes become ready;
-///  * with an arrival schedule (MpsocConfig::arrivals, docs §9) the
-///    workload is open: task cohorts are admitted mid-simulation (the
-///    policy hears onArrival, the live sharing matrix gains the row
-///    incrementally), processes that outlive their deadline are retired
-///    at the next scheduling boundary (onExit; dependents are released
-///    as on completion), and SimResult reports per-cohort latency;
+///  * with an arrival schedule (MpsocConfig::arrivals, docs §§9-10) the
+///    workload is open: task cohorts or individual processes are
+///    admitted mid-simulation (the policy hears onArrival, the live
+///    sharing matrix gains the row incrementally), processes that
+///    outlive their deadline are retired at the next scheduling
+///    boundary (onExit; dependents are released as on completion), and
+///    SimResult reports per-cohort latency plus exact p50/p95/p99
+///    sojourn order statistics;
+///  * admission control (MpsocConfig::admission, docs §10) is consulted
+///    once per arriving process before the policy hears anything: a
+///    rejected process is a non-event to the policy, releases its
+///    dependents immediately, and is counted in
+///    SimResult::rejectedProcesses / CohortStats::rejectedCount;
 ///  * a preempted process resumes where it stopped, on any core;
 ///  * context switches cost MpsocConfig::switchCycles, charged outside
 ///    the quantum (overhead must not shrink the policy's time slice) and
@@ -89,10 +96,22 @@ class MpsocSimulator {
   void exitProcess(ProcessId process, std::size_t coreIdx, std::int64_t now,
                    bool retired);
 
-  /// Admits arrival cohort \p cohortIdx at \p now: activates its rows in
-  /// the live sharing matrix, announces onArrival (then onReady for
-  /// dependence-free processes) to the policy.
-  void admitCohort(std::size_t cohortIdx, std::int64_t now);
+  /// Handles arrival batch \p batchIdx at \p now (one cohort in cohort
+  /// granularity, one process in per-process granularity): consults
+  /// admission control per process, activates admitted rows in the live
+  /// sharing matrix, announces onArrival for every admitted process
+  /// before any onReady.
+  void admitBatch(std::size_t batchIdx, std::int64_t now);
+
+  /// Turns \p process away at arrival: it is counted as rejected,
+  /// released like an exit (dependents must not deadlock), and the
+  /// policy never hears of it.
+  void rejectProcess(ProcessId process, std::int64_t now);
+
+  /// Fires onReady(\p process) exactly once (guarded by
+  /// readyAnnounced_). The multi-path release logic — batch admission,
+  /// exit release, reject release — funnels through here.
+  void announceReady(ProcessId process);
 
   /// Lifetime deadline of \p process (max int64 when unlimited).
   [[nodiscard]] std::int64_t deadline(ProcessId process) const;
@@ -116,10 +135,21 @@ class MpsocSimulator {
   /// @{
   bool openWorkload_ = false;
   std::vector<bool> arrived_;
+  std::vector<bool> readyAnnounced_;           // onReady fired already
   std::vector<std::int64_t> arrivalCycle_;     // per process
   std::vector<std::size_t> cohortOfProcess_;   // index into cohorts
   std::vector<std::vector<ProcessId>> cohortMembers_;
   std::vector<std::int64_t> cohortArrival_;
+  /// One arrival event: the processes admitted together at a cycle (a
+  /// whole cohort, or a single process in per-process granularity).
+  struct ArrivalBatch {
+    std::int64_t cycle = 0;
+    std::vector<ProcessId> members;
+  };
+  std::vector<ArrivalBatch> arrivalBatches_;
+  AdmissionController admission_;
+  std::size_t inSystem_ = 0;      // admitted, not yet exited
+  std::size_t runningCount_ = 0;  // currently inside a segment
   /// Per-process footprints for the incremental sharing-matrix
   /// maintenance: provideFootprints()'s copy, else computed per run.
   std::vector<Footprint> footprints_;

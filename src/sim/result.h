@@ -24,6 +24,22 @@ struct ProcessRunRecord {
   /// lifetime deadline — when the process logically left — even when
   /// the engine only enforced it at a later scheduling boundary.
   bool retired = false;
+  /// Open workloads only: admission control turned the process away at
+  /// arrival. It never ran (firstStartCycle -1, segments 0), the
+  /// scheduling policy never heard of it, and completionCycle holds the
+  /// arrival cycle. Rejected processes are excluded from the sojourn
+  /// percentiles.
+  bool rejected = false;
+};
+
+/// Exact p50/p95/p99 order statistics over recorded sojourn times
+/// (exit cycle - arrival cycle of every admitted process, completed or
+/// retired — no sampling). All zero when no sojourn was recorded.
+struct SojournPercentiles {
+  std::int64_t p50 = 0;
+  std::int64_t p95 = 0;
+  std::int64_t p99 = 0;
+  std::size_t samples = 0;  ///< sojourns the percentiles rank over
 };
 
 /// Per-arrival-cohort metrics of an open workload (one cohort = all
@@ -34,9 +50,14 @@ struct CohortStats {
   std::int64_t completionCycle = 0; ///< last exit (completion or retire)
   std::size_t processCount = 0;
   std::size_t retiredCount = 0;     ///< processes killed by the lifetime
-  /// Sum over the cohort's processes of (exit cycle - arrival cycle) —
-  /// divide by processCount for the mean sojourn time.
+  std::size_t rejectedCount = 0;    ///< processes turned away at arrival
+  /// Sum over the cohort's *admitted* processes of
+  /// (exit cycle - arrival cycle) — divide by
+  /// (processCount - rejectedCount) for the mean sojourn time.
   std::int64_t totalLatencyCycles = 0;
+  /// Exact sojourn order statistics over the cohort's admitted
+  /// processes.
+  SojournPercentiles sojourn;
 
   /// Response time of the whole cohort.
   [[nodiscard]] std::int64_t makespanCycles() const {
@@ -77,6 +98,11 @@ struct SimResult {
   std::vector<CohortStats> cohorts;
   /// Processes retired at their lifetime deadline before completing.
   std::uint64_t retiredProcesses = 0;
+  /// Processes admission control turned away at arrival (never
+  /// scheduled; the policy saw no event for them).
+  std::uint64_t rejectedProcesses = 0;
+  /// Exact global sojourn order statistics over all admitted processes.
+  SojournPercentiles sojourn;
   /// @}
 
   /// Cycles spent on context-switch overhead (summed over cores). Kept

@@ -1,0 +1,98 @@
+#include "workloads/service.h"
+
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "workloads/common.h"
+
+namespace laps {
+
+using workloads::read;
+using workloads::v;
+using workloads::write;
+
+void ServiceWorkloadParams::validate() const {
+  check(requestCount > 0, "ServiceWorkloadParams: requestCount must be > 0");
+  check(keyCount > 0, "ServiceWorkloadParams: keyCount must be > 0");
+  check(keysPerRequest >= 1 && keysPerRequest <= keyCount,
+        "ServiceWorkloadParams: keysPerRequest must be in [1, keyCount]");
+  check(requestsPerCohort > 0,
+        "ServiceWorkloadParams: requestsPerCohort must be > 0");
+  check(readPermille <= 1000,
+        "ServiceWorkloadParams: readPermille must be in [0, 1000]");
+  check(hotPermille <= 1000,
+        "ServiceWorkloadParams: hotPermille must be in [0, 1000]");
+  check(hotKeyCount <= keyCount,
+        "ServiceWorkloadParams: hotKeyCount must be <= keyCount");
+  check(valueElems > 0, "ServiceWorkloadParams: valueElems must be > 0");
+  check(computeCyclesPerElem >= 0,
+        "ServiceWorkloadParams: computeCyclesPerElem must be >= 0");
+}
+
+namespace {
+
+/// One key index: hot-skewed when the skew is active, else uniform.
+/// Integer-only (Rng::below is exact rejection sampling).
+std::size_t drawKey(Rng& rng, const ServiceWorkloadParams& p) {
+  const bool skewActive = p.hotKeyCount > 0 && p.hotKeyCount < p.keyCount;
+  if (skewActive && rng.below(1000) < p.hotPermille) {
+    return static_cast<std::size_t>(rng.below(p.hotKeyCount));
+  }
+  if (!skewActive) return static_cast<std::size_t>(rng.below(p.keyCount));
+  return p.hotKeyCount +
+         static_cast<std::size_t>(rng.below(p.keyCount - p.hotKeyCount));
+}
+
+}  // namespace
+
+Workload makeServiceWorkload(const ServiceWorkloadParams& params) {
+  params.validate();
+  Workload w;
+  Rng rng(params.seed);
+
+  std::vector<ArrayId> keys;
+  keys.reserve(params.keyCount);
+  for (std::size_t k = 0; k < params.keyCount; ++k) {
+    keys.push_back(
+        w.arrays.add("key" + std::to_string(k), {params.valueElems}, 4));
+  }
+
+  for (std::size_t r = 0; r < params.requestCount; ++r) {
+    const bool isGet = rng.below(1000) < params.readPermille;
+    // Distinct keys per request: rejection against the ones already
+    // drawn (keysPerRequest <= keyCount guarantees termination).
+    std::vector<std::size_t> picked;
+    picked.reserve(params.keysPerRequest);
+    while (picked.size() < params.keysPerRequest) {
+      const std::size_t k = drawKey(rng, params);
+      bool dup = false;
+      for (const std::size_t seen : picked) dup = dup || (seen == k);
+      if (!dup) picked.push_back(k);
+    }
+    const ArrayId scratch =
+        w.arrays.add("scratch" + std::to_string(r), {params.valueElems}, 4);
+
+    ProcessSpec proc;
+    proc.task = static_cast<TaskId>(r / params.requestsPerCohort);
+    proc.name = std::string(isGet ? "svc.get" : "svc.put") + std::to_string(r);
+    for (const std::size_t k : picked) {
+      // get: stream the value into scratch; put: stream scratch over
+      // the value. Either way the request walks the whole value array,
+      // so requests overlapping on a key share its footprint.
+      const ArrayId value = keys[k];
+      proc.nests.push_back(LoopNest{
+          IterationSpace::box({{0, params.valueElems}}),
+          isGet ? std::vector<ArrayAccess>{read(value, {v(0, 1)}),
+                                           write(scratch, {v(0, 1)})}
+                : std::vector<ArrayAccess>{read(scratch, {v(0, 1)}),
+                                           write(value, {v(0, 1)})},
+          params.computeCyclesPerElem});
+    }
+    w.graph.addProcess(std::move(proc));
+  }
+  return w;
+}
+
+}  // namespace laps

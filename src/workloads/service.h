@@ -1,0 +1,61 @@
+#pragma once
+/// \file service.h
+/// \brief Synthetic keyed service workload for open-mode saturation
+///        studies (docs/ARCHITECTURE.md §10).
+///
+/// Models a request-serving tier: every process is one request against a
+/// small keyed store — a `get` streams a key's value array into private
+/// scratch, a `put` streams scratch back over the value array. Requests
+/// that hit the same key touch the same array, so data sharing (the
+/// locality signal the paper's schedulers exploit) arises purely from
+/// key overlap — tunable via the key count and a hot-key skew — rather
+/// than from hand-wired stage pipelines. Requests carry no dependences:
+/// the open-workload arrival stream and admission control alone drive
+/// the dynamics, which is exactly what a saturation sweep wants to
+/// isolate.
+///
+/// Generation consumes a single laps::Rng stream through the integer
+/// helpers only (below), so a seed fixes the workload bit-for-bit on
+/// every platform.
+
+#include <cstdint>
+
+#include "taskgraph/graph.h"
+
+namespace laps {
+
+/// Knobs of the keyed service generator. Defaults give ~96 requests
+/// over 24 keys with a strong hot-key skew and a 90% read mix — enough
+/// overlap that locality-aware policies separate from locality-blind
+/// ones, small enough for sub-second sweeps.
+struct ServiceWorkloadParams {
+  std::uint64_t seed = 1;          ///< fixes keys and read/write mix
+  std::size_t requestCount = 96;   ///< processes generated
+  std::size_t keyCount = 24;       ///< distinct value arrays
+  std::size_t keysPerRequest = 2;  ///< keys each request touches
+  /// Requests per arrival cohort (task): request i belongs to task
+  /// i / requestsPerCohort, so cohort granularity admits consecutive
+  /// requests together and per-process granularity streams them singly.
+  std::size_t requestsPerCohort = 8;
+  /// Read fraction in permille: a request is a `get` when a draw from
+  /// [0,1000) lands below this (integer-only — no floating point).
+  std::uint32_t readPermille = 900;
+  /// Hot-key skew: with probability hotPermille/1000 a key draw picks
+  /// among the first hotKeyCount keys, else among the rest. Zero
+  /// hotKeyCount (or hotKeyCount == keyCount) disables the skew.
+  std::uint32_t hotPermille = 800;
+  std::size_t hotKeyCount = 4;
+  std::int64_t valueElems = 256;   ///< elements per value array (4 B each)
+  std::int64_t computeCyclesPerElem = 1;
+
+  /// Throws laps::Error on out-of-range knobs.
+  void validate() const;
+};
+
+/// Generates the keyed service workload described above: one value
+/// array per key, one private scratch array and one process per
+/// request, tasks of requestsPerCohort consecutive requests, no
+/// dependence edges.
+Workload makeServiceWorkload(const ServiceWorkloadParams& params = {});
+
+}  // namespace laps

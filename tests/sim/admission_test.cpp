@@ -1,0 +1,272 @@
+/// \file admission_test.cpp
+/// \brief Admission control: controller unit behavior, the QueueCap
+/// waiting-room bound inside the engine, SloShed's loose/tight regimes,
+/// rejected-producer release, and survival of every scheduler under a
+/// saturating workload x every admission policy.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/laps.h"
+#include "sched/basic.h"
+
+namespace laps {
+namespace {
+
+/// Per-process open config over the keyed service workload, pushed past
+/// the saturation knee so admission decisions actually trigger.
+ExperimentConfig saturatingConfig(AdmissionConfig admission,
+                                  std::int64_t meanInterArrival = 800) {
+  ExperimentConfig config;
+  config.mpsoc.arrivals.emplace();
+  config.mpsoc.arrivals->meanInterArrivalCycles = meanInterArrival;
+  config.mpsoc.arrivals->granularity = ArrivalGranularity::PerProcess;
+  config.mpsoc.arrivals->distribution = ArrivalDistribution::BoundedPareto;
+  config.mpsoc.admission = admission;
+  return config;
+}
+
+TEST(AdmissionConfig, Validates) {
+  AdmissionConfig config;
+  config.validate();
+  config.sloTargetCycles = 0;
+  EXPECT_THROW(config.validate(), Error);
+  config.sloTargetCycles = 1;
+  config.sloEwmaShift = -1;
+  EXPECT_THROW(config.validate(), Error);
+  config.sloEwmaShift = 31;
+  EXPECT_THROW(config.validate(), Error);
+  config.sloEwmaShift = 0;
+  config.validate();
+}
+
+TEST(AdmissionController, AdmitAllAlwaysAdmits) {
+  const AdmissionController controller{AdmissionConfig{}};
+  EXPECT_TRUE(controller.admit(0));
+  EXPECT_TRUE(controller.admit(1'000'000));
+}
+
+TEST(AdmissionController, QueueCapAdmitsStrictlyBelowTheCap) {
+  AdmissionConfig config;
+  config.kind = AdmissionKind::QueueCap;
+  config.queueCap = 3;
+  const AdmissionController controller{config};
+  EXPECT_TRUE(controller.admit(0));
+  EXPECT_TRUE(controller.admit(2));
+  EXPECT_FALSE(controller.admit(3));
+  EXPECT_FALSE(controller.admit(4));
+  config.queueCap = 0;  // a closed door
+  const AdmissionController closed{config};
+  EXPECT_FALSE(closed.admit(0));
+}
+
+TEST(AdmissionController, SloShedFollowsTheSojournEwma) {
+  AdmissionConfig config;
+  config.kind = AdmissionKind::SloShed;
+  config.sloTargetCycles = 100;
+  config.sloEwmaShift = 0;  // ewma = last sojourn: easy to reason about
+  AdmissionController controller{config};
+  EXPECT_TRUE(controller.admit(0));  // no exits yet: ewma 0
+  controller.recordSojourn(100);
+  EXPECT_EQ(controller.sojournEwma(), 100);
+  EXPECT_TRUE(controller.admit(0));  // at target: still admitting
+  controller.recordSojourn(101);
+  EXPECT_FALSE(controller.admit(0));  // over target: shedding
+  controller.recordSojourn(10);
+  EXPECT_TRUE(controller.admit(0));  // recovered
+  // Smoothing: shift 1 moves half way per observation.
+  config.sloEwmaShift = 1;
+  AdmissionController smooth{config};
+  smooth.recordSojourn(1000);
+  EXPECT_EQ(smooth.sojournEwma(), 500);
+  smooth.recordSojourn(1000);
+  EXPECT_EQ(smooth.sojournEwma(), 750);
+}
+
+/// Observes the engine's event stream to reconstruct the waiting count
+/// (admitted arrivals minus running minus exited) while scheduling FCFS.
+class WaitingProbe final : public SchedulerPolicy {
+ public:
+  void reset(const SchedContext& context) override {
+    inner_.reset(context);
+    waiting_ = 0;
+    running_ = 0;
+    maxWaiting_ = 0;
+  }
+  void onArrival(ProcessId process) override { inner_.onArrival(process); }
+  void onReady(ProcessId process) override {
+    ++waiting_;
+    maxWaiting_ = std::max(maxWaiting_, waiting_);
+    inner_.onReady(process);
+  }
+  std::optional<ProcessId> pickNext(
+      std::size_t core, std::optional<ProcessId> previous) override {
+    const auto pick = inner_.pickNext(core, previous);
+    if (pick) {
+      --waiting_;
+      ++running_;
+    }
+    return pick;
+  }
+  void onComplete(ProcessId process) override { inner_.onComplete(process); }
+  void onExit(ProcessId process) override {
+    --running_;
+    inner_.onExit(process);
+  }
+  [[nodiscard]] std::string name() const override { return "probe"; }
+
+  [[nodiscard]] std::size_t maxWaiting() const { return maxWaiting_; }
+
+ private:
+  FcfsScheduler inner_;
+  std::size_t waiting_ = 0;
+  std::size_t running_ = 0;
+  std::size_t maxWaiting_ = 0;
+};
+
+TEST(Admission, QueueCapBoundsTheWaitingRoomInTheEngine) {
+  const Workload service = makeServiceWorkload();
+  AdmissionConfig admission;
+  admission.kind = AdmissionKind::QueueCap;
+  admission.queueCap = 5;
+  const ExperimentConfig config = saturatingConfig(admission, 500);
+
+  WaitingProbe probe;
+  const AddressSpace space(service.arrays);
+  const SharingMatrix sharing = SharingMatrix::compute(service.footprints());
+  MpsocSimulator sim(service, space, sharing, probe, config.mpsoc);
+  const SimResult r = sim.run();
+  // The load saturates, so the door must have closed at least once,
+  // and the probe's ready-queue high-water mark never passed the cap.
+  // (The engine's waiting count — admitted minus running — is what the
+  // controller sees; every FCFS-ready process is waiting, so the
+  // probe's count is a lower bound observed through the same events and
+  // must respect the same ceiling.)
+  EXPECT_GT(r.rejectedProcesses, 0u);
+  EXPECT_LE(probe.maxWaiting(), admission.queueCap);
+}
+
+TEST(Admission, AdmitAllAndLooseSloShedAdmitEverything) {
+  const Workload service = makeServiceWorkload();
+  AdmissionConfig loose;
+  loose.kind = AdmissionKind::SloShed;
+  loose.sloTargetCycles = std::numeric_limits<std::int64_t>::max() / 2;
+  for (const AdmissionConfig& admission : {AdmissionConfig{}, loose}) {
+    const auto r = runExperiment(service, SchedulerKind::Fcfs,
+                                 saturatingConfig(admission));
+    EXPECT_EQ(r.sim.rejectedProcesses, 0u);
+    for (const CohortStats& cohort : r.sim.cohorts) {
+      EXPECT_EQ(cohort.rejectedCount, 0u);
+    }
+  }
+}
+
+TEST(Admission, SloShedShedsMonotonicallyMoreAsTightened) {
+  const Workload service = makeServiceWorkload();
+  std::uint64_t previous = 0;
+  for (const std::int64_t target :
+       {400'000, 100'000, 25'000, 6'000, 1'500}) {
+    AdmissionConfig admission;
+    admission.kind = AdmissionKind::SloShed;
+    admission.sloTargetCycles = target;
+    admission.sloEwmaShift = 1;
+    const auto r = runExperiment(service, SchedulerKind::Fcfs,
+                                 saturatingConfig(admission));
+    EXPECT_GE(r.sim.rejectedProcesses, previous) << "target " << target;
+    previous = r.sim.rejectedProcesses;
+    std::uint64_t perCohort = 0;
+    for (const CohortStats& cohort : r.sim.cohorts) {
+      perCohort += cohort.rejectedCount;
+    }
+    EXPECT_EQ(perCohort, r.sim.rejectedProcesses) << "target " << target;
+  }
+  EXPECT_GT(previous, 0u);  // the tightest SLO really shed work
+}
+
+TEST(Admission, RejectedProducersReleaseDependents) {
+  // A chain a -> b -> c arriving one process at a time through a closed
+  // door (cap 0 after the first admission is impossible — use cap 0 and
+  // verify the whole chain resolves as rejected without deadlock).
+  Workload w;
+  const ArrayId v = w.arrays.add("V", {1 << 12}, 4);
+  const auto addProc = [&](std::int64_t lo) {
+    ProcessSpec p;
+    p.name = "p" + std::to_string(lo);
+    p.nests.push_back(
+        LoopNest{IterationSpace::box({{lo, lo + 64}}),
+                 {ArrayAccess{v, AffineMap{AffineExpr({1}, 0)},
+                              AccessKind::Read}},
+                 1});
+    return w.graph.addProcess(std::move(p));
+  };
+  const ProcessId a = addProc(0);
+  const ProcessId b = addProc(64);
+  const ProcessId c = addProc(128);
+  w.graph.addDependence(a, b);
+  w.graph.addDependence(b, c);
+
+  AdmissionConfig admission;
+  admission.kind = AdmissionKind::QueueCap;
+  admission.queueCap = 0;
+  const auto r = runExperiment(w, SchedulerKind::Fcfs,
+                               saturatingConfig(admission, 10'000));
+  EXPECT_EQ(r.sim.rejectedProcesses, 3u);
+  for (const ProcessRunRecord& p : r.sim.processes) {
+    EXPECT_TRUE(p.rejected) << "process " << p.id;
+    EXPECT_EQ(p.segments, 0u) << "process " << p.id;
+    EXPECT_EQ(p.firstStartCycle, -1) << "process " << p.id;
+    EXPECT_EQ(p.completionCycle, p.arrivalCycle) << "process " << p.id;
+  }
+  // Rejected processes contribute no sojourn samples.
+  EXPECT_EQ(r.sim.sojourn.samples, 0u);
+  EXPECT_EQ(r.sim.sojourn.p99, 0);
+}
+
+TEST(Admission, EverySchedulerSurvivesSaturationUnderEveryPolicy) {
+  const Workload service = makeServiceWorkload();
+  std::vector<AdmissionConfig> admissions(3);
+  admissions[0].kind = AdmissionKind::AdmitAll;
+  admissions[1].kind = AdmissionKind::QueueCap;
+  admissions[1].queueCap = 4;
+  admissions[2].kind = AdmissionKind::SloShed;
+  admissions[2].sloTargetCycles = 15'000;
+  admissions[2].sloEwmaShift = 1;
+  for (const SchedulerKind kind : kAllSchedulerKinds) {
+    for (const AdmissionConfig& admission : admissions) {
+      const auto r =
+          runExperiment(service, kind, saturatingConfig(admission, 400));
+      EXPECT_GT(r.sim.makespanCycles, 0) << to_string(kind);
+      for (const ProcessRunRecord& p : r.sim.processes) {
+        // Exactly one terminal state, no stranded work.
+        EXPECT_GE(p.completionCycle, 0)
+            << to_string(kind) << " stranded process " << p.id;
+        if (p.rejected) {
+          EXPECT_EQ(p.segments, 0u) << to_string(kind);
+        }
+      }
+      const std::size_t n = r.sim.processes.size();
+      EXPECT_EQ(r.sim.sojourn.samples + r.sim.rejectedProcesses, n)
+          << to_string(kind);
+    }
+  }
+}
+
+TEST(Admission, ClosedWorkloadsIgnoreAdmissionConfig) {
+  const Application app = makeShape();
+  ExperimentConfig config;
+  config.mpsoc.admission.kind = AdmissionKind::QueueCap;
+  config.mpsoc.admission.queueCap = 0;  // would reject everything if consulted
+  const auto r = runExperiment(app.workload, SchedulerKind::Fcfs, config);
+  EXPECT_EQ(r.sim.rejectedProcesses, 0u);
+  for (const ProcessRunRecord& p : r.sim.processes) {
+    EXPECT_FALSE(p.rejected);
+    EXPECT_GE(p.completionCycle, 0);
+  }
+}
+
+}  // namespace
+}  // namespace laps

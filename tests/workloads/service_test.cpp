@@ -1,0 +1,130 @@
+/// \file service_test.cpp
+/// \brief The keyed service workload generator: determinism, structure,
+/// knob semantics, and the sharing that arises from key overlap.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/laps.h"
+
+namespace laps {
+namespace {
+
+TEST(ServiceWorkload, DeterministicAndSeedSensitive) {
+  const Workload a = makeServiceWorkload();
+  const Workload b = makeServiceWorkload();
+  ASSERT_EQ(a.graph.processCount(), b.graph.processCount());
+  for (ProcessId p = 0; p < a.graph.processCount(); ++p) {
+    EXPECT_EQ(a.graph.process(p).name, b.graph.process(p).name);
+    EXPECT_EQ(a.graph.process(p).totalReferences(),
+              b.graph.process(p).totalReferences());
+  }
+  ServiceWorkloadParams params;
+  params.seed = 99;
+  const Workload c = makeServiceWorkload(params);
+  bool differs = false;
+  for (ProcessId p = 0; p < a.graph.processCount(); ++p) {
+    differs = differs || a.graph.process(p).name != c.graph.process(p).name;
+  }
+  EXPECT_TRUE(differs);  // the seed shapes the read/write mix
+}
+
+TEST(ServiceWorkload, StructureMatchesTheKnobs) {
+  ServiceWorkloadParams params;
+  params.requestCount = 30;
+  params.keyCount = 10;
+  params.keysPerRequest = 3;
+  params.requestsPerCohort = 7;
+  const Workload w = makeServiceWorkload(params);
+  EXPECT_EQ(w.graph.processCount(), 30u);
+  // One value array per key plus one scratch per request.
+  EXPECT_EQ(w.arrays.size(), 10u + 30u);
+  // Requests are independent: admission/arrival dynamics alone drive
+  // the open behavior.
+  EXPECT_EQ(w.graph.edgeCount(), 0u);
+  // ceil(30 / 7) = 5 cohorts, the last one partial.
+  EXPECT_EQ(w.graph.tasks().size(), 5u);
+  EXPECT_EQ(w.graph.processesOfTask(0).size(), 7u);
+  EXPECT_EQ(w.graph.processesOfTask(4).size(), 2u);
+  for (ProcessId p = 0; p < w.graph.processCount(); ++p) {
+    // One nest per touched key, each streaming the whole value array.
+    EXPECT_EQ(w.graph.process(p).nests.size(), 3u);
+    EXPECT_EQ(w.graph.process(p).totalIterations(),
+              3 * params.valueElems);
+  }
+}
+
+TEST(ServiceWorkload, ReadPermilleControlsTheMix) {
+  ServiceWorkloadParams params;
+  params.readPermille = 1000;
+  const Workload allGets = makeServiceWorkload(params);
+  params.readPermille = 0;
+  const Workload allPuts = makeServiceWorkload(params);
+  for (ProcessId p = 0; p < allGets.graph.processCount(); ++p) {
+    EXPECT_EQ(allGets.graph.process(p).name.rfind("svc.get", 0), 0u);
+    EXPECT_EQ(allPuts.graph.process(p).name.rfind("svc.put", 0), 0u);
+  }
+}
+
+TEST(ServiceWorkload, KeyOverlapCreatesSharing) {
+  // The whole point of the generator: hot keys overlap requests, so the
+  // sharing matrix the locality-aware schedulers consume is non-trivial
+  // without any hand-wired pipeline.
+  const Workload w = makeServiceWorkload();
+  const SharingMatrix sharing = SharingMatrix::compute(w.footprints());
+  std::size_t sharingPairs = 0;
+  for (ProcessId a = 0; a < w.graph.processCount(); ++a) {
+    for (ProcessId b = a + 1; b < w.graph.processCount(); ++b) {
+      sharingPairs += sharing.at(a, b) > 0 ? 1 : 0;
+    }
+  }
+  EXPECT_GT(sharingPairs, w.graph.processCount());
+  // And the skew disabled (uniform keys, no hot set) shares less.
+  ServiceWorkloadParams uniform;
+  uniform.hotKeyCount = 0;
+  const Workload u = makeServiceWorkload(uniform);
+  const SharingMatrix uniformSharing = SharingMatrix::compute(u.footprints());
+  std::size_t uniformPairs = 0;
+  for (ProcessId a = 0; a < u.graph.processCount(); ++a) {
+    for (ProcessId b = a + 1; b < u.graph.processCount(); ++b) {
+      uniformPairs += uniformSharing.at(a, b) > 0 ? 1 : 0;
+    }
+  }
+  EXPECT_LT(uniformPairs, sharingPairs);
+}
+
+TEST(ServiceWorkload, ValidatesParameters) {
+  ServiceWorkloadParams params;
+  params.requestCount = 0;
+  EXPECT_THROW(params.validate(), Error);
+  params.requestCount = 1;
+  params.keysPerRequest = 30;  // > keyCount
+  EXPECT_THROW(params.validate(), Error);
+  params.keysPerRequest = 2;
+  params.readPermille = 1001;
+  EXPECT_THROW(params.validate(), Error);
+  params.readPermille = 500;
+  params.hotKeyCount = 25;  // > keyCount
+  EXPECT_THROW(params.validate(), Error);
+  params.hotKeyCount = 4;
+  params.valueElems = 0;
+  EXPECT_THROW(params.validate(), Error);
+  params.valueElems = 16;
+  params.validate();
+}
+
+TEST(ServiceWorkload, RunsClosedEndToEnd) {
+  // The generator also works as a plain closed workload.
+  ServiceWorkloadParams params;
+  params.requestCount = 16;
+  const Workload w = makeServiceWorkload(params);
+  const auto r = runExperiment(w, SchedulerKind::Locality, {});
+  EXPECT_GT(r.sim.makespanCycles, 0);
+  for (const ProcessRunRecord& p : r.sim.processes) {
+    EXPECT_GE(p.completionCycle, 0);
+  }
+}
+
+}  // namespace
+}  // namespace laps
