@@ -7,6 +7,14 @@
 # already cover).
 #
 # Extra modes:
+#   lint        determinism lint over src/ (tools/determinism_lint.py;
+#               the static side of the determinism contract,
+#               docs/ARCHITECTURE.md §11) plus clang-tidy with the
+#               committed .clang-tidy profile when the binary is
+#               available (skipped with a notice otherwise);
+#   audit       Debug build with -DLAPSCHED_AUDIT=ON — the LAPS_AUDIT
+#               runtime invariant checks execute in every hot layer —
+#               and the full test suite under it;
 #   tsan        rebuild the tests under ThreadSanitizer (covers the
 #               parallel analysis substrate of src/util/parallel.h) and
 #               run them;
@@ -23,15 +31,16 @@
 # Every cmake configure honours LAPSCHED_WERROR (default OFF); CI
 # exports LAPSCHED_WERROR=ON so all CI configurations build -Werror.
 #
-# Usage: ci.sh [tier1|sanitize|tsan|bench|bench-gate|all]   (default: all)
+# Usage: ci.sh [tier1|lint|audit|sanitize|tsan|bench|bench-gate|all]
+# (default: all)
 set -eu
 
 MODE="${1:-all}"
 case "$MODE" in
-  all|tier1|sanitize|tsan|bench|bench-gate) ;;
+  all|tier1|lint|audit|sanitize|tsan|bench|bench-gate) ;;
   *)
-    echo "ci.sh: unknown mode '$MODE' (expected tier1, sanitize, tsan," \
-         "bench, bench-gate or all)" >&2
+    echo "ci.sh: unknown mode '$MODE' (expected tier1, lint, audit," \
+         "sanitize, tsan, bench, bench-gate or all)" >&2
     exit 2
     ;;
 esac
@@ -86,6 +95,42 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "tier1" ]; then
   else
     echo "ci.sh: python3 not found; skipping bench baseline checks" >&2
   fi
+fi
+
+if [ "$MODE" = "all" ] || [ "$MODE" = "lint" ]; then
+  # The determinism lint is the hard gate: src/ must be finding-free
+  # under the committed policy, every suppression justified.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 tools/determinism_lint.py
+    python3 tests/tools/lint_selftest.py
+  else
+    echo "ci.sh: python3 not found; cannot run the determinism lint" >&2
+    exit 1
+  fi
+  # clang-tidy is advisory-but-enforced where available: the committed
+  # .clang-tidy profile runs over every library source with
+  # warnings-as-errors. Skipped (not failed) when the binary is absent
+  # so local runs without LLVM still pass; the CI lint job installs it.
+  if command -v clang-tidy >/dev/null 2>&1; then
+    cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DLAPSCHED_BUILD_TESTS=OFF -DLAPSCHED_BUILD_BENCHES=OFF \
+      -DLAPSCHED_BUILD_EXAMPLES=OFF
+    find src -name '*.cpp' | xargs clang-tidy -p build-tidy --quiet
+    echo "ci.sh: clang-tidy clean"
+  else
+    echo "ci.sh: clang-tidy not found; skipping the clang-tidy pass" >&2
+  fi
+fi
+
+if [ "$MODE" = "all" ] || [ "$MODE" = "audit" ]; then
+  # Audit build: every LAPS_AUDIT invariant check executes inline.
+  # Debug keeps the checks un-elided; the full suite must stay green
+  # with the contract enforced at runtime.
+  cmake -B build-audit -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DLAPSCHED_AUDIT=ON -DLAPSCHED_WERROR="$WERROR" \
+    -DLAPSCHED_BUILD_BENCHES=OFF -DLAPSCHED_BUILD_EXAMPLES=OFF
+  cmake --build build-audit -j
+  (cd build-audit && ctest --output-on-failure -j)
 fi
 
 if [ "$MODE" = "all" ] || [ "$MODE" = "sanitize" ]; then

@@ -1,10 +1,31 @@
 #include "cache/bus.h"
 
 #include <limits>
+#include <string>
 
+#include "util/audit.h"
 #include "util/error.h"
 
 namespace laps {
+
+namespace audit {
+
+void timelineDisjoint(const std::map<std::int64_t, std::int64_t>& busy) {
+  std::int64_t prevEnd = std::numeric_limits<std::int64_t>::min();
+  for (const auto& [start, end] : busy) {
+    require(end > start, "BusyTimeline: interval [" + std::to_string(start) +
+                             ", " + std::to_string(end) +
+                             ") has non-positive extent");
+    // Strict: abutting intervals (start == prevEnd) must have coalesced.
+    require(start > prevEnd,
+            "BusyTimeline: interval starting at " + std::to_string(start) +
+                " overlaps or abuts the interval ending at " +
+                std::to_string(prevEnd));
+    prevEnd = end;
+  }
+}
+
+}  // namespace audit
 
 std::int64_t BusConfig::occupancyCycles(std::int64_t lineBytes) const {
   const std::int64_t transfer =
@@ -59,6 +80,9 @@ void BusyTimeline::bookAt(std::int64_t start, std::int64_t duration) {
     busy_.erase(next);
   }
   busy_.emplace(lo, hi);
+  // Every mutation funnels through here (reserve() calls bookAt), so
+  // this one call site audits the whole calendar discipline.
+  LAPS_AUDIT(audit::timelineDisjoint(busy_));
 }
 
 void BusyTimeline::retireBefore(std::int64_t cycle) {

@@ -51,6 +51,17 @@ struct BusStats {
   std::uint64_t waitCycles = 0;    ///< summed queueing delay (demand only)
 };
 
+namespace audit {
+/// Audit checker (docs/ARCHITECTURE.md §11): a busy calendar must hold
+/// strictly ordered, non-overlapping, coalesced intervals with positive
+/// extent — overlap would mean two transactions occupy one resource
+/// slot at once and every latency derived from the calendar is wrong.
+/// Throws laps::AuditError on violation. BusyTimeline runs it on its
+/// own map after every booking under LAPSCHED_AUDIT; tests call it
+/// directly with violating interval sets to prove it fires.
+void timelineDisjoint(const std::map<std::int64_t, std::int64_t>& busy);
+}  // namespace audit
+
 /// Calendar of busy intervals of one resource (a bus slot or an L2
 /// bank). Intervals are disjoint and coalesced; reserve() books the
 /// earliest gap at or after the request cycle.
@@ -77,6 +88,14 @@ class BusyTimeline {
 
   /// Booked intervals currently retained (tests and diagnostics).
   [[nodiscard]] std::size_t intervalCount() const { return busy_.size(); }
+
+  /// Audit test hook: inserts a raw interval bypassing the coalescing
+  /// and gap-search invariant maintenance, so a subsequent audited
+  /// booking can prove the timelineDisjoint check fires. Never called
+  /// by model code.
+  void auditInjectIntervalForTest(std::int64_t start, std::int64_t end) {
+    busy_[start] = end;
+  }
 
  private:
   std::map<std::int64_t, std::int64_t> busy_;  ///< start -> end, disjoint

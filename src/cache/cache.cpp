@@ -176,4 +176,17 @@ std::int64_t SetAssocCache::residentLines() const {
   return count;
 }
 
+std::vector<std::uint64_t> SetAssocCache::residentLineAddrs() const {
+  std::vector<std::uint64_t> addrs;
+  const auto numSets = static_cast<std::uint64_t>(config_.numSets());
+  const auto assoc = static_cast<std::size_t>(config_.assoc);
+  for (std::size_t w = 0; w < ways_.size(); ++w) {
+    if (!ways_[w].valid) continue;
+    const std::uint64_t set = static_cast<std::uint64_t>(w / assoc);
+    addrs.push_back((ways_[w].tag * numSets + set) *
+                    static_cast<std::uint64_t>(config_.lineBytes));
+  }
+  return addrs;
+}
+
 }  // namespace laps

@@ -51,10 +51,13 @@ struct CacheStats {
   /// (invalidateLine).
   std::uint64_t invalidations = 0;
 
+  /// Reporting-only rate derived from the final integer counters; never
+  /// feeds back into cache or scheduler state.
+  // LINT-ALLOW(no-float): presentation-only rate over final integer counters
   [[nodiscard]] double missRate() const {
-    return accesses == 0 ? 0.0
-                         : static_cast<double>(misses) /
-                               static_cast<double>(accesses);
+    if (accesses == 0) return 0.0;
+    // LINT-ALLOW(no-float): presentation-only rate over final integer counters
+    return static_cast<double>(misses) / static_cast<double>(accesses);
   }
 
   /// Element-wise sum (aggregation across cores).
@@ -112,6 +115,12 @@ class SetAssocCache {
 
   /// Number of valid lines currently resident.
   [[nodiscard]] std::int64_t residentLines() const;
+
+  /// Base byte addresses of every resident line, in set-major way order
+  /// (deterministic). Audit/diagnostics only — the inclusion audit
+  /// (MemoryHierarchy::auditInclusion) enumerates L1 contents with it;
+  /// never called on a model hot path.
+  [[nodiscard]] std::vector<std::uint64_t> residentLineAddrs() const;
 
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
   void resetStats() { stats_ = CacheStats{}; }

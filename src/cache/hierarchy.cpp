@@ -1,10 +1,33 @@
 #include "cache/hierarchy.h"
 
 #include <algorithm>
+#include <string>
 
+#include "util/audit.h"
 #include "util/error.h"
 
 namespace laps {
+
+void MemoryHierarchy::auditInclusion() const {
+  if (!l2_) return;
+  for (std::size_t i = 0; i < l1DataCaches_.size(); ++i) {
+    for (const std::uint64_t lineAddr : l1DataCaches_[i]->residentLineAddrs()) {
+      audit::require(l2_->probe(lineAddr),
+                     "inclusion violated: L1 data cache " + std::to_string(i) +
+                         " holds line " + std::to_string(lineAddr) +
+                         " that is not L2-resident");
+    }
+  }
+}
+
+void MemoryHierarchy::auditLineAbsent(std::uint64_t lineAddr) const {
+  for (std::size_t i = 0; i < l1DataCaches_.size(); ++i) {
+    audit::require(!l1DataCaches_[i]->probe(lineAddr),
+                   "back-invalidation incomplete: L1 data cache " +
+                       std::to_string(i) + " still holds evicted line " +
+                       std::to_string(lineAddr));
+  }
+}
 
 MemoryHierarchy::MemoryHierarchy(std::int64_t memLatencyCycles)
     : memLatencyCycles_(memLatencyCycles) {}
@@ -56,6 +79,7 @@ std::int64_t MemoryHierarchy::missLatency(std::uint64_t addr,
     // count it so the energy model sees every off-chip write.
     if (l1Dirty && !victimDirty) ++inclusionWritebacks_;
     victimDirty |= l1Dirty;
+    LAPS_AUDIT(auditLineAbsent(*l2.evictedLineAddr));
   }
 
   if (l2.outcome == AccessOutcome::Miss) {
@@ -91,6 +115,9 @@ void MemoryHierarchy::resetStats() {
 void MemoryHierarchy::retireBefore(std::int64_t cycle) {
   if (l2_) l2_->retireBefore(cycle);
   if (bus_) bus_->retireBefore(cycle);
+  // Segment boundary: the natural cadence for the full inclusion scan
+  // (the per-miss auditLineAbsent covers the mutation points between).
+  LAPS_AUDIT(auditInclusion());
 }
 
 MemorySystem::MemorySystem(const MemoryConfig& config,

@@ -113,9 +113,26 @@ class MemoryHierarchy {
 
   /// Prunes the L2 bank and bus calendars; call once no future request
   /// can be issued before \p cycle (the engine does, at segment starts).
+  /// Under LAPSCHED_AUDIT also runs the full inclusion audit — segment
+  /// starts are the natural cadence for the O(resident L1 lines) scan.
   void retireBefore(std::int64_t cycle);
 
+  /// Audit checker (docs/ARCHITECTURE.md §11): inclusion — every line
+  /// resident in a registered L1 data cache must also be L2-resident
+  /// (instruction caches are exempt by design, see the registration
+  /// notes above). A violation means a back-invalidation was missed and
+  /// the L1s are serving hits on data the shared level no longer
+  /// tracks. No-op without an L2. Throws laps::AuditError on violation.
+  /// Tests inject violations by registering an L1 that holds lines the
+  /// L2 never saw.
+  void auditInclusion() const;
+
  private:
+  /// Audit checker: after back-invalidating \p lineAddr, no registered
+  /// L1 data cache may still hold it (the cheap per-miss slice of
+  /// auditInclusion).
+  void auditLineAbsent(std::uint64_t lineAddr) const;
+
   std::int64_t memLatencyCycles_;
   std::optional<SharedL2> l2_;
   std::optional<MemoryBus> bus_;

@@ -68,8 +68,15 @@ class MissClassifier {
   std::int64_t lineBytes_;
   std::size_t capacityLines_;
   MissBreakdown breakdown_;
+  /// Both hash containers are lookup-only (contains / find / erase by
+  /// key — never iterated): recency order lives entirely in lru_, so
+  /// hash order cannot reach the classification. Order-insensitivity is
+  /// pinned against an ordered-container oracle by
+  /// OrderedOracleAgreement in tests/cache/miss_class_test.cpp.
+  // LINT-ALLOW(unordered-container): contains-only ever-seen set, never iterated; oracle-tested
   std::unordered_set<std::uint64_t> everSeen_;
   std::list<std::uint64_t> lru_;  // front = most recent
+  // LINT-ALLOW(unordered-container): find/erase by key only, order lives in lru_; oracle-tested
   std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> where_;
 };
 

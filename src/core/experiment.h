@@ -38,6 +38,7 @@ struct ExperimentResult {
   SchedulerKind kind = SchedulerKind::Random;
   std::string schedulerName;
   SimResult sim;
+  // LINT-ALLOW(no-float): post-hoc energy readout (sim/energy); never re-enters the model
   double energyMj = 0.0;
   /// LSM only: how many arrays were re-laid out and the threshold used.
   std::size_t relayoutedArrays = 0;

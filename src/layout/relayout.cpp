@@ -123,7 +123,12 @@ RelayoutPlan planRelayout(const ConflictMatrix& conflicts,
 PairEligibility scheduleEligibility(
     const std::vector<std::vector<std::uint32_t>>& corePlans,
     std::span<const Footprint> footprints, std::size_t arrayCount) {
-  // Collect eligible unordered pairs into a flat hash set of packed keys.
+  // Collect eligible unordered pairs into a flat hash set of packed
+  // keys. Contains-only: the set is populated here and then queried by
+  // the returned predicate — never iterated — so hash order cannot leak
+  // into any result (pinned against a std::set oracle by
+  // EligibilityOrderInsensitive in tests/layout/relayout_test.cpp).
+  // LINT-ALLOW(unordered-container): contains-only pair set, never iterated; oracle-tested
   auto packed = std::make_shared<std::unordered_set<std::uint64_t>>();
   const auto addPairs = [&](const std::vector<ArrayId>& a,
                             const std::vector<ArrayId>& b) {

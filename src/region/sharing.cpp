@@ -1,7 +1,9 @@
 #include "region/sharing.h"
 
 #include <algorithm>
+#include <string>
 
+#include "util/audit.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -157,6 +159,60 @@ bool SharingMatrix::isDiagonal() const {
   }
   return true;
 }
+
+void SharingMatrix::auditInvariants() const {
+  for (std::size_t p = 0; p < n_; ++p) {
+    if (!active_[p]) {
+      for (std::size_t q = 0; q < n_; ++q) {
+        audit::require(cell(p, q) == 0 && cell(q, p) == 0,
+                       "SharingMatrix: inactive process " + std::to_string(p) +
+                           " has a nonzero row or column entry at " +
+                           std::to_string(q));
+      }
+      continue;
+    }
+    audit::require(cell(p, p) >= 0,
+                   "SharingMatrix: negative diagonal (footprint size) for "
+                   "process " +
+                       std::to_string(p));
+    for (std::size_t q = p + 1; q < n_; ++q) {
+      audit::require(cell(p, q) == cell(q, p),
+                     "SharingMatrix: asymmetric cells (" + std::to_string(p) +
+                         ", " + std::to_string(q) + "): " +
+                         std::to_string(cell(p, q)) + " vs " +
+                         std::to_string(cell(q, p)));
+    }
+  }
+}
+
+namespace audit {
+
+void activeSetAgreement(const SharingMatrix& matrix,
+                        const std::vector<bool>& arrived,
+                        const std::vector<bool>& exited,
+                        std::size_t inSystem) {
+  require(arrived.size() == matrix.size() && exited.size() == matrix.size(),
+          "activeSetAgreement: live-set vectors do not match the matrix "
+          "universe");
+  std::size_t live = 0;
+  for (std::size_t p = 0; p < matrix.size(); ++p) {
+    const bool shouldBeActive = arrived[p] && !exited[p];
+    require(matrix.isActive(p) == shouldBeActive,
+            "SharingMatrix active set disagrees with the live process set "
+            "at process " +
+                std::to_string(p) + ": matrix says " +
+                (matrix.isActive(p) ? "active" : "inactive") +
+                ", engine says " + (shouldBeActive ? "live" : "gone"));
+    live += shouldBeActive ? 1 : 0;
+  }
+  require(matrix.activeCount() == live && live == inSystem,
+          "SharingMatrix active count (" +
+              std::to_string(matrix.activeCount()) +
+              ") disagrees with the engine's in-system count (" +
+              std::to_string(inSystem) + ")");
+}
+
+}  // namespace audit
 
 Table SharingMatrix::toTable() const {
   std::vector<std::string> headers{""};

@@ -82,6 +82,15 @@ class SharingMatrix {
   /// Renders as a table (for examples / debugging), labels P0..Pn-1.
   [[nodiscard]] Table toTable() const;
 
+  /// Audit checker (docs/ARCHITECTURE.md §11): the matrix must be
+  /// symmetric over the active set, every inactive process's row and
+  /// column must be zero, and the diagonal of an active process must be
+  /// non-negative (a footprint size). Throws laps::AuditError on
+  /// violation. The engine runs it after every incremental
+  /// arrival/exit update under LAPSCHED_AUDIT; tests inject violations
+  /// through set() (which writes a single cell) to prove it fires.
+  void auditInvariants() const;
+
  private:
   [[nodiscard]] std::size_t idx(std::size_t p, std::size_t q) const;
 
@@ -98,5 +107,19 @@ class SharingMatrix {
   std::vector<std::int64_t> cells_;  // row-major n x n
   std::vector<char> active_;         // per-process presence flags
 };
+
+namespace audit {
+/// Audit checker (docs/ARCHITECTURE.md §11): the live sharing matrix's
+/// active set must agree exactly with the engine's live process set —
+/// active iff admitted (arrived) and not yet exited — and the active
+/// count must equal \p inSystem, the engine's admitted-minus-exited
+/// counter. A disagreement means the policy is scoring against rows of
+/// dead or never-admitted processes. Throws laps::AuditError on
+/// violation; tests call it directly with disagreeing inputs.
+void activeSetAgreement(const SharingMatrix& matrix,
+                        const std::vector<bool>& arrived,
+                        const std::vector<bool>& exited,
+                        std::size_t inSystem);
+}  // namespace audit
 
 }  // namespace laps

@@ -127,18 +127,26 @@ std::optional<ProcessId> L2ContentionAwareScheduler::pickNext(
     std::size_t core, std::optional<ProcessId> previous) {
   check(core < runningOn_.size(), "L2ContentionAwareScheduler: unknown core");
   if (ready_.empty()) return std::nullopt;
+  // Scoring in double is exact, hence platform-identical: every operand
+  // is an integer count far below 2^53 (converted exactly), and with the
+  // default conflictWeight of 1.0 every product and difference stays
+  // integer-valued. A non-default weight keeps determinism as long as
+  // each operation is a single correctly-rounded IEEE op, which this is.
   std::size_t bestIdx = 0;
-  double bestScore = 0.0;
+  double bestScore = 0.0;  // LINT-ALLOW(no-float): exact integer-valued score, see note above
   std::int64_t bestSeq = -1;
   bool haveBest = false;
   for (std::size_t i = 0; i < ready_.size(); ++i) {
     const ProcessId candidate = ready_[i];
+    // LINT-ALLOW(no-float): exact integer-valued score, see note above
     double score =
+        // LINT-ALLOW(no-float): exact conversion of integer count < 2^53
         previous ? static_cast<double>(sharing_->at(*previous, candidate))
                  : 0.0;
     for (std::size_t c = 0; c < runningOn_.size(); ++c) {
       if (c == core || !runningOn_[c]) continue;
       score -= options_.conflictWeight *
+               // LINT-ALLOW(no-float): exact conversion of integer count < 2^53
                static_cast<double>(conflictBetween(candidate, *runningOn_[c]));
     }
     const std::int64_t seq = aging_.seqOf(candidate);

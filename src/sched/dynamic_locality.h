@@ -83,6 +83,9 @@ struct L2ContentionOptions {
   CacheConfig l2Geometry{256 * 1024, 8, 32, 8};
   /// Weight of a conflicting co-mapped line pair against one shared
   /// element when scoring a candidate (>= 0; 0 degenerates to DLS).
+  /// The default 1.0 keeps every score exactly integer-valued (see the
+  /// scoring note in dynamic_locality.cpp).
+  // LINT-ALLOW(no-float): validated finite config knob; scoring stays exact, see pickNext
   double conflictWeight = 1.0;
 
   /// Throws laps::Error on a non-finite or negative weight or an
@@ -130,6 +133,11 @@ class L2ContentionAwareScheduler final : public SchedulerPolicy {
   /// Per-process line occupancy of the L2 set space (n x numSets).
   std::vector<std::vector<std::int64_t>> occupancy_;
   /// Memoized pairwise conflict scores, keyed min(a,b) * n + max(a,b).
+  /// Lookup-only: accessed exclusively through find/emplace on a
+  /// symmetric key, never iterated, so hash order cannot reach any
+  /// result (order-insensitivity pinned by ConflictMemoOrderInsensitive
+  /// in tests/sched/policies_test.cpp).
+  // LINT-ALLOW(unordered-container): find/emplace only, never iterated; test-pinned
   std::unordered_map<std::uint64_t, std::int64_t> conflictMemo_;
   /// runningOn_[core] = process currently executing there.
   std::vector<std::optional<ProcessId>> runningOn_;

@@ -56,12 +56,19 @@ struct MpsocConfig {
   /// bit-identical; ignored entirely in closed workloads.
   AdmissionConfig admission{};
 
-  double clockHz = 200e6;           ///< Table 2: 200 MHz
+  /// Table 2: 200 MHz. Only consumed by cyclesToSeconds below — the
+  /// simulation itself is pure integer cycles.
+  // LINT-ALLOW(no-float): cycle-to-seconds readout only; the model never reads it
+  double clockHz = 200e6;
   std::int64_t switchCycles = 400;  ///< context-switch overhead per switch
   bool flushOnSwitch = false;       ///< ablation: cold caches after switch
   ReplayMode replayMode = ReplayMode::RunLength;  ///< trace replay engine
 
+  /// Reporting conversion of a final integer cycle count; never feeds
+  /// back into simulation state.
+  // LINT-ALLOW(no-float): presentation-only conversion of final cycle counts
   [[nodiscard]] double cyclesToSeconds(std::int64_t cycles) const {
+    // LINT-ALLOW(no-float): presentation-only conversion of final cycle counts
     return static_cast<double>(cycles) / clockHz;
   }
 };

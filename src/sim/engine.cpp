@@ -5,16 +5,24 @@
 #include <queue>
 
 #include "sim/replay.h"
+#include "util/audit.h"
 #include "util/error.h"
 #include "util/stats.h"
 
 namespace laps {
 
+// Reporting-only readout of final integer busy counters; nothing here
+// re-enters the simulation.
+// LINT-ALLOW(no-float): presentation-only mean over final integer busy counters
 double SimResult::utilization() const {
   if (makespanCycles <= 0 || coreBusyCycles.empty()) return 0.0;
+  // LINT-ALLOW(no-float): presentation-only mean over final integer busy counters
   double busy = 0.0;
+  // LINT-ALLOW(no-float): presentation-only mean over final integer busy counters
   for (const auto c : coreBusyCycles) busy += static_cast<double>(c);
+  // LINT-ALLOW(no-float): presentation-only mean over final integer busy counters
   return busy / (static_cast<double>(makespanCycles) *
+                 // LINT-ALLOW(no-float): presentation-only mean over final integer busy counters
                  static_cast<double>(coreBusyCycles.size()));
 }
 
@@ -149,6 +157,9 @@ void MpsocSimulator::exitProcess(ProcessId process, std::size_t coreIdx,
     policy_->onExit(process);
     liveSharing_.removeProcess(process);
     --inSystem_;
+    LAPS_AUDIT(liveSharing_.auditInvariants());
+    LAPS_AUDIT(audit::activeSetAgreement(liveSharing_, arrived_, completed_,
+                                         inSystem_));
     // Feed the exit's sojourn into the admission controller's SLO
     // estimator (SloShed; a no-op state update for the other kinds).
     admission_.recordSojourn(now - arrivalCycle_[process]);
@@ -219,6 +230,13 @@ void MpsocSimulator::admitBatch(std::size_t batchIdx, std::int64_t now) {
   for (const ProcessId p : batch.members) {
     if (arrived_[p] && remainingPreds_[p] == 0) announceReady(p);
   }
+  // The incremental row updates must leave the matrix exactly where a
+  // from-scratch compute over the live set would: symmetric, zero
+  // outside the active set, and in agreement with the engine's own
+  // live-process bookkeeping.
+  LAPS_AUDIT(liveSharing_.auditInvariants());
+  LAPS_AUDIT(
+      audit::activeSetAgreement(liveSharing_, arrived_, completed_, inSystem_));
 }
 
 SimResult MpsocSimulator::run() {
@@ -374,6 +392,7 @@ SimResult MpsocSimulator::run() {
             ? arrivalBatches_[nextBatch].cycle
             : std::numeric_limits<std::int64_t>::max();
     if (events.empty() || nextArrival <= events.top().first) {
+      LAPS_AUDIT(audit::cycleMonotone(now, nextArrival));
       now = nextArrival;
       admitBatch(nextBatch++, now);
       for (std::size_t c = 0; c < config_.coreCount; ++c) {
@@ -383,6 +402,11 @@ SimResult MpsocSimulator::run() {
     }
     const auto [t, coreIdx] = events.top();
     events.pop();
+    // This branch is taken only when every pending arrival is strictly
+    // later than the popped core event (arrivals win ties), and popped
+    // event times never run backwards.
+    LAPS_AUDIT(audit::arrivalBeforeCore(t, nextArrival));
+    LAPS_AUDIT(audit::cycleMonotone(now, t));
     now = t;
     Core& core = cores_[coreIdx];
     const ProcessId p = *core.current;
@@ -425,6 +449,8 @@ SimResult MpsocSimulator::run() {
       out.p50 = percentileNearestRank(sojourns, 50);
       out.p95 = percentileNearestRank(sojourns, 95);
       out.p99 = percentileNearestRank(sojourns, 99);
+      LAPS_AUDIT(audit::percentileOrdering(out.p50, out.p95, out.p99,
+                                           out.samples));
     };
     std::vector<std::int64_t> global;
     global.reserve(n);
@@ -440,8 +466,16 @@ SimResult MpsocSimulator::run() {
         global.push_back(sojourn);
       }
       fill(result_.cohorts[k].sojourn, perCohort);
+      // Per-cohort admission identity: every member is a sojourn
+      // sample or was rejected.
+      LAPS_AUDIT(audit::admissionIdentity(
+          result_.cohorts[k].sojourn.samples, result_.cohorts[k].rejectedCount,
+          result_.cohorts[k].processCount));
     }
     fill(result_.sojourn, global);
+    LAPS_AUDIT(audit::admissionIdentity(
+        result_.sojourn.samples,
+        static_cast<std::size_t>(result_.rejectedProcesses), n));
   }
   for (std::size_t c = 0; c < config_.coreCount; ++c) {
     result_.coreBusyCycles[c] = cores_[c].busyCycles;

@@ -68,7 +68,10 @@ struct CohortStats {
 /// Everything a simulation run reports.
 struct SimResult {
   std::int64_t makespanCycles = 0;  ///< completion of the last process
-  double seconds = 0.0;             ///< makespan / clock
+  /// makespan / clock — a readout derived from makespanCycles after the
+  /// run; every comparison and baseline uses the integer cycles.
+  // LINT-ALLOW(no-float): derived readout of the integer makespan; reporting only
+  double seconds = 0.0;
 
   CacheStats dcacheTotal;  ///< summed over cores
   CacheStats icacheTotal;
@@ -120,10 +123,12 @@ struct SimResult {
     return dcacheTotal.accesses;
   }
 
-  /// Overall data-cache miss rate.
+  /// Overall data-cache miss rate (reporting only; see CacheStats).
+  // LINT-ALLOW(no-float): presentation-only rate over final integer counters
   [[nodiscard]] double dataMissRate() const { return dcacheTotal.missRate(); }
 
-  /// Mean core utilization in [0, 1].
+  /// Mean core utilization in [0, 1] (reporting only; see engine.cpp).
+  // LINT-ALLOW(no-float): presentation-only mean over final integer busy counters
   [[nodiscard]] double utilization() const;
 };
 

@@ -1,0 +1,47 @@
+#include "util/audit.h"
+
+namespace laps::audit {
+
+void require(bool condition, std::string_view message) {
+  if (!condition) {
+    throw AuditError(std::string(message));
+  }
+}
+
+void cycleMonotone(std::int64_t previous, std::int64_t next) {
+  require(next >= previous,
+          "event-queue cycle monotonicity violated: event at cycle " +
+              std::to_string(next) + " popped after cycle " +
+              std::to_string(previous));
+}
+
+void arrivalBeforeCore(std::int64_t coreEventCycle,
+                       std::int64_t nextArrivalCycle) {
+  require(coreEventCycle < nextArrivalCycle,
+          "arrival-before-core ordering violated: core event at cycle " +
+              std::to_string(coreEventCycle) +
+              " processed with an arrival pending at cycle " +
+              std::to_string(nextArrivalCycle));
+}
+
+void admissionIdentity(std::size_t samples, std::size_t rejected,
+                       std::size_t processes) {
+  require(samples + rejected == processes,
+          "admission identity violated: " + std::to_string(samples) +
+              " sojourn samples + " + std::to_string(rejected) +
+              " rejected != " + std::to_string(processes) + " processes");
+}
+
+void percentileOrdering(std::int64_t p50, std::int64_t p95, std::int64_t p99,
+                        std::size_t samples) {
+  if (samples == 0) {
+    require(p50 == 0 && p95 == 0 && p99 == 0,
+            "percentiles nonzero with zero samples");
+    return;
+  }
+  require(p50 <= p95 && p95 <= p99,
+          "percentile ordering violated: p50=" + std::to_string(p50) +
+              " p95=" + std::to_string(p95) + " p99=" + std::to_string(p99));
+}
+
+}  // namespace laps::audit

@@ -32,6 +32,9 @@ namespace laps {
 struct AppParams {
   /// Scales the primary problem dimensions (and thus trace length).
   /// 1.0 keeps full-suite simulations in the seconds range on a laptop.
+  /// Consumed only by workloads::scaled(), whose single-multiply
+  /// arithmetic is platform-identical (see common.h).
+  // LINT-ALLOW(no-float): input knob consumed only by the exact scaled() helper
   double scale = 1.0;
 };
 

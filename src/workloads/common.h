@@ -32,9 +32,14 @@ inline ArrayAccess write(ArrayId array, std::initializer_list<AffineExpr> idx) {
 
 /// Scales \p base by \p scale, rounded to a multiple of \p multiple and
 /// at least 2*multiple (keeps split/partition arithmetic exact and stage
-/// stencils non-empty even at tiny scales).
+/// stencils non-empty even at tiny scales). Deterministic: the exact
+/// integer conversion, one correctly-rounded IEEE multiply and the
+/// truncation behave identically on every conforming target (no room
+/// for FMA contraction or excess precision in a single operation).
+// LINT-ALLOW(no-float): one exact conversion + one IEEE multiply + truncate; platform-identical
 inline std::int64_t scaled(std::int64_t base, double scale,
                            std::int64_t multiple) {
+  // LINT-ALLOW(no-float): one exact conversion + one IEEE multiply + truncate; platform-identical
   const auto raw = static_cast<std::int64_t>(static_cast<double>(base) * scale);
   return std::max(2 * multiple, raw / multiple * multiple);
 }

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
+#include "util/audit.h"
 #include "util/error.h"
 
 namespace laps {
@@ -110,6 +113,53 @@ TEST(MemoryBus, BoundedOutstandingQueuesTheOverflow) {
   EXPECT_EQ(bus.demandAccess(0), 79 + 79);  // waits 79, then 79 more
   EXPECT_EQ(bus.stats().waitCycles, 79u);
   EXPECT_EQ(bus.stats().transactions, 3u);
+}
+
+// --- audit layer (docs/ARCHITECTURE.md §11) ------------------------------
+
+TEST(TimelineAudit, AcceptsDisjointCoalescedCalendar) {
+  std::map<std::int64_t, std::int64_t> busy;
+  EXPECT_NO_THROW(audit::timelineDisjoint(busy));  // empty
+  busy[0] = 10;
+  busy[20] = 30;
+  EXPECT_NO_THROW(audit::timelineDisjoint(busy));
+}
+
+TEST(TimelineAudit, RejectsOverlappingIntervals) {
+  std::map<std::int64_t, std::int64_t> busy;
+  busy[0] = 10;
+  busy[5] = 15;  // overlaps [0, 10)
+  EXPECT_THROW(audit::timelineDisjoint(busy), AuditError);
+}
+
+TEST(TimelineAudit, RejectsAbuttingUncoalescedIntervals) {
+  std::map<std::int64_t, std::int64_t> busy;
+  busy[0] = 10;
+  busy[10] = 20;  // abuts [0, 10): bookAt should have coalesced these
+  EXPECT_THROW(audit::timelineDisjoint(busy), AuditError);
+}
+
+TEST(TimelineAudit, RejectsEmptyOrInvertedInterval) {
+  std::map<std::int64_t, std::int64_t> busy;
+  busy[5] = 5;
+  EXPECT_THROW(audit::timelineDisjoint(busy), AuditError);
+  busy[5] = 3;
+  EXPECT_THROW(audit::timelineDisjoint(busy), AuditError);
+}
+
+TEST(TimelineAudit, InjectedCorruptionTripsTheAuditedBooking) {
+  // Proves the in-situ LAPS_AUDIT call in bookAt fires: corrupt the
+  // calendar behind the invariant maintenance, then book. Only
+  // observable in an audit build — otherwise the check is compiled out
+  // and the booking must succeed untouched.
+  BusyTimeline t;
+  t.reserve(0, 10);                       // [0, 10)
+  t.auditInjectIntervalForTest(5, 15);    // overlaps, bypassing bookAt
+  if (audit::enabled()) {
+    EXPECT_THROW(t.reserve(100, 10), AuditError);
+  } else {
+    EXPECT_NO_THROW(t.reserve(100, 10));
+  }
 }
 
 TEST(MemoryBus, PostedTrafficOccupiesButNeverWaitsTheRequester) {

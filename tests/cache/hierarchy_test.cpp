@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/audit.h"
+
 namespace laps {
 namespace {
 
@@ -156,6 +158,58 @@ TEST(MemorySystem, ContendedAccessRunAdvancesTime) {
       mem.accessRun(0, 4, 32, /*isWrite=*/false, /*nowCycles=*/0);
   EXPECT_EQ(latency, 4 * (8 * 2 + 8 + 79));
   EXPECT_EQ(shared->bus()->stats().waitCycles, 0u);
+}
+
+// --- audit layer (docs/ARCHITECTURE.md §11) ------------------------------
+
+TEST(InclusionAudit, CleanHierarchyPasses) {
+  auto shared = contendedHierarchy();
+  MemorySystem a(paperDefaults(), shared);
+  MemorySystem b(paperDefaults(), shared);
+  // Fill through the front door: every L1-resident line went through
+  // the L2, so inclusion holds by construction.
+  for (std::uint64_t addr = 0; addr < 4096; addr += 32) {
+    a.dataAccess(addr, false, 0);
+    b.dataAccess(addr + 32768, true, 0);
+  }
+  EXPECT_NO_THROW(shared->auditInclusion());
+}
+
+TEST(InclusionAudit, L1LineTheL2NeverSawTrips) {
+  auto shared = contendedHierarchy();
+  // A rogue L1 that filled lines without going through the hierarchy —
+  // exactly the state a missed back-invalidation would leave behind.
+  SetAssocCache rogue(CacheConfig{8192, 2, 32, 2});
+  rogue.access(0, /*isWrite=*/false);
+  shared->registerDataCache(&rogue);
+  EXPECT_THROW(shared->auditInclusion(), AuditError);
+  shared->unregisterDataCache(&rogue);
+  EXPECT_NO_THROW(shared->auditInclusion());
+}
+
+TEST(InclusionAudit, FlatHierarchyIsVacuouslyClean) {
+  MemoryHierarchy flat(75);
+  SetAssocCache l1(CacheConfig{8192, 2, 32, 2});
+  l1.access(0, /*isWrite=*/false);
+  flat.registerDataCache(&l1);
+  // No L2 means no inclusion obligation.
+  EXPECT_NO_THROW(flat.auditInclusion());
+}
+
+TEST(InclusionAudit, RetireBeforeRunsTheScanInAuditBuilds) {
+  // Proves the in-situ LAPS_AUDIT call in retireBefore fires: corrupt
+  // inclusion, then hit the segment-boundary hook. Only observable in
+  // an audit build — otherwise the scan is compiled out.
+  auto shared = contendedHierarchy();
+  SetAssocCache rogue(CacheConfig{8192, 2, 32, 2});
+  rogue.access(0, /*isWrite=*/false);
+  shared->registerDataCache(&rogue);
+  if (audit::enabled()) {
+    EXPECT_THROW(shared->retireBefore(1000), AuditError);
+  } else {
+    EXPECT_NO_THROW(shared->retireBefore(1000));
+  }
+  shared->unregisterDataCache(&rogue);
 }
 
 TEST(MemorySystem, ResetStats) {

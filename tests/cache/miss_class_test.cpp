@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <list>
+#include <map>
+#include <optional>
+#include <set>
+
 #include "cache/cache.h"
 
 namespace laps {
@@ -111,6 +116,87 @@ TEST(MissClassifier, TotalsMatchCacheMisses) {
     rig.access(addr, i % 3 == 0);
   }
   EXPECT_EQ(rig.classifier.breakdown().total(), rig.cache.stats().misses);
+}
+
+// Reimplementation of the 3C classifier on ordered containers only
+// (std::set ever-seen, std::map positions, recency order in a list) —
+// the oracle the determinism contract's LINT-ALLOW on miss_class.h's
+// hash containers is pinned against.
+class OrderedOracle {
+ public:
+  explicit OrderedOracle(const CacheConfig& cfg)
+      : lineBytes_(cfg.lineBytes),
+        capacityLines_(static_cast<std::size_t>(cfg.numLines())) {}
+
+  std::optional<MissKind> record(std::uint64_t addr, bool realMiss) {
+    const std::uint64_t line =
+        addr / static_cast<std::uint64_t>(lineBytes_) *
+        static_cast<std::uint64_t>(lineBytes_);
+    const bool first = everSeen_.insert(line).second;
+    const bool shadowHit = shadowAccess(line);
+    if (!realMiss) return std::nullopt;
+    if (first) return MissKind::Compulsory;
+    return shadowHit ? MissKind::Conflict : MissKind::Capacity;
+  }
+
+  void flushShadow() {
+    lru_.clear();
+    where_.clear();
+  }
+
+ private:
+  bool shadowAccess(std::uint64_t line) {
+    const auto it = where_.find(line);
+    if (it != where_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return true;
+    }
+    if (lru_.size() == capacityLines_) {
+      where_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(line);
+    where_[line] = lru_.begin();
+    return false;
+  }
+
+  std::int64_t lineBytes_;
+  std::size_t capacityLines_;
+  std::set<std::uint64_t> everSeen_;
+  std::list<std::uint64_t> lru_;
+  std::map<std::uint64_t, std::list<std::uint64_t>::iterator> where_;
+};
+
+TEST(MissClassifier, OrderedOracleAgreement) {
+  // Proves the classifier's hash containers are order-insensitive: over
+  // a pseudorandom mixed stream (hits, all three miss classes, shadow
+  // flushes) every per-access classification must equal the ordered
+  // oracle's. Any dependence on hash iteration order would eventually
+  // disagree with the oracle's std::set/std::map semantics.
+  const CacheConfig cfg = tinyDirectMapped();
+  Rig rig(cfg);
+  OrderedOracle oracle(cfg);
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;  // splitmix-style stream
+  for (int i = 0; i < 20000; ++i) {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    // 64 distinct lines over a 8-line shadow: plenty of capacity misses;
+    // direct-mapped real cache: plenty of conflict misses.
+    const std::uint64_t addr = (z % 64) * 16;
+    const bool miss = rig.cache.access(addr, false) == AccessOutcome::Miss;
+    const auto got = rig.classifier.record(addr, miss);
+    const auto expected = oracle.record(addr, miss);
+    ASSERT_EQ(got, expected) << "access " << i << " addr " << addr;
+    if (z % 997 == 0) {
+      rig.classifier.flushShadow();
+      oracle.flushShadow();
+    }
+  }
+  EXPECT_GT(rig.classifier.breakdown().capacity, 0u);
+  EXPECT_GT(rig.classifier.breakdown().conflict, 0u);
 }
 
 }  // namespace

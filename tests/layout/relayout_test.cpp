@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
 namespace laps {
 namespace {
 
@@ -121,6 +124,53 @@ TEST(ScheduleEligibility, NonAdjacentProcessesDoNotCompete) {
   EXPECT_TRUE(eligible(0, 1));
   EXPECT_TRUE(eligible(1, 2));
   EXPECT_FALSE(eligible(0, 2));
+}
+
+TEST(ScheduleEligibility, EligibilityOrderInsensitive) {
+  // The determinism contract's LINT-ALLOW on relayout.cpp's packed
+  // unordered_set rests on the set being contains-only. This pins the
+  // claim: the predicate must agree exactly with an ordered std::set
+  // oracle built by the same pair-collection walk, for every query —
+  // if hash order could leak into any answer, some (x, y) would differ.
+  constexpr std::size_t kProcesses = 12;
+  constexpr std::size_t kArrays = 20;
+  std::vector<Footprint> fps(kProcesses);
+  for (std::size_t p = 0; p < kProcesses; ++p) {
+    // Overlapping array sets: process p touches arrays p..p+4 (mod 20).
+    for (std::size_t a = 0; a < 5; ++a) {
+      fps[p].add(static_cast<ArrayId>((p + a * 3) % kArrays),
+                 IntervalSet::range(0, 10));
+    }
+  }
+  const std::vector<std::vector<std::uint32_t>> plans = {
+      {0, 3, 6, 9}, {1, 4, 7, 10}, {2, 5, 8, 11}};
+  const auto eligible = scheduleEligibility(plans, fps, kArrays);
+
+  // Order-insensitive oracle of the documented semantics.
+  std::set<std::pair<ArrayId, ArrayId>> oracle;
+  const auto addPairs = [&](const std::vector<ArrayId>& a,
+                            const std::vector<ArrayId>& b) {
+    for (const ArrayId x : a) {
+      for (const ArrayId y : b) {
+        if (x != y) oracle.emplace(std::min(x, y), std::max(x, y));
+      }
+    }
+  };
+  for (const auto& plan : plans) {
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      addPairs(fps[plan[i]].arrays(), fps[plan[i]].arrays());
+      if (i + 1 < plan.size()) {
+        addPairs(fps[plan[i]].arrays(), fps[plan[i + 1]].arrays());
+      }
+    }
+  }
+  for (ArrayId x = 0; x < kArrays; ++x) {
+    for (ArrayId y = 0; y < kArrays; ++y) {
+      const bool expected =
+          x != y && oracle.count({std::min(x, y), std::max(x, y)}) > 0;
+      EXPECT_EQ(eligible(x, y), expected) << "x=" << x << " y=" << y;
+    }
+  }
 }
 
 }  // namespace

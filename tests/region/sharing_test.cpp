@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/audit.h"
 #include "util/error.h"
 
 namespace laps {
@@ -91,6 +92,93 @@ TEST(SharingMatrix, OutOfRangeThrows) {
   SharingMatrix m(2);
   EXPECT_THROW(static_cast<void>(m.at(2, 0)), Error);
   EXPECT_THROW(m.set(0, 2, 1), Error);
+}
+
+// --- audit layer (docs/ARCHITECTURE.md §11) ------------------------------
+
+TEST(SharingAudit, ComputedMatrixPassesInvariants) {
+  const SharingMatrix m = SharingMatrix::compute(prog1Footprints());
+  EXPECT_NO_THROW(m.auditInvariants());
+}
+
+TEST(SharingAudit, InjectedAsymmetryTrips) {
+  SharingMatrix m = SharingMatrix::compute(prog1Footprints());
+  // set() writes a single cell — the one mutation that can desynchronize
+  // the two halves of a symmetric pair.
+  m.set(1, 2, m.at(1, 2) + 1);
+  EXPECT_THROW(m.auditInvariants(), AuditError);
+}
+
+TEST(SharingAudit, NegativeDiagonalTrips) {
+  SharingMatrix m(3);
+  m.set(1, 1, -5);  // a footprint size cannot be negative
+  EXPECT_THROW(m.auditInvariants(), AuditError);
+}
+
+TEST(SharingAudit, InactiveRowMustStayZero) {
+  SharingMatrix m = SharingMatrix::inactive(3);
+  EXPECT_NO_THROW(m.auditInvariants());
+  // Write into an inactive process's row: symmetric (so the symmetry
+  // clause cannot catch it) but still a contract violation.
+  m.set(0, 1, 7);
+  m.set(1, 0, 7);
+  EXPECT_THROW(m.auditInvariants(), AuditError);
+}
+
+TEST(SharingAudit, ActiveSetAgreementAcceptsMatchingSets) {
+  const auto fps = prog1Footprints();
+  SharingMatrix m = SharingMatrix::inactive(fps.size());
+  m.addProcess(fps, 2);
+  m.addProcess(fps, 5);
+  std::vector<bool> arrived(fps.size(), false);
+  std::vector<bool> exited(fps.size(), false);
+  arrived[2] = arrived[5] = true;
+  EXPECT_NO_THROW(audit::activeSetAgreement(m, arrived, exited, 2));
+}
+
+TEST(SharingAudit, ActiveSetAgreementCatchesDisagreements) {
+  const auto fps = prog1Footprints();
+  SharingMatrix m = SharingMatrix::inactive(fps.size());
+  m.addProcess(fps, 2);
+  std::vector<bool> arrived(fps.size(), false);
+  std::vector<bool> exited(fps.size(), false);
+  arrived[2] = true;
+
+  // Wrong live count.
+  EXPECT_THROW(audit::activeSetAgreement(m, arrived, exited, 2), AuditError);
+
+  // A process the engine thinks is live but the matrix deactivated.
+  arrived[5] = true;
+  EXPECT_THROW(audit::activeSetAgreement(m, arrived, exited, 2), AuditError);
+
+  // A process the engine retired but the matrix kept active.
+  arrived[5] = false;
+  exited[2] = true;
+  EXPECT_THROW(audit::activeSetAgreement(m, arrived, exited, 0), AuditError);
+}
+
+TEST(SharingAudit, IncrementalMaintenanceStaysCleanThroughChurn) {
+  const auto fps = prog1Footprints();
+  SharingMatrix m = SharingMatrix::inactive(fps.size());
+  std::vector<bool> arrived(fps.size(), false);
+  std::vector<bool> exited(fps.size(), false);
+  std::size_t live = 0;
+  const auto checkAll = [&] {
+    m.auditInvariants();
+    audit::activeSetAgreement(m, arrived, exited, live);
+  };
+  for (std::size_t p = 0; p < fps.size(); ++p) {
+    m.addProcess(fps, p);
+    arrived[p] = true;
+    ++live;
+    EXPECT_NO_THROW(checkAll());
+  }
+  for (std::size_t p = 0; p < fps.size(); p += 2) {
+    m.removeProcess(p);
+    exited[p] = true;
+    --live;
+    EXPECT_NO_THROW(checkAll());
+  }
 }
 
 TEST(SharingMatrix, ToTableShape) {

@@ -434,5 +434,42 @@ TEST(L2ContentionAwareScheduler, RequiresWorkloadAndSpace) {
   EXPECT_THROW(policy.reset(incomplete), Error);
 }
 
+TEST(L2ContentionAwareScheduler, ConflictMemoOrderInsensitive) {
+  // The determinism contract's LINT-ALLOW on conflictMemo_ (an
+  // unordered_map) rests on it being a pure find/emplace memo. This
+  // pins the claim three ways: the score is symmetric, agrees with a
+  // fresh instance that computed the same pairs in a different order,
+  // and never changes once memoized — so hash order cannot reach any
+  // scheduling decision.
+  ContentionRig rig;
+  L2ContentionAwareScheduler forward(ContentionRig::options(1.0));
+  L2ContentionAwareScheduler backward(ContentionRig::options(1.0));
+  forward.reset(rig.context);
+  backward.reset(rig.context);
+  const std::size_t n = rig.workload.graph.processCount();
+  std::vector<std::int64_t> first;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      first.push_back(forward.conflictBetween(a, b));
+    }
+  }
+  std::vector<std::int64_t> reversed;
+  for (std::size_t a = n; a-- > 0;) {
+    for (std::size_t b = n; b-- > 0;) {
+      reversed.push_back(backward.conflictBetween(a, b));
+    }
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      const std::int64_t score = first[a * n + b];
+      EXPECT_EQ(score, first[b * n + a]) << "asymmetric " << a << "," << b;
+      EXPECT_EQ(score, reversed[(n - 1 - a) * n + (n - 1 - b)])
+          << "population order leaked into " << a << "," << b;
+      // Re-query: the memoized value must be stable.
+      EXPECT_EQ(forward.conflictBetween(a, b), score);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace laps

@@ -1,0 +1,11 @@
+// Fixture: the ambient-random rule must fire on non-Rng randomness.
+#include <cstdlib>
+#include <random>
+
+namespace laps {
+inline int ambient() {
+  std::random_device device;              // flagged
+  std::mt19937_64 engine(device());       // flagged
+  return static_cast<int>(engine()) + rand();  // flagged
+}
+}  // namespace laps

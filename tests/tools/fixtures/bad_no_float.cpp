@@ -1,0 +1,9 @@
+// Fixture: the no-float rule must fire on floating-point declarations
+// in model code.
+namespace laps {
+inline long long scaleLatency(long long cycles) {
+  double factor = 1.5;  // flagged
+  return static_cast<long long>(static_cast<double>(cycles) * factor);
+}
+inline float halfRate(float rate) { return rate / 2; }  // flagged
+}  // namespace laps

@@ -1,0 +1,15 @@
+// Fixture: the pointer-keyed rule must fire on pointer-ordered state.
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace laps {
+struct Task;
+struct Registry {
+  std::set<Task*> live;                    // flagged
+  std::map<const Task*, int> priorities;   // flagged
+};
+inline std::uintptr_t ident(const Task* task) {
+  return reinterpret_cast<std::uintptr_t>(task);  // flagged
+}
+}  // namespace laps

@@ -1,0 +1,10 @@
+// Fixture: the raw-thread rule must fire on threading outside
+// util/parallel.
+#include <thread>
+
+namespace laps {
+inline void spawn() {
+  std::thread worker([] {});  // flagged
+  worker.join();
+}
+}  // namespace laps

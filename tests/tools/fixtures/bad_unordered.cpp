@@ -1,0 +1,11 @@
+// Fixture: the unordered-container rule must fire on hash containers.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace laps {
+struct Tracker {
+  std::unordered_map<std::uint64_t, std::int64_t> counts;  // flagged
+  std::unordered_set<std::uint64_t> seen;                  // flagged
+};
+}  // namespace laps

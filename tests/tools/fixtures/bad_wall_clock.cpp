@@ -1,0 +1,10 @@
+// Fixture: the wall-clock rule must fire on time sources.
+#include <chrono>
+#include <cstdint>
+
+namespace laps {
+inline std::int64_t seedFromClock() {
+  const auto now = std::chrono::steady_clock::now();  // flagged
+  return now.time_since_epoch().count();
+}
+}  // namespace laps

@@ -1,0 +1,21 @@
+// Fixture: must produce zero findings. Exercises the comment and
+// string stripper: every banned token below appears only in comments,
+// string literals or raw strings, where the linter must not look.
+//
+// double float std::unordered_map std::thread rand() std::chrono
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace laps {
+/* block comment mentioning double and std::random_device */
+inline std::int64_t tally(const std::map<std::int64_t, std::int64_t>& m) {
+  const std::string note = "double trouble with std::unordered_set";
+  const std::string raw = R"(std::thread inside a raw "string" literal)";
+  const char quote = '"';  // a lone quote character must not desync
+  std::int64_t sum = static_cast<std::int64_t>(note.size() + raw.size());
+  if (quote == '"') ++sum;
+  for (const auto& [k, v] : m) sum += k + v;
+  return sum;  // runtime / real time / each time: prose, not time()
+}
+}  // namespace laps

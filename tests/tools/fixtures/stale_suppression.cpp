@@ -1,0 +1,8 @@
+// Fixture: a LINT-ALLOW with no matching finding nearby must be
+// reported as stale-suppression.
+#include <cstdint>
+
+namespace laps {
+// LINT-ALLOW(no-float): claims a hazard that no longer exists here
+inline std::int64_t addOne(std::int64_t v) { return v + 1; }
+}  // namespace laps

@@ -1,0 +1,13 @@
+// Fixture: properly justified suppressions — must produce zero
+// findings. Exercises both placements (same line, preceding line).
+#include <cstdint>
+#include <unordered_set>
+
+namespace laps {
+struct Probe {
+  // LINT-ALLOW(unordered-container): contains-only membership probe, never iterated
+  std::unordered_set<std::uint64_t> seen;
+
+  double rate = 0.0;  // LINT-ALLOW(no-float): presentation-only readout field
+};
+}  // namespace laps

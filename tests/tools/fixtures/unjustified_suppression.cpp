@@ -1,0 +1,5 @@
+// Fixture: a LINT-ALLOW without a real justification must be reported
+// as bad-suppression (and must NOT suppress the finding).
+namespace laps {
+inline double half(double v) { return v / 2; }  // LINT-ALLOW(no-float): ok
+}  // namespace laps

@@ -1,0 +1,97 @@
+// Tests of the audit-mode invariant layer (docs/ARCHITECTURE.md §11).
+//
+// Two obligations, both independent of the build configuration:
+//  * LAPS_AUDIT macro semantics — the wrapped statement executes exactly
+//    when the build was configured with -DLAPSCHED_AUDIT=ON;
+//  * every generic checker is live — it accepts the invariant-holding
+//    case and throws laps::AuditError on the violated one. Checkers are
+//    compiled in every configuration precisely so this suite can prove
+//    them in every configuration.
+
+#include "util/audit.h"
+
+#include <gtest/gtest.h>
+
+namespace laps {
+namespace {
+
+TEST(AuditMacro, ExecutesIffAuditBuild) {
+  bool ran = false;
+  LAPS_AUDIT(ran = true);
+  EXPECT_EQ(ran, audit::enabled());
+}
+
+TEST(AuditMacro, DisabledStatementStillTypeChecks) {
+  // Multiple statements and a checker call all compile inside the
+  // macro; with audit off none of it runs, so the throwing checker
+  // below is safe to wrap unconditionally.
+  int counter = 0;
+  LAPS_AUDIT(++counter; audit::require(counter == 1, "macro sequencing"));
+  EXPECT_EQ(counter, audit::enabled() ? 1 : 0);
+}
+
+TEST(AuditRequire, ThrowsAuditErrorWithPrefix) {
+  EXPECT_NO_THROW(audit::require(true, "fine"));
+  try {
+    audit::require(false, "invariant text");
+    FAIL() << "require(false) must throw";
+  } catch (const AuditError& e) {
+    EXPECT_NE(std::string(e.what()).find("audit: "), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("invariant text"), std::string::npos);
+  }
+}
+
+TEST(AuditRequire, AuditErrorIsAnError) {
+  // A top-level harness catching laps::Error must also stop on a broken
+  // contract.
+  EXPECT_THROW(audit::require(false, "x"), Error);
+}
+
+TEST(AuditCycleMonotone, AcceptsForwardAndEqualTime) {
+  EXPECT_NO_THROW(audit::cycleMonotone(0, 0));
+  EXPECT_NO_THROW(audit::cycleMonotone(10, 10));
+  EXPECT_NO_THROW(audit::cycleMonotone(10, 11));
+}
+
+TEST(AuditCycleMonotone, RejectsBackwardTime) {
+  EXPECT_THROW(audit::cycleMonotone(11, 10), AuditError);
+}
+
+TEST(AuditArrivalBeforeCore, AcceptsCoreEventBeforeNextArrival) {
+  EXPECT_NO_THROW(audit::arrivalBeforeCore(5, 6));
+}
+
+TEST(AuditArrivalBeforeCore, RejectsDueArrivalLeftPending) {
+  // An arrival due at the core event's own cycle must already have been
+  // drained (arrivals first at equal cycles).
+  EXPECT_THROW(audit::arrivalBeforeCore(5, 5), AuditError);
+  EXPECT_THROW(audit::arrivalBeforeCore(5, 4), AuditError);
+}
+
+TEST(AuditAdmissionIdentity, AcceptsExactPartition) {
+  EXPECT_NO_THROW(audit::admissionIdentity(0, 0, 0));
+  EXPECT_NO_THROW(audit::admissionIdentity(7, 3, 10));
+}
+
+TEST(AuditAdmissionIdentity, RejectsLostProcesses) {
+  EXPECT_THROW(audit::admissionIdentity(6, 3, 10), AuditError);
+  EXPECT_THROW(audit::admissionIdentity(8, 3, 10), AuditError);
+}
+
+TEST(AuditPercentileOrdering, AcceptsOrderedPercentiles) {
+  EXPECT_NO_THROW(audit::percentileOrdering(0, 0, 0, 0));
+  EXPECT_NO_THROW(audit::percentileOrdering(10, 10, 10, 1));
+  EXPECT_NO_THROW(audit::percentileOrdering(10, 20, 30, 5));
+}
+
+TEST(AuditPercentileOrdering, RejectsInvertedPercentiles) {
+  EXPECT_THROW(audit::percentileOrdering(20, 10, 30, 5), AuditError);
+  EXPECT_THROW(audit::percentileOrdering(10, 30, 20, 5), AuditError);
+}
+
+TEST(AuditPercentileOrdering, RejectsNonZeroPercentilesWithoutSamples) {
+  EXPECT_THROW(audit::percentileOrdering(1, 1, 1, 0), AuditError);
+}
+
+}  // namespace
+}  // namespace laps
