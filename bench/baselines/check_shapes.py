@@ -56,6 +56,12 @@ the baselines after an intentional behavior change:
     build/bench_tables --csv > bench/baselines/tables.csv
     build/bench_open_workload --csv > bench/baselines/open_workload.csv
     build/bench_saturation --csv > bench/baselines/saturation.csv
+    build/bench_policy_overhead --csv > bench/baselines/policy_overhead.csv
+
+The policy_overhead baseline is compared on its deterministic columns
+only (--columns t,scheduler,cores,window,events,decisions,checksum);
+the timing columns are machine-dependent and gated by the relative
+--decision-throughput shape instead.
 """
 
 import argparse
@@ -256,6 +262,52 @@ def check_saturation_shapes(header, rows):
     return errors
 
 
+def check_decision_throughput(header, rows, min_speedup):
+    """bench_policy_overhead shapes: the indexed OLS implementation must
+    make the *same* decisions as the legacy one (equal checksum and
+    decision count at every |T|) and must make them at least
+    --min-speedup times faster at the largest |T| (decisions/sec)."""
+    needed = {"t", "scheduler", "decisions", "checksum", "decisions_per_sec"}
+    missing = needed - set(header)
+    if missing:
+        return [
+            f"--decision-throughput: input lacks columns {sorted(missing)}"
+        ]
+    errors = []
+    by_t = {}
+    for row in rows:
+        by_t.setdefault(int(row["t"]), {})[row["scheduler"]] = row
+    for t in sorted(by_t):
+        point = by_t[t]
+        if "OLS-old" not in point or "OLS-idx" not in point:
+            errors.append(f"t={t}: missing an OLS-old or OLS-idx row")
+            continue
+        old, idx = point["OLS-old"], point["OLS-idx"]
+        if old["checksum"] != idx["checksum"]:
+            errors.append(
+                f"t={t}: OLS-idx dispatch checksum ({idx['checksum']}) "
+                f"differs from OLS-old ({old['checksum']}) — the indexed "
+                f"planner changed a decision"
+            )
+        if old["decisions"] != idx["decisions"]:
+            errors.append(
+                f"t={t}: OLS-idx decision count ({idx['decisions']}) "
+                f"differs from OLS-old ({old['decisions']})"
+            )
+    if by_t:
+        t_max = max(by_t)
+        point = by_t[t_max]
+        if "OLS-old" in point and "OLS-idx" in point:
+            old_dps = int(point["OLS-old"]["decisions_per_sec"])
+            idx_dps = int(point["OLS-idx"]["decisions_per_sec"])
+            if old_dps <= 0 or idx_dps < min_speedup * old_dps:
+                errors.append(
+                    f"t={t_max}: OLS-idx decisions/sec ({idx_dps}) is not "
+                    f">= {min_speedup}x OLS-old ({old_dps})"
+                )
+    return errors
+
+
 def check_baseline(header, rows, baseline_path, columns):
     errors = []
     base_header, base_rows = read_rows(baseline_path)
@@ -355,6 +407,20 @@ def main():
         help="check the bench_saturation knee ordering and "
         "admission-control shapes",
     )
+    parser.add_argument(
+        "--decision-throughput",
+        action="store_true",
+        help="check the bench_policy_overhead shapes: OLS-idx decision-"
+        "identical to OLS-old, and faster by --min-speedup at the "
+        "largest |T|",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="decisions/sec factor --decision-throughput requires of "
+        "OLS-idx over OLS-old at the largest |T| (default 5.0)",
+    )
     args = parser.parse_args()
 
     header, rows = read_rows(args.csv)
@@ -377,6 +443,9 @@ def main():
     if args.saturation_shapes:
         errors += check_saturation_shapes(header, rows)
         checks.append("saturation shapes hold")
+    if args.decision_throughput:
+        errors += check_decision_throughput(header, rows, args.min_speedup)
+        checks.append("decision throughput holds")
     if args.baseline:
         columns = args.columns.split(",") if args.columns else None
         errors += check_baseline(header, rows, args.baseline, columns)

@@ -11,9 +11,15 @@ Output schema (one object per benchmark, times in ns):
   name, iterations, real_time_ns, cpu_time_ns         from the t1 run
   t8_real_time_ns, t8_cpu_time_ns, t8_speedup         when --t8 covers it
   previous_cpu_time_ns, speedup_vs_previous           when --previous has it
+  vs_legacy_speedup                                   when a Legacy twin ran
 t8_speedup is wall-time based (t1 real / t8 real): google-benchmark's
 cpu_time counts only the driving thread, which mostly waits while the
 pool works, so a cpu-time ratio would overstate parallel scaling.
+vs_legacy_speedup pairs each benchmark with its pre-optimization twin
+(same stem + "Legacy", e.g. BM_LocalityPlanLegacy/12 vs
+BM_LocalityPlan/12) and records legacy_cpu / current_cpu on the current
+entry — a within-host ratio, so check_bench_regression.py gates it like
+t8_speedup.
 Context carries the google-benchmark host fields plus laps_threads notes.
 
 Usage:
@@ -74,6 +80,20 @@ def main():
             entry["speedup_vs_previous"] = round(
                 prev["cpu_time_ns"] / entry["cpu_time_ns"], 3)
         out.append(entry)
+
+    # Legacy-twin ratios: BM_FooLegacy/N measures the pre-optimization
+    # implementation on the same instance as BM_Foo/N; the within-host
+    # cpu-time ratio lands on the *current* entry, where the perf gate
+    # picks it up via the *_speedup suffix.
+    entries = {e["name"]: e for e in out}
+    for legacy_name, legacy in entries.items():
+        if "Legacy" not in legacy_name:
+            continue
+        current = entries.get(legacy_name.replace("Legacy", "", 1))
+        if current is None or current["cpu_time_ns"] <= 0:
+            continue
+        current["vs_legacy_speedup"] = round(
+            legacy["cpu_time_ns"] / current["cpu_time_ns"], 3)
 
     context = dict(t1.get("context", {}))
     context["laps_threads_baseline"] = 1

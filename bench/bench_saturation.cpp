@@ -58,7 +58,16 @@ AdmissionConfig admissionConfig(AdmissionKind kind) {
 }
 
 void sweep(bool csv) {
-  const Workload service = makeServiceWorkload();
+  // Service-scale request stream: the default 96-request workload kept
+  // every queue shallow, so admission and saturation effects barely
+  // registered. 2048 requests (~85 per key) holds the system at the
+  // knee long enough for the percentile separations to be structural
+  // rather than small-sample noise — and for the indexed OLS planner
+  // (PR 8) this is the |T| regime it exists for.
+  ServiceWorkloadParams serviceParams;
+  serviceParams.requestCount = 2048;
+  serviceParams.keyCount = 48;
+  const Workload service = makeServiceWorkload(serviceParams);
   const std::vector<SchedulerKind> kinds = openSchedulers();
   const std::vector<std::int64_t> arrivalMeans{8000, 2000, 1000, 500};
   const std::vector<AdmissionKind> admissions{

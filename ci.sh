@@ -91,6 +91,17 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "tier1" ]; then
       python3 ../bench/baselines/check_shapes.py bench_saturation.csv \
         --no-shapes --percentile-monotone --saturation-shapes \
         --baseline ../bench/baselines/saturation.csv
+      # Decision-throughput sweep: the checksum columns prove OLS-old and
+      # OLS-idx are decision-identical at every |T| (diffed against the
+      # baseline on the machine-independent columns), and the indexed
+      # planner must hold its >=5x decisions/sec margin at the largest
+      # |T| (--decision-throughput; timing columns are excluded from the
+      # baseline diff).
+      ./bench_policy_overhead --csv > bench_policy_overhead.csv
+      python3 ../bench/baselines/check_shapes.py bench_policy_overhead.csv \
+        --no-shapes --decision-throughput \
+        --baseline ../bench/baselines/policy_overhead.csv \
+        --columns t,scheduler,cores,window,events,decisions,checksum
     )
   else
     echo "ci.sh: python3 not found; skipping bench baseline checks" >&2
@@ -187,6 +198,16 @@ if [ "$MODE" = "bench" ] || [ "$MODE" = "bench-gate" ]; then
     --no-shapes --percentile-monotone --saturation-shapes \
     --baseline bench/baselines/saturation.csv
   echo "ci.sh: wrote build/bench_saturation.csv"
+  # Scheduling-decision throughput: human-readable table for the bench
+  # log plus the CSV identity/speedup checks of the tier-1 run.
+  cmake --build build -j --target bench_policy_overhead
+  ./build/bench_policy_overhead
+  ./build/bench_policy_overhead --csv > build/bench_policy_overhead.csv
+  python3 bench/baselines/check_shapes.py build/bench_policy_overhead.csv \
+    --no-shapes --decision-throughput \
+    --baseline bench/baselines/policy_overhead.csv \
+    --columns t,scheduler,cores,window,events,decisions,checksum
+  echo "ci.sh: wrote build/bench_policy_overhead.csv"
   if [ "$MODE" = "bench-gate" ]; then
     python3 bench/baselines/check_bench_regression.py \
       BENCH_micro.json build_bench_baseline.json

@@ -134,6 +134,11 @@ void SharingMatrix::set(std::size_t p, std::size_t q, std::int64_t value) {
   cells_[idx(p, q)] = value;
 }
 
+std::span<const std::int64_t> SharingMatrix::row(std::size_t p) const {
+  check(p < n_, "SharingMatrix::row: index out of range");
+  return {cells_.data() + p * n_, n_};
+}
+
 std::int64_t SharingMatrix::rowSum(std::size_t p,
                                    std::span<const std::size_t> candidates) const {
   check(p < n_, "SharingMatrix::rowSum: index out of range");
@@ -214,12 +219,25 @@ void activeSetAgreement(const SharingMatrix& matrix,
 
 }  // namespace audit
 
+namespace {
+
+// Built with += rather than "P" + to_string(): gcc 12's -Wrestrict
+// false-fires on operator+(const char*, string&&) at -O2 depending on
+// inlining context, and this TU builds -Werror.
+std::string processLabel(std::size_t p) {
+  std::string label = "P";
+  label += std::to_string(p);
+  return label;
+}
+
+}  // namespace
+
 Table SharingMatrix::toTable() const {
   std::vector<std::string> headers{""};
-  for (std::size_t q = 0; q < n_; ++q) headers.push_back("P" + std::to_string(q));
+  for (std::size_t q = 0; q < n_; ++q) headers.push_back(processLabel(q));
   Table t(std::move(headers));
   for (std::size_t p = 0; p < n_; ++p) {
-    t.row().cell("P" + std::to_string(p));
+    t.row().cell(processLabel(p));
     for (std::size_t q = 0; q < n_; ++q) {
       t.cell(cell(p, q));
     }

@@ -70,6 +70,12 @@ class SharingMatrix {
   [[nodiscard]] std::int64_t at(std::size_t p, std::size_t q) const;
   void set(std::size_t p, std::size_t q, std::int64_t value);
 
+  /// Whole-row view for index hot loops (sched/plan_index.h): bounds are
+  /// checked once here instead of per cell, so scoring |row| candidates
+  /// against process \p p costs |row| loads, not |row| checks. The span
+  /// is invalidated by any mutation of the matrix.
+  [[nodiscard]] std::span<const std::int64_t> row(std::size_t p) const;
+
   /// Sum over q != p of M[p][q] (how much p shares with everyone else);
   /// if \p candidates is non-empty, restricted to that set. Used by the
   /// Fig. 3 initial round ("remove the candidate with maximum sharing").

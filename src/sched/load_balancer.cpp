@@ -1,0 +1,80 @@
+#include "sched/load_balancer.h"
+
+#include "util/error.h"
+
+namespace laps {
+
+void LoadBalancerOptions::validate() const {
+  check(overloadPercent >= 100,
+        "LoadBalancerOptions: overloadPercent must be >= 100");
+  check(maxMovesPerEvent >= 1,
+        "LoadBalancerOptions: maxMovesPerEvent must be >= 1");
+}
+
+namespace {
+
+/// The sharing anchor of core \p c after the simulated \p queues state:
+/// its last queued process, else the process it last dispatched.
+std::optional<ProcessId> queueAnchor(
+    const std::vector<std::vector<ProcessId>>& queues,
+    std::span<const std::optional<ProcessId>> anchors, std::size_t c) {
+  if (!queues[c].empty()) return queues[c].back();
+  return anchors[c];
+}
+
+}  // namespace
+
+std::vector<BalanceMove> planBalanceMoves(
+    const std::vector<std::vector<ProcessId>>& queues,
+    const SharingMatrix& sharing,
+    std::span<const std::optional<ProcessId>> anchors,
+    const LoadBalancerOptions& options) {
+  options.validate();
+  const std::size_t cores = queues.size();
+  check(anchors.size() == cores,
+        "planBalanceMoves: anchor count does not match core count");
+  std::vector<BalanceMove> moves;
+  if (cores < 2) return moves;
+
+  // Simulated weights; the queues themselves are only mutated in the
+  // simulation copy below when a move is planned.
+  std::vector<std::vector<ProcessId>> sim = queues;
+  std::size_t total = 0;
+  for (const auto& q : sim) total += q.size();
+  const std::size_t mean = total / cores;
+
+  while (moves.size() < options.maxMovesPerEvent) {
+    // Most loaded core (smallest index on ties) that trips the trigger.
+    std::size_t src = 0;
+    for (std::size_t c = 1; c < cores; ++c) {
+      if (sim[c].size() > sim[src].size()) src = c;
+    }
+    const std::size_t weight = sim[src].size();
+    if (weight * 100 <= mean * options.overloadPercent) break;
+    if (weight < mean + 2) break;  // no target can sit two below
+
+    // Shed the tail entry onto the underloaded core sharing the most
+    // with it. Requiring the target at least two below the source makes
+    // each move strictly shrink the pair's squared-weight sum.
+    const ProcessId moved = sim[src].back();
+    std::optional<std::size_t> target;
+    std::int64_t bestSharing = -1;
+    for (std::size_t c = 0; c < cores; ++c) {
+      if (c == src || sim[c].size() + 1 >= weight) continue;
+      const std::optional<ProcessId> anchor = queueAnchor(sim, anchors, c);
+      const std::int64_t s = anchor ? sharing.at(*anchor, moved) : 0;
+      if (s > bestSharing) {
+        bestSharing = s;
+        target = c;
+      }
+    }
+    if (!target) break;
+
+    sim[src].pop_back();
+    sim[*target].push_back(moved);
+    moves.push_back(BalanceMove{moved, src, *target});
+  }
+  return moves;
+}
+
+}  // namespace laps

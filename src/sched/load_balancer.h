@@ -1,0 +1,77 @@
+#pragma once
+/// \file load_balancer.h
+/// \brief Locality-aware load shedding over per-core plan queues.
+///
+/// The OLS replanner keeps a per-core queue of pending work; under
+/// skewed arrivals (one hot core keeps winning the max-sharing patch
+/// argmax) a queue can grow far past its peers while other cores go
+/// hungry between rebuilds. The balancer sheds that skew the way the
+/// felis locality manager does: measure each core's outstanding-work
+/// weight, and when a core exceeds the mean by a configured factor,
+/// offload entries from its queue *tail* (the work farthest from
+/// dispatch — the head keeps its locality chain intact) onto the
+/// underloaded core that shares the most data with the moved process.
+///
+/// planBalanceMoves is a pure function of (queues, sharing, anchors,
+/// options): integer arithmetic, smallest-id tie-breaks, no clocks, no
+/// randomness — the same inputs always yield the same move list, at
+/// any thread count. Each move strictly shrinks the maximum queue gap
+/// (the target must sit at least two below the source), so the
+/// sum-of-squared-weights potential strictly decreases and the loop
+/// terminates without a round counter; maxMovesPerEvent merely bounds
+/// the work done on any single arrival/exit event.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "region/sharing.h"
+#include "taskgraph/process.h"
+
+namespace laps {
+
+/// Tunables of the plan-queue load balancer (off by default: enabling
+/// it changes dispatch, so every committed baseline runs without it).
+struct LoadBalancerOptions {
+  /// Master switch. Disabled, planBalanceMoves is never consulted.
+  bool enabled = false;
+
+  /// Overload trigger: core c sheds work only while
+  /// weight(c) * 100 > mean * overloadPercent (and weight(c) exceeds
+  /// the mean by at least 2, so a valid target exists). 150 = one and
+  /// a half times the mean queue length.
+  std::uint32_t overloadPercent = 150;
+
+  /// Upper bound on moves planned per arrival/exit event; keeps one
+  /// event from paying an O(queue) shed when a burst lands.
+  std::size_t maxMovesPerEvent = 4;
+
+  /// Throws laps::Error on out-of-range values (overloadPercent < 100
+  /// would shed below the mean and fight the locality argmax).
+  void validate() const;
+};
+
+/// One planned migration: \p process leaves core \p from's queue tail
+/// and appends to core \p to's queue.
+struct BalanceMove {
+  ProcessId process = 0;
+  std::size_t from = 0;
+  std::size_t to = 0;
+};
+
+/// Plans load-shedding moves over per-core pending queues (pure; see
+/// file comment). \p queues holds each core's pending processes in
+/// dispatch order; \p anchors holds the process each core last
+/// dispatched (the sharing anchor of an empty queue). Scores candidate
+/// targets by sharing(target's last queued — or anchor — process,
+/// moved process); an empty, anchorless core scores 0. Ties fall to
+/// the lowest core index. Returns the moves in planning order; the
+/// caller applies them to its own representation.
+[[nodiscard]] std::vector<BalanceMove> planBalanceMoves(
+    const std::vector<std::vector<ProcessId>>& queues,
+    const SharingMatrix& sharing,
+    std::span<const std::optional<ProcessId>> anchors,
+    const LoadBalancerOptions& options);
+
+}  // namespace laps

@@ -23,54 +23,171 @@ std::size_t LocalityPlan::processCount() const {
   return total;
 }
 
+namespace {
+
+/// Shared prelude of both planner implementations: validates inputs and
+/// expands the subset argument into a mask. The full-set case keeps
+/// every downstream loop byte-identical to the pre-subset algorithm.
+std::vector<bool> subsetMask(const ExtendedProcessGraph& graph,
+                             const SharingMatrix& sharing,
+                             std::size_t coreCount,
+                             std::span<const ProcessId> subset) {
+  check(coreCount >= 1, "buildLocalityPlan: need at least one core");
+  check(sharing.size() == graph.processCount(),
+        "buildLocalityPlan: sharing matrix size mismatch");
+  check(graph.isAcyclic(), "buildLocalityPlan: graph has a cycle");
+  std::vector<bool> inSubset(graph.processCount(), subset.empty());
+  for (const ProcessId p : subset) {
+    check(p < graph.processCount(),
+          "buildLocalityPlan: subset id out of range");
+    check(!inSubset[p], "buildLocalityPlan: duplicate subset id");
+    inSubset[p] = true;
+  }
+  return inSubset;
+}
+
+/// IN = independent processes (EPG roots) — for a subset, the members
+/// with no predecessor inside the subset. Ascending id order.
+std::vector<ProcessId> initialCandidates(const ExtendedProcessGraph& graph,
+                                         const std::vector<bool>& inSubset,
+                                         std::span<const ProcessId> subset) {
+  if (subset.empty()) return graph.roots();
+  std::vector<ProcessId> in;
+  for (ProcessId p = 0; p < graph.processCount(); ++p) {
+    if (!inSubset[p]) continue;
+    bool isRoot = true;
+    for (const ProcessId pred : graph.predecessors(p)) {
+      if (inSubset[pred]) {
+        isRoot = false;
+        break;
+      }
+    }
+    if (isRoot) in.push_back(p);
+  }
+  return in;
+}
+
+}  // namespace
+
 LocalityPlan buildLocalityPlan(const ExtendedProcessGraph& graph,
                                const SharingMatrix& sharing,
                                std::size_t coreCount,
                                const LocalityOptions& options,
                                std::span<const ProcessId> subset) {
-  check(coreCount >= 1, "buildLocalityPlan: need at least one core");
-  check(sharing.size() == graph.processCount(),
-        "buildLocalityPlan: sharing matrix size mismatch");
-  check(graph.isAcyclic(), "buildLocalityPlan: graph has a cycle");
+  const std::vector<bool> inSubset =
+      subsetMask(graph, sharing, coreCount, subset);
 
   const std::size_t n = graph.processCount();
   LocalityPlan plan;
   plan.perCore.resize(coreCount);
   if (n == 0) return plan;
 
-  // inSubset masks the processes to place; the full-set case keeps every
-  // loop below byte-identical to the pre-subset algorithm.
-  std::vector<bool> inSubset(n, subset.empty());
-  for (const ProcessId p : subset) {
-    check(p < n, "buildLocalityPlan: subset id out of range");
-    check(!inSubset[p], "buildLocalityPlan: duplicate subset id");
-    inSubset[p] = true;
-  }
+  std::vector<ProcessId> in = initialCandidates(graph, inSubset, subset);
 
-  // --- Initialization: IN = independent processes (EPG roots) — for a
-  // subset, the members with no predecessor inside the subset. ---
-  std::vector<ProcessId> in;
-  if (subset.empty()) {
-    in = graph.roots();
-  } else {
-    for (ProcessId p = 0; p < n; ++p) {
-      if (!inSubset[p]) continue;
-      bool isRoot = true;
-      for (const ProcessId pred : graph.predecessors(p)) {
-        if (inSubset[pred]) {
-          isRoot = false;
-          break;
+  // Trim IN down to the core count by repeatedly removing the candidate
+  // with the maximum total sharing with the other candidates (paper
+  // Fig. 3). The totals are computed once — O(|IN|^2) row loads — and
+  // patched after each removal by subtracting the removed candidate's
+  // contribution: integer sums, so each patched total equals the
+  // legacy from-scratch rescan exactly, and the worst-pick scan below
+  // replicates the legacy sentinel (worst stays 0 unless some total
+  // exceeds -1) and its smallest-index tie-break.
+  if (options.initialMinSharingRound) {
+    std::vector<std::int64_t> totals(in.size(), 0);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const std::span<const std::int64_t> row = sharing.row(in[i]);
+      std::int64_t total = 0;
+      for (std::size_t j = 0; j < in.size(); ++j) {
+        if (i != j) total += row[in[j]];
+      }
+      totals[i] = total;
+    }
+    while (in.size() > coreCount) {
+      std::size_t worst = 0;
+      std::int64_t worstSharing = -1;
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        if (totals[i] > worstSharing) {
+          worstSharing = totals[i];
+          worst = i;
         }
       }
-      if (isRoot) in.push_back(p);
+      const ProcessId removed = in[worst];
+      in.erase(in.begin() + static_cast<std::ptrdiff_t>(worst));
+      totals.erase(totals.begin() + static_cast<std::ptrdiff_t>(worst));
+      // at(in[i], removed), not the transpose: hand-set matrices may be
+      // asymmetric, and the legacy rescan reads row in[i].
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        totals[i] -= sharing.at(in[i], removed);
+      }
     }
+  } else {
+    // Ablation: keep the first X roots in id order.
+    while (in.size() > coreCount) in.pop_back();
   }
+
+  // Schedule the initial round (one process per core, id order).
+  for (std::size_t c = 0; c < in.size(); ++c) {
+    plan.perCore[c].push_back(in[c]);
+  }
+
+  // Remaining pool: every subset member not yet placed.
+  std::vector<bool> pending = inSubset;
+  for (const ProcessId p : in) pending[p] = false;
+
+  std::size_t remaining = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (pending[p]) ++remaining;
+  }
+
+  // --- Main loop on the indexed core: per round, each core pops the
+  // ready process with maximum sharing with its previously placed
+  // process (smallest id on ties — the heap comparator's order equals
+  // the legacy ascending strict-`>` scan). place() releases successors
+  // through the cached indegree counters.
+  PlanIndex index;
+  index.beginPlanner(graph, sharing, coreCount, pending);
+  while (remaining > 0) {
+    bool placedAny = false;
+    for (std::size_t c = 0; c < coreCount && remaining > 0; ++c) {
+      std::optional<ProcessId> previous;
+      if (!plan.perCore[c].empty()) previous = plan.perCore[c].back();
+
+      const std::optional<ProcessId> best = index.popBest(c, previous);
+      if (best) {
+        plan.perCore[c].push_back(*best);
+        index.place(*best);
+        --remaining;
+        placedAny = true;
+      }
+    }
+    // A full round with no placement would loop forever; in a DAG there
+    // is always a schedulable pending process, so this indicates a bug.
+    check(placedAny || remaining == 0,
+          "buildLocalityPlan: no schedulable process in a full round");
+  }
+  return plan;
+}
+
+LocalityPlan buildLocalityPlanLegacy(const ExtendedProcessGraph& graph,
+                                     const SharingMatrix& sharing,
+                                     std::size_t coreCount,
+                                     const LocalityOptions& options,
+                                     std::span<const ProcessId> subset) {
+  const std::vector<bool> inSubset =
+      subsetMask(graph, sharing, coreCount, subset);
+
+  const std::size_t n = graph.processCount();
+  LocalityPlan plan;
+  plan.perCore.resize(coreCount);
+  if (n == 0) return plan;
+
+  std::vector<ProcessId> in = initialCandidates(graph, inSubset, subset);
   std::vector<bool> inPlan(n, false);
 
   // Trim IN down to the core count by repeatedly removing the candidate
-  // with the maximum total sharing with the other candidates; removed
-  // candidates return to the pool (paper Fig. 3).
-  std::vector<ProcessId> deferred;
+  // with the maximum total sharing with the other candidates; the
+  // totals are rescanned from scratch every iteration — the O(|IN|^3)
+  // loop exactly as Fig. 3 writes it.
   if (options.initialMinSharingRound) {
     while (in.size() > coreCount) {
       std::size_t worst = 0;
@@ -85,15 +202,11 @@ LocalityPlan buildLocalityPlan(const ExtendedProcessGraph& graph,
           worst = i;
         }
       }
-      deferred.push_back(in[worst]);
       in.erase(in.begin() + static_cast<std::ptrdiff_t>(worst));
     }
   } else {
     // Ablation: keep the first X roots in id order.
-    while (in.size() > coreCount) {
-      deferred.push_back(in.back());
-      in.pop_back();
-    }
+    while (in.size() > coreCount) in.pop_back();
   }
 
   // Schedule the initial round (one process per core, id order).
@@ -182,21 +295,15 @@ LocalityScheduler::LocalityScheduler(LocalityOptions options)
 void LocalityScheduler::reset(const SchedContext& context) {
   check(context.graph != nullptr && context.sharing != nullptr,
         "LocalityScheduler: context incomplete");
-  sharing_ = context.sharing;
   plan_ = buildLocalityPlan(*context.graph, *context.sharing,
                             context.coreCount, options_);
   cursor_.assign(context.coreCount, 0);
-  ready_.assign(context.graph->processCount(), false);
-  dispatched_.assign(context.graph->processCount(), false);
-  readyCount_ = 0;
+  index_.beginDispatch(*context.sharing, context.graph->processCount(),
+                       context.coreCount);
 }
 
 void LocalityScheduler::onReady(ProcessId process) {
-  check(process < ready_.size(), "LocalityScheduler: unknown process");
-  if (!ready_[process]) {
-    ready_[process] = true;
-    ++readyCount_;
-  }
+  index_.markReady(process);
 }
 
 std::optional<ProcessId> LocalityScheduler::pickNext(
@@ -208,33 +315,26 @@ std::optional<ProcessId> LocalityScheduler::pickNext(
     std::size_t& pos = cursor_[core];
     if (pos >= order.size()) return std::nullopt;  // plan exhausted
     const ProcessId next = order[pos];
-    if (!ready_[next]) return std::nullopt;  // stall until deps finish
+    if (!index_.isReady(next)) return std::nullopt;  // stall until deps finish
     ++pos;
     return next;
   }
 
-  if (readyCount_ == 0) return std::nullopt;
-
-  const auto take = [&](ProcessId p) {
-    ready_[p] = false;
-    dispatched_[p] = true;
-    --readyCount_;
-    return p;
-  };
+  if (index_.readyCount() == 0) return std::nullopt;
 
   // First pick on this core: honor the initial min-sharing round of
   // Fig. 3 (the planned first process for this core).
   if (!previous && !plan_.perCore[core].empty()) {
     const ProcessId planned = plan_.perCore[core].front();
-    if (ready_[planned]) return take(planned);
+    if (index_.isReady(planned)) {
+      index_.markUnready(planned);
+      return planned;
+    }
   }
 
-  // Online Fig. 3 rule (pickMaxSharing): maximize sharing with the
-  // process this core ran last.
-  const std::optional<ProcessId> best =
-      pickMaxSharing(ready_, *sharing_, previous);
-  if (!best) return std::nullopt;
-  return take(*best);
+  // Online Fig. 3 rule: maximize sharing with the process this core ran
+  // last, over the ready set — popBest is the indexed pickMaxSharing.
+  return index_.popBest(core, previous);
 }
 
 }  // namespace laps

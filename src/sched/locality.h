@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "sched/plan_index.h"
 #include "sched/scheduler.h"
 
 namespace laps {
@@ -62,11 +63,29 @@ struct LocalityOptions {
 /// (they completed, were retired, or — by the cohort arrival model —
 /// belong to another task), and only subset members are placed. An
 /// empty subset means every process, exactly as before.
+///
+/// Runs on the indexed planner core (sched/plan_index.h): incremental
+/// row-sum totals for the initial trim (O(|IN|²) instead of O(|IN|³)),
+/// cached indegree counters instead of the per-candidate predecessor
+/// walk, and per-core lazy max-heaps for the greedy argmax. The plan is
+/// identical — element for element — to buildLocalityPlanLegacy below;
+/// the differential tests in tests/sched/plan_index_test.cpp and the
+/// equality argument in docs/ARCHITECTURE.md §12 pin it.
 [[nodiscard]] LocalityPlan buildLocalityPlan(const ExtendedProcessGraph& graph,
                                              const SharingMatrix& sharing,
                                              std::size_t coreCount,
                                              const LocalityOptions& options = {},
                                              std::span<const ProcessId> subset = {});
+
+/// The pre-index reference implementation: the Fig. 3 loops exactly as
+/// written — O(|IN|³) trim, full candidate rescans with a predecessor
+/// walk per candidate. Kept as the differential-test oracle and the
+/// baseline arm of bench_policy_overhead / BM_LocalityPlanLegacy; new
+/// code should call buildLocalityPlan.
+[[nodiscard]] LocalityPlan buildLocalityPlanLegacy(
+    const ExtendedProcessGraph& graph, const SharingMatrix& sharing,
+    std::size_t coreCount, const LocalityOptions& options = {},
+    std::span<const ProcessId> subset = {});
 
 /// The online Fig. 3 dispatch rule shared by LS and the open-workload
 /// replanner (OLS's steal fallback): among ready processes
@@ -100,12 +119,9 @@ class LocalityScheduler final : public SchedulerPolicy {
 
  private:
   LocalityOptions options_;
-  const SharingMatrix* sharing_ = nullptr;
   LocalityPlan plan_;
   std::vector<std::size_t> cursor_;  // per-core position (static mode)
-  std::vector<bool> ready_;
-  std::vector<bool> dispatched_;
-  std::size_t readyCount_ = 0;
+  PlanIndex index_;  // dispatch-mode ready index (sched/plan_index.h)
 };
 
 }  // namespace laps

@@ -9,6 +9,7 @@ namespace laps {
 void OnlineLocalityOptions::validate() const {
   check(rebuildThreshold >= 0,
         "OnlineLocalityOptions: rebuildThreshold must be >= 0");
+  balancer.validate();
 }
 
 OnlineLocalityScheduler::OnlineLocalityScheduler(OnlineLocalityOptions options)
@@ -34,18 +35,34 @@ void OnlineLocalityScheduler::reset(const SchedContext& context) {
   // be deferred to first dispatch without breaking that contract.
   LocalityOptions lsOptions;
   lsOptions.initialMinSharingRound = options_.initialMinSharingRound;
-  plan_ = buildLocalityPlan(*graph_, *sharing_, coreCount_, lsOptions);
 
   open_ = false;
   arrived_.assign(n, false);
   exited_.assign(n, false);
-  ready_.assign(n, false);
   dispatched_.assign(n, false);
   anchor_.assign(coreCount_, std::nullopt);
+  seqCounter_ = 0;
+  planned_.assign(n, std::nullopt);
+  // Stale queues from a previous reset must not leak into adoptPlan's
+  // slot clearing (their entries may reference a different universe).
+  queues_.clear();
+  if (indexed()) {
+    adoptPlan(buildLocalityPlan(*graph_, *sharing_, coreCount_, lsOptions));
+    index_.beginDispatch(*sharing_, n, coreCount_);
+    ready_.clear();
+  } else {
+    plan_ = buildLocalityPlanLegacy(*graph_, *sharing_, coreCount_,
+                                    lsOptions);
+    planDirty_ = false;
+    queues_.clear();
+    deadCount_.clear();
+    ready_.assign(n, false);
+  }
   readyCount_ = 0;
   patchesSinceRebuild_ = 0;
   rebuilds_ = 0;
   events_ = 0;
+  stats_ = PolicyStats{};
 }
 
 bool OnlineLocalityScheduler::live(ProcessId process) const {
@@ -58,6 +75,84 @@ bool OnlineLocalityScheduler::consumePatchBudget() {
   return false;
 }
 
+// --- Tombstone-queue primitives (indexed representation) -------------
+
+bool OnlineLocalityScheduler::aliveEntry(std::size_t core,
+                                         const PlanEntry& entry) const {
+  const std::optional<PlanSlot>& slot = planned_[entry.process];
+  return slot && slot->core == core && slot->seq == entry.seq;
+}
+
+void OnlineLocalityScheduler::pushPlanned(std::size_t core,
+                                          ProcessId process) {
+  check(!planned_[process],
+        "OnlineLocalityScheduler: process planned twice");
+  ++seqCounter_;
+  queues_[core].push_back(PlanEntry{process, seqCounter_});
+  planned_[process] = PlanSlot{core, seqCounter_};
+  planDirty_ = true;
+}
+
+void OnlineLocalityScheduler::unplan(ProcessId process) {
+  if (!planned_[process]) return;
+  const std::size_t core = planned_[process]->core;
+  planned_[process] = std::nullopt;
+  ++deadCount_[core];
+  maybeCompact(core);
+  planDirty_ = true;
+}
+
+void OnlineLocalityScheduler::dropTrailingDead(std::size_t core) {
+  auto& queue = queues_[core];
+  while (!queue.empty() && !aliveEntry(core, queue.back())) {
+    queue.pop_back();
+    if (deadCount_[core] > 0) --deadCount_[core];
+  }
+}
+
+void OnlineLocalityScheduler::maybeCompact(std::size_t core) {
+  auto& queue = queues_[core];
+  if (queue.size() <= 16 || 2 * deadCount_[core] <= queue.size()) return;
+  std::erase_if(queue, [&](const PlanEntry& entry) {
+    return !aliveEntry(core, entry);
+  });
+  deadCount_[core] = 0;
+}
+
+void OnlineLocalityScheduler::adoptPlan(LocalityPlan&& fresh) {
+  plan_ = std::move(fresh);
+  planDirty_ = false;
+  // Clear only the slots the outgoing queues still hold — O(entries)
+  // per rebuild, not O(n) (at |T| in the thousands with a small live
+  // window, the O(n) fill would dominate the rebuild).
+  for (std::size_t c = 0; c < queues_.size(); ++c) {
+    for (const PlanEntry& entry : queues_[c]) {
+      if (aliveEntry(c, entry)) planned_[entry.process] = std::nullopt;
+    }
+  }
+  queues_.assign(coreCount_, {});
+  deadCount_.assign(coreCount_, 0);
+  for (std::size_t c = 0; c < plan_.perCore.size(); ++c) {
+    for (const ProcessId p : plan_.perCore[c]) pushPlanned(c, p);
+  }
+  planDirty_ = false;  // plan_ is exactly the adopted queues
+}
+
+const LocalityPlan& OnlineLocalityScheduler::plan() const {
+  if (indexed() && planDirty_) {
+    plan_.perCore.assign(coreCount_, {});
+    for (std::size_t c = 0; c < coreCount_; ++c) {
+      for (const PlanEntry& entry : queues_[c]) {
+        if (aliveEntry(c, entry)) plan_.perCore[c].push_back(entry.process);
+      }
+    }
+    planDirty_ = false;
+  }
+  return plan_;
+}
+
+// --- Replanning ------------------------------------------------------
+
 void OnlineLocalityScheduler::rebuild() {
   // The plan covers pending work only: dispatched (running) processes
   // keep their core and are excluded from the rebuild.
@@ -65,16 +160,24 @@ void OnlineLocalityScheduler::rebuild() {
   for (ProcessId p = 0; p < exited_.size(); ++p) {
     if (live(p) && !dispatched_[p]) liveSet.push_back(p);
   }
+  LocalityPlan fresh;
   if (liveSet.empty()) {
     // An empty subset span would mean "everything"; an empty live set
     // means an empty plan.
-    plan_ = LocalityPlan{};
-    plan_.perCore.resize(coreCount_);
+    fresh.perCore.resize(coreCount_);
   } else {
     LocalityOptions lsOptions;
     lsOptions.initialMinSharingRound = options_.initialMinSharingRound;
-    plan_ = buildLocalityPlan(*graph_, *sharing_, coreCount_, lsOptions,
-                              liveSet);
+    fresh = indexed()
+                ? buildLocalityPlan(*graph_, *sharing_, coreCount_,
+                                    lsOptions, liveSet)
+                : buildLocalityPlanLegacy(*graph_, *sharing_, coreCount_,
+                                          lsOptions, liveSet);
+  }
+  if (indexed()) {
+    adoptPlan(std::move(fresh));
+  } else {
+    plan_ = std::move(fresh);
   }
   patchesSinceRebuild_ = 0;
   ++rebuilds_;
@@ -87,6 +190,23 @@ void OnlineLocalityScheduler::patchArrival(ProcessId process) {
   // 0; ties fall to the lowest core index).
   std::size_t bestCore = 0;
   std::int64_t bestSharing = -1;
+  if (indexed()) {
+    for (std::size_t c = 0; c < coreCount_; ++c) {
+      dropTrailingDead(c);
+      std::int64_t s = 0;
+      if (!queues_[c].empty()) {
+        s = sharing_->at(queues_[c].back().process, process);
+      } else if (anchor_[c]) {
+        s = sharing_->at(*anchor_[c], process);
+      }
+      if (s > bestSharing) {
+        bestSharing = s;
+        bestCore = c;
+      }
+    }
+    pushPlanned(bestCore, process);
+    return;
+  }
   for (std::size_t c = 0; c < plan_.perCore.size(); ++c) {
     std::int64_t s = 0;
     if (!plan_.perCore[c].empty()) {
@@ -103,6 +223,10 @@ void OnlineLocalityScheduler::patchArrival(ProcessId process) {
 }
 
 void OnlineLocalityScheduler::patchExit(ProcessId process) {
+  if (indexed()) {
+    unplan(process);
+    return;
+  }
   for (auto& order : plan_.perCore) {
     const auto it = std::find(order.begin(), order.end(), process);
     if (it != order.end()) {
@@ -112,6 +236,32 @@ void OnlineLocalityScheduler::patchExit(ProcessId process) {
   }
 }
 
+void OnlineLocalityScheduler::maybeBalance() {
+  if (!options_.balancer.enabled) return;
+  // planBalanceMoves simulates against a materialized snapshot; the
+  // apply loop below replays its pops and pushes in planning order, so
+  // each move's source tail is exactly the process the plan named.
+  const std::vector<std::vector<ProcessId>>& snapshot = plan().perCore;
+  const std::vector<BalanceMove> moves =
+      planBalanceMoves(snapshot, *sharing_, anchor_, options_.balancer);
+  for (const BalanceMove& move : moves) {
+    if (indexed()) {
+      unplan(move.process);
+      pushPlanned(move.to, move.process);
+    } else {
+      auto& source = plan_.perCore[move.from];
+      check(!source.empty() && source.back() == move.process,
+            "OnlineLocalityScheduler: balance move does not match the "
+            "source queue tail");
+      source.pop_back();
+      plan_.perCore[move.to].push_back(move.process);
+    }
+  }
+  stats_.offloads += moves.size();
+}
+
+// --- Engine events ---------------------------------------------------
+
 void OnlineLocalityScheduler::onArrival(ProcessId process) {
   check(process < exited_.size(), "OnlineLocalityScheduler: unknown process");
   if (!open_) {
@@ -119,41 +269,64 @@ void OnlineLocalityScheduler::onArrival(ProcessId process) {
     // plan assumed everybody was resident — drop it and plan over what
     // has actually arrived.
     open_ = true;
-    plan_ = LocalityPlan{};
-    plan_.perCore.resize(coreCount_);
+    LocalityPlan empty;
+    empty.perCore.resize(coreCount_);
+    if (indexed()) {
+      adoptPlan(std::move(empty));
+    } else {
+      plan_ = std::move(empty);
+    }
     patchesSinceRebuild_ = 0;
   }
   check(!arrived_[process],
         "OnlineLocalityScheduler: process arrived twice");
   arrived_[process] = true;
+  // The live sharing matrix gained this process's row and column just
+  // before this event; cached keys involving it must not survive.
+  if (indexed()) index_.invalidateProcess(process);
   ++events_;
   if (consumePatchBudget()) {
     rebuild();
   } else {
     patchArrival(process);
+    ++stats_.patches;
   }
+  maybeBalance();
 }
 
 void OnlineLocalityScheduler::onExit(ProcessId process) {
   check(process < exited_.size(), "OnlineLocalityScheduler: unknown process");
   if (exited_[process]) return;
   exited_[process] = true;
-  if (ready_[process]) {  // defensive: an exit may race a stale readiness
+  if (indexed()) {
+    // Defensive: an exit may race a stale readiness.
+    if (index_.isReady(process)) index_.markUnready(process);
+  } else if (ready_[process]) {
     ready_[process] = false;
     --readyCount_;
   }
   if (!open_) return;  // closed workload: completions never replan
+  // The live sharing matrix zeroes this process's row and column right
+  // after this event; heaps anchored on it (it is typically some core's
+  // previous pick) must rebuild before the next steal.
+  if (indexed()) index_.invalidateProcess(process);
   ++events_;
   if (consumePatchBudget()) {
     rebuild();
   } else {
     patchExit(process);
+    ++stats_.patches;
   }
+  maybeBalance();
 }
 
 void OnlineLocalityScheduler::onReady(ProcessId process) {
-  check(process < ready_.size(), "OnlineLocalityScheduler: unknown process");
+  check(process < exited_.size(), "OnlineLocalityScheduler: unknown process");
   check(live(process), "OnlineLocalityScheduler: ready process not live");
+  if (indexed()) {
+    index_.markReady(process);
+    return;
+  }
   if (!ready_[process]) {
     ready_[process] = true;
     ++readyCount_;
@@ -161,7 +334,7 @@ void OnlineLocalityScheduler::onReady(ProcessId process) {
 }
 
 void OnlineLocalityScheduler::onPreempt(ProcessId process) {
-  check(process < ready_.size(), "OnlineLocalityScheduler: unknown process");
+  check(process < exited_.size(), "OnlineLocalityScheduler: unknown process");
   // A suspended process is pending again: plan it back onto a core so
   // plan-guided dispatch (not just the steal fallback) can resume it.
   if (dispatched_[process]) {
@@ -174,6 +347,42 @@ void OnlineLocalityScheduler::onPreempt(ProcessId process) {
 std::optional<ProcessId> OnlineLocalityScheduler::pickNext(
     std::size_t core, std::optional<ProcessId> previous) {
   check(core < coreCount_, "OnlineLocalityScheduler: unknown core");
+
+  if (indexed()) {
+    if (index_.readyCount() == 0) return std::nullopt;
+
+    const auto take = [&](ProcessId p) {
+      dispatched_[p] = true;
+      anchor_[core] = p;
+      ++stats_.decisions;
+      return p;
+    };
+
+    // Plan-guided dispatch: the first *alive* entry in this core's
+    // queue whose process is ready (skipping tombstones and entries
+    // whose dependences are still pending — work conservation beats
+    // rigid plan order).
+    const auto& queue = queues_[core];
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (!aliveEntry(core, queue[i])) continue;
+      const ProcessId planned = queue[i].process;
+      if (!index_.isReady(planned)) continue;
+      unplan(planned);
+      index_.markUnready(planned);
+      return take(planned);
+    }
+
+    // Steal fallback: LS's online rule from the index's lazy heap
+    // (maximum sharing with the process this core ran last; an exited
+    // previous process has a zeroed row, so the rule degrades to
+    // smallest-id). The stolen process leaves whichever plan held it.
+    const std::optional<ProcessId> best = index_.popBest(core, previous);
+    if (!best) return std::nullopt;
+    unplan(*best);
+    ++stats_.steals;
+    return take(*best);
+  }
+
   if (readyCount_ == 0) return std::nullopt;
 
   const auto take = [&](ProcessId p) {
@@ -181,6 +390,7 @@ std::optional<ProcessId> OnlineLocalityScheduler::pickNext(
     dispatched_[p] = true;
     anchor_[core] = p;
     --readyCount_;
+    ++stats_.decisions;
     return p;
   };
 
@@ -206,7 +416,14 @@ std::optional<ProcessId> OnlineLocalityScheduler::pickNext(
   if (!best) return std::nullopt;
   // The stolen process leaves whichever plan held it.
   patchExit(*best);
+  ++stats_.steals;
   return take(*best);
+}
+
+PolicyStats OnlineLocalityScheduler::stats() const {
+  PolicyStats out = stats_;
+  out.rebuilds = rebuilds_;
+  return out;
 }
 
 }  // namespace laps

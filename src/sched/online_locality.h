@@ -10,7 +10,8 @@
 ///
 ///  * onArrival(p) appends p to the core whose most recently planned
 ///    process shares the most data with p — one O(cores) patch;
-///  * onExit(p) deletes p from its core's plan — one O(n) patch;
+///  * onExit(p) deletes p from its core's plan — O(1) amortized on the
+///    indexed representation, one O(n) scan on the legacy one;
 ///  * after more than rebuildThreshold patches accumulate, the plan is
 ///    rebuilt from scratch over the live set (buildLocalityPlan with a
 ///    subset), bounding how far the patched plan can drift from the
@@ -25,6 +26,25 @@
 /// Dispatched processes leave the plan — the plan always holds exactly
 /// the pending work.
 ///
+/// Two implementations sit behind OnlineLocalityOptions::indexedPlanner
+/// and make the same decisions event for event (the differential tests
+/// and the bench_policy_overhead checksum column pin it):
+///
+///  * indexed (default): rebuilds run on the PlanIndex planner core;
+///    per-core queues hold {process, seq} entries with a reverse map
+///    planned[p] = (core, seq) — an entry is alive iff the map still
+///    points at it, so exits and steals tombstone in O(1) and queues
+///    compact when more than half their entries are dead. The steal
+///    argmax comes from the index's per-core lazy max-heaps;
+///  * legacy: the pre-index loops exactly as first written —
+///    buildLocalityPlanLegacy rebuilds, std::find exits, linear-scan
+///    steals. Kept as the differential oracle and the honest baseline
+///    arm of bench_policy_overhead.
+///
+/// An optional locality-aware load balancer (load_balancer.h, off by
+/// default) sheds queue tails from overloaded cores to the best-sharing
+/// underloaded core after each absorbed event, in either mode.
+///
 /// On a closed workload no arrival event ever fires, so the reset()-
 /// time plan is byte-identical to buildLocalityPlan — i.e. to the
 /// static LS plan — at every threshold; the differential test pins
@@ -34,7 +54,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "sched/load_balancer.h"
 #include "sched/locality.h"
+#include "sched/plan_index.h"
 #include "sched/scheduler.h"
 
 namespace laps {
@@ -48,9 +70,19 @@ struct OnlineLocalityOptions {
   /// Apply the Fig. 3 initial min-sharing round in every (re)build.
   bool initialMinSharingRound = true;
 
-  /// Throws laps::Error on a negative rebuild threshold. The single
-  /// source of this constraint: the scheduler's constructor and
-  /// makeScheduler both enforce it.
+  /// Run on the PlanIndex planner core with the tombstone plan
+  /// representation (see file comment). False selects the legacy
+  /// loops — same decisions, pre-index costs; exists for differential
+  /// tests and the bench_policy_overhead baseline arm.
+  bool indexedPlanner = true;
+
+  /// Locality-aware load shedding over the per-core plan queues
+  /// (disabled by default; enabling it changes dispatch).
+  LoadBalancerOptions balancer;
+
+  /// Throws laps::Error on a negative rebuild threshold or invalid
+  /// balancer tunables. The single source of these constraints: the
+  /// scheduler's constructor and makeScheduler both enforce it.
   void validate() const;
 };
 
@@ -71,8 +103,10 @@ class OnlineLocalityScheduler final : public SchedulerPolicy {
 
   /// The current (patched or rebuilt) plan — the pending, undispatched
   /// work per core. Right after reset() on a closed workload this is
-  /// the full static LS plan.
-  [[nodiscard]] const LocalityPlan& plan() const { return plan_; }
+  /// the full static LS plan. On the indexed representation this
+  /// materializes the live entries of the tombstone queues (cached
+  /// until the next plan mutation).
+  [[nodiscard]] const LocalityPlan& plan() const;
 
   /// Full rebuilds performed since reset().
   [[nodiscard]] std::size_t rebuildCount() const { return rebuilds_; }
@@ -80,7 +114,25 @@ class OnlineLocalityScheduler final : public SchedulerPolicy {
   /// Arrival/exit events absorbed since reset() (patched or not).
   [[nodiscard]] std::size_t eventCount() const { return events_; }
 
+  /// Decision-work counters (PolicyStats in scheduler.h).
+  [[nodiscard]] PolicyStats stats() const override;
+
  private:
+  /// One tombstone-queue entry (indexed representation). Alive iff
+  /// planned_[process] still records this (core, seq) pair.
+  struct PlanEntry {
+    ProcessId process = 0;
+    std::uint64_t seq = 0;
+  };
+
+  /// Where a process is currently planned (indexed representation).
+  struct PlanSlot {
+    std::size_t core = 0;
+    std::uint64_t seq = 0;
+  };
+
+  [[nodiscard]] bool indexed() const { return options_.indexedPlanner; }
+
   /// True when \p process is in the system and unfinished.
   [[nodiscard]] bool live(ProcessId process) const;
 
@@ -98,25 +150,62 @@ class OnlineLocalityScheduler final : public SchedulerPolicy {
   /// caller should rebuild instead of patching.
   [[nodiscard]] bool consumePatchBudget();
 
+  /// Applies the load balancer after an absorbed event (no-op unless
+  /// options_.balancer.enabled).
+  void maybeBalance();
+
+  /// \name Tombstone-queue primitives (indexed representation)
+  /// @{
+  /// Adopts a freshly built plan as the queue state.
+  void adoptPlan(LocalityPlan&& fresh);
+  /// Appends \p process to core \p core's queue (must be unplanned).
+  void pushPlanned(std::size_t core, ProcessId process);
+  /// Kills \p process's queue entry, wherever it is. Idempotent.
+  void unplan(ProcessId process);
+  [[nodiscard]] bool aliveEntry(std::size_t core, const PlanEntry& entry) const;
+  /// Pops dead tail entries so back() is alive or the queue is empty.
+  void dropTrailingDead(std::size_t core);
+  /// Erases dead entries once they outnumber the live ones.
+  void maybeCompact(std::size_t core);
+  /// @}
+
   OnlineLocalityOptions options_;
   const ExtendedProcessGraph* graph_ = nullptr;
   const SharingMatrix* sharing_ = nullptr;
   std::size_t coreCount_ = 0;
-  LocalityPlan plan_;
+  /// Legacy mode: the live plan representation. Indexed mode: the
+  /// plan() materialization cache, stale while planDirty_.
+  mutable LocalityPlan plan_;
+  mutable bool planDirty_ = false;
   /// False until the first onArrival: a closed workload never opens, so
   /// the reset()-time full plan stands (it equals the static LS plan).
   bool open_ = false;
   std::vector<bool> arrived_;  // meaningful once open_
   std::vector<bool> exited_;
-  std::vector<bool> ready_;
   std::vector<bool> dispatched_;  // picked and not re-readied
   /// Last process dispatched on each core — the sharing anchor for
   /// arrival patches when a core's plan has run dry.
   std::vector<std::optional<ProcessId>> anchor_;
+
+  /// \name Legacy dispatch state (indexedPlanner == false)
+  /// @{
+  std::vector<bool> ready_;
   std::size_t readyCount_ = 0;
+  /// @}
+
+  /// \name Indexed dispatch state
+  /// @{
+  PlanIndex index_;
+  std::vector<std::vector<PlanEntry>> queues_;
+  std::vector<std::size_t> deadCount_;  // dead entries per queue
+  std::vector<std::optional<PlanSlot>> planned_;
+  std::uint64_t seqCounter_ = 0;
+  /// @}
+
   std::int64_t patchesSinceRebuild_ = 0;
   std::size_t rebuilds_ = 0;
   std::size_t events_ = 0;
+  PolicyStats stats_;
 };
 
 }  // namespace laps

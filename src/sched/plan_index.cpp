@@ -1,0 +1,236 @@
+#include "sched/plan_index.h"
+
+#include <algorithm>
+
+#include "util/audit.h"
+#include "util/error.h"
+
+namespace laps {
+
+namespace {
+
+/// Max-heap order: key descending, id ascending on equal keys — the
+/// heap top is the order-independent form of the legacy ascending scan
+/// with strict `>` (smallest id among the maximal keys).
+struct HeapBelow {
+  bool operator()(const PlanIndex::HeapEntry& a,
+                  const PlanIndex::HeapEntry& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace
+
+void PlanIndex::reset(const SharingMatrix& sharing, std::size_t n,
+                      std::size_t coreCount) {
+  check(coreCount >= 1, "PlanIndex: need at least one core");
+  check(sharing.size() == n, "PlanIndex: sharing matrix size mismatch");
+  sharing_ = &sharing;
+  version_.assign(n, 0);
+  ready_.assign(n, false);
+  readyList_.clear();
+  readyCount_ = 0;
+  readyGen_ = 0;
+  heaps_.assign(coreCount, CoreHeap{});
+  popCount_ = 0;
+}
+
+void PlanIndex::beginPlanner(const ExtendedProcessGraph& graph,
+                             const SharingMatrix& sharing,
+                             std::size_t coreCount,
+                             const std::vector<bool>& pending) {
+  const std::size_t n = graph.processCount();
+  check(pending.size() == n,
+        "PlanIndex::beginPlanner: pending mask size mismatch");
+  reset(sharing, n, coreCount);
+  graph_ = &graph;
+  pending_ = pending;
+  indegree_.assign(n, 0);
+  // Cached indegrees: a pending process waits only on pending
+  // predecessors (a subset member not yet placed); predecessors outside
+  // the subset — or already placed — are satisfied. This is the
+  // schedulable() predicate of the legacy planner, evaluated once.
+  for (ProcessId q = 0; q < n; ++q) {
+    if (!pending_[q]) continue;
+    std::uint32_t degree = 0;
+    for (const ProcessId pred : graph.predecessors(q)) {
+      if (pending_[pred]) ++degree;
+    }
+    indegree_[q] = degree;
+    if (degree == 0) markReady(q);
+  }
+}
+
+void PlanIndex::beginDispatch(const SharingMatrix& sharing, std::size_t n,
+                              std::size_t coreCount) {
+  reset(sharing, n, coreCount);
+  graph_ = nullptr;
+  pending_.clear();
+  indegree_.clear();
+}
+
+void PlanIndex::markReady(ProcessId process) {
+  check(process < ready_.size(), "PlanIndex::markReady: unknown process");
+  if (ready_[process]) return;
+  ready_[process] = true;
+  ++readyCount_;
+  readyList_.push_back(process);
+}
+
+void PlanIndex::markUnready(ProcessId process) {
+  check(process < ready_.size(), "PlanIndex::markUnready: unknown process");
+  if (!ready_[process]) return;
+  ready_[process] = false;
+  --readyCount_;
+  ++version_[process];  // stale every heap entry for it
+  if (readyList_.size() > 2 * readyCount_ + 64) compactReadyList();
+}
+
+bool PlanIndex::isReady(ProcessId process) const {
+  check(process < ready_.size(), "PlanIndex::isReady: unknown process");
+  return ready_[process];
+}
+
+void PlanIndex::invalidateProcess(ProcessId process) {
+  check(process < version_.size(),
+        "PlanIndex::invalidateProcess: unknown process");
+  ++version_[process];
+  // Heaps anchored on it notice via the anchorVersion check and
+  // rebuild; its own entries (if it is ready) go stale, so re-announce
+  // it on the ready list with the new tag for the sync path to absorb.
+  if (ready_[process]) readyList_.push_back(process);
+}
+
+void PlanIndex::compactReadyList() {
+  std::erase_if(readyList_,
+                [&](ProcessId p) { return !ready_[p]; });
+  ++readyGen_;  // heaps built against the old list must fully rebuild
+}
+
+void PlanIndex::rebuildHeap(CoreHeap& heap, ProcessId anchor) {
+  const std::span<const std::int64_t> row = sharing_->row(anchor);
+  heap.entries.clear();
+  heap.entries.reserve(readyCount_);
+  for (const ProcessId q : readyList_) {
+    if (!ready_[q]) continue;
+    heap.entries.push_back(HeapEntry{row[q], q, version_[q]});
+  }
+  std::make_heap(heap.entries.begin(), heap.entries.end(), HeapBelow{});
+  heap.valid = true;
+  heap.anchor = anchor;
+  heap.anchorVersion = version_[anchor];
+  heap.readyGen = readyGen_;
+  heap.syncedTo = readyList_.size();
+}
+
+void PlanIndex::syncHeap(CoreHeap& heap, ProcessId anchor) {
+  if (heap.syncedTo == readyList_.size()) return;
+  const std::span<const std::int64_t> row = sharing_->row(anchor);
+  for (std::size_t i = heap.syncedTo; i < readyList_.size(); ++i) {
+    const ProcessId q = readyList_[i];
+    if (!ready_[q]) continue;
+    heap.entries.push_back(HeapEntry{row[q], q, version_[q]});
+    std::push_heap(heap.entries.begin(), heap.entries.end(), HeapBelow{});
+  }
+  heap.syncedTo = readyList_.size();
+}
+
+std::optional<PlanIndex::HeapEntry> PlanIndex::rescanBest(
+    std::optional<ProcessId> anchor) const {
+  std::optional<HeapEntry> best;
+  const std::int64_t* row = nullptr;
+  if (anchor) row = sharing_->row(*anchor).data();
+  for (const ProcessId q : readyList_) {
+    if (!ready_[q]) continue;
+    const std::int64_t s = row ? row[q] : 0;
+    if (!best || s > best->key || (s == best->key && q < best->id)) {
+      best = HeapEntry{s, q, version_[q]};
+    }
+  }
+  return best;
+}
+
+std::optional<PlanIndex::HeapEntry> PlanIndex::peekBest(
+    std::size_t core, std::optional<ProcessId> anchor) {
+  check(core < heaps_.size(), "PlanIndex: unknown core");
+  if (readyCount_ == 0) return std::nullopt;
+  if (!anchor) {
+    // Anchorless pick: every key is 0, so the argmax degenerates to the
+    // smallest ready id — a linear rescan, no heap to maintain.
+    return rescanBest(std::nullopt);
+  }
+  CoreHeap& heap = heaps_[core];
+  if (!heap.valid || heap.anchor != anchor ||
+      heap.readyGen != readyGen_ ||
+      heap.anchorVersion != version_[*anchor]) {
+    rebuildHeap(heap, *anchor);
+  } else {
+    syncHeap(heap, *anchor);
+  }
+  while (!heap.entries.empty()) {
+    const HeapEntry& top = heap.entries.front();
+    if (top.version == version_[top.id]) return top;
+    std::pop_heap(heap.entries.begin(), heap.entries.end(), HeapBelow{});
+    heap.entries.pop_back();  // stale: superseded or unreadied
+  }
+  return std::nullopt;
+}
+
+std::optional<ProcessId> PlanIndex::popBest(std::size_t core,
+                                            std::optional<ProcessId> anchor) {
+  const std::optional<HeapEntry> best = peekBest(core, anchor);
+  if (!best) return std::nullopt;
+  ++popCount_;
+  LAPS_AUDIT(if (popCount_ % kAuditSampleEvery == 1) {
+    auditTopAgreement(core, anchor);
+  });
+  const ProcessId id = best->id;
+  markUnready(id);
+  return id;
+}
+
+void PlanIndex::place(ProcessId process) {
+  check(graph_ != nullptr, "PlanIndex::place: not in planner mode");
+  check(process < pending_.size(), "PlanIndex::place: unknown process");
+  pending_[process] = false;
+  for (const ProcessId succ : graph_->successors(process)) {
+    if (!pending_[succ]) continue;
+    check(indegree_[succ] > 0, "PlanIndex::place: indegree accounting");
+    if (--indegree_[succ] == 0) markReady(succ);
+  }
+}
+
+void PlanIndex::auditTopAgreement(std::size_t core,
+                                  std::optional<ProcessId> anchor) {
+  const std::optional<HeapEntry> top = peekBest(core, anchor);
+  const std::optional<HeapEntry> oracle = rescanBest(anchor);
+  audit::require(top.has_value() == oracle.has_value(),
+                 "plan index: heap top exists iff the rescan finds a "
+                 "ready candidate");
+  if (!top) return;
+  audit::require(top->id == oracle->id,
+                 "plan index: heap top disagrees with the linear rescan "
+                 "argmax");
+  audit::require(top->key == oracle->key,
+                 "plan index: cached heap key drifted from the live "
+                 "sharing row");
+}
+
+void PlanIndex::corruptKeyForTest(std::size_t core, ProcessId process,
+                                  std::int64_t key) {
+  check(core < heaps_.size(), "PlanIndex::corruptKeyForTest: unknown core");
+  CoreHeap& heap = heaps_[core];
+  check(heap.valid, "PlanIndex::corruptKeyForTest: heap not built");
+  bool found = false;
+  for (HeapEntry& entry : heap.entries) {
+    if (entry.id == process && entry.version == version_[process]) {
+      entry.key = key;
+      found = true;
+    }
+  }
+  check(found, "PlanIndex::corruptKeyForTest: no live entry for process");
+  std::make_heap(heap.entries.begin(), heap.entries.end(), HeapBelow{});
+}
+
+}  // namespace laps

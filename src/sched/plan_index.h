@@ -1,0 +1,172 @@
+#pragma once
+/// \file plan_index.h
+/// \brief Indexed planner core: the data structure behind the Fig. 3
+/// greedy argmax, shared by buildLocalityPlan, the OLS replanner and
+/// the online pickMaxSharing dispatch rule.
+///
+/// The legacy planner answers "which schedulable process shares the
+/// most with this core's previous pick?" by scanning all |T| candidates
+/// and walking each one's predecessor list. PlanIndex answers the same
+/// question from three cached structures:
+///
+///  * a compact ready list — candidates whose cached indegree (count of
+///    unplaced in-subset predecessors) is zero. Placing a process
+///    decrements its successors' counters; a counter hitting zero
+///    appends to the list. No predecessor walk ever runs per candidate;
+///  * per-core lazy max-heaps over the sharing row of the core's anchor
+///    (its previously placed / dispatched process). Entries cache
+///    (key = sharing(anchor, q), id = q, version = version[q]); the
+///    heap orders by key descending, id ascending;
+///  * per-process version tags. Any event that changes what a cached
+///    key or membership means — the process was placed, dispatched, or
+///    its sharing row changed under open-workload arrival/exit — bumps
+///    the tag. A heap entry whose tag disagrees with the current tag is
+///    stale and skipped (popped) during extraction; it is never
+///    eagerly deleted.
+///
+/// Staleness protocol (the equality-to-greedy argument lives in
+/// docs/ARCHITECTURE.md §12): a heap is rebuilt from the ready list
+/// when its anchor changes or the anchor's own row was invalidated;
+/// between rebuilds it absorbs newly ready candidates by appending
+/// (the ready list is append-only between compactions) and absorbs
+/// removals lazily via version-tag skips. Every live entry's key is
+/// current — a key (anchor, q) can only drift if anchor's or q's row
+/// changed, and both bump a version the pop path checks — so the heap
+/// top is exactly the order-independent argmax
+///   (key > best) || (key == best && id < bestId)
+/// over ready candidates, which equals the legacy ascending scan with
+/// strict `>`. Differential tests (tests/sched/plan_index_test.cpp) pin
+/// the equality on random DAGs; under -DLAPSCHED_AUDIT=ON a sampled
+/// linear rescan re-derives the argmax and must agree with the heap top
+/// (PlanIndex::auditTopAgreement).
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "region/sharing.h"
+#include "taskgraph/graph.h"
+
+namespace laps {
+
+/// Ready-set index with per-core lazy max-heaps (see file comment).
+///
+/// Two modes:
+///  * planner mode (beginPlanner): the index owns DAG readiness —
+///    cached indegrees over the pending subset, place() releases
+///    successors. Used by buildLocalityPlan;
+///  * dispatch mode (beginDispatch): readiness is announced externally
+///    (markReady), as the simulation engine drives policies. Used by
+///    LocalityScheduler and OnlineLocalityScheduler at pick time.
+class PlanIndex {
+ public:
+  PlanIndex() = default;
+
+  /// Planner mode over \p pending (the unplaced subset members). A
+  /// pending process waits only on pending predecessors — one outside
+  /// the subset, or already placed, is satisfied — so the cached
+  /// indegrees count pending predecessors only, and every pending
+  /// process with counter zero is ready immediately. This is the
+  /// legacy schedulable() predicate, evaluated once instead of per
+  /// candidate per round.
+  void beginPlanner(const ExtendedProcessGraph& graph,
+                    const SharingMatrix& sharing, std::size_t coreCount,
+                    const std::vector<bool>& pending);
+
+  /// Dispatch mode: \p n processes, nothing ready until markReady.
+  void beginDispatch(const SharingMatrix& sharing, std::size_t n,
+                     std::size_t coreCount);
+
+  /// Announces readiness (dispatch mode, or tests). Idempotent.
+  void markReady(ProcessId process);
+
+  /// Withdraws readiness without placing (dispatch take, exit of a
+  /// ready process). Bumps the version tag: heap entries go stale.
+  void markUnready(ProcessId process);
+
+  [[nodiscard]] bool isReady(ProcessId process) const;
+  [[nodiscard]] std::size_t readyCount() const { return readyCount_; }
+
+  /// Open workloads: \p process's sharing row changed (it arrived or
+  /// exited the live matrix). Every cached key involving it — its own
+  /// heap entries, and any heap anchored on it — is invalidated.
+  void invalidateProcess(ProcessId process);
+
+  /// Extracts the best ready candidate for \p core: maximum
+  /// sharing(anchor, q), smallest id on ties; without an anchor, the
+  /// smallest ready id (the legacy scan's s = 0 degenerate case).
+  /// nullopt when nothing is ready. The winner is marked unready.
+  [[nodiscard]] std::optional<ProcessId> popBest(
+      std::size_t core, std::optional<ProcessId> anchor);
+
+  /// Planner mode: records \p process as placed — its pending flag
+  /// clears and each pending successor's indegree drops; counters
+  /// reaching zero mark the successor ready. The caller pops the
+  /// process first (popBest) or calls markUnready itself.
+  void place(ProcessId process);
+
+  /// Audit checker (docs/ARCHITECTURE.md §12): the entry popBest would
+  /// extract for (\p core, \p anchor) must agree — same id, same cached
+  /// key — with a from-scratch linear rescan of the ready list against
+  /// the live sharing row. Throws laps::AuditError on disagreement.
+  /// popBest samples it under LAPS_AUDIT every kAuditSampleEvery pops;
+  /// tests corrupt a cached key (corruptKeyForTest) to prove it fires.
+  void auditTopAgreement(std::size_t core, std::optional<ProcessId> anchor);
+
+  /// Test seam for the audit path: overwrites the cached key of
+  /// \p process's entry in \p core's heap (restoring the heap order
+  /// afterwards), simulating a stale-key bug the version protocol
+  /// failed to catch. Throws laps::Error when no live entry exists.
+  void corruptKeyForTest(std::size_t core, ProcessId process,
+                         std::int64_t key);
+
+  /// Pops between sampled audit rescans in popBest (1 = every pop).
+  static constexpr std::uint64_t kAuditSampleEvery = 16;
+
+  /// One cached heap entry (public for the comparator and tests).
+  struct HeapEntry {
+    std::int64_t key = 0;       ///< sharing(anchor, id) at push time
+    ProcessId id = 0;
+    std::uint32_t version = 0;  ///< version_[id] at push time
+  };
+
+ private:
+  struct CoreHeap {
+    bool valid = false;
+    std::optional<ProcessId> anchor;
+    std::uint32_t anchorVersion = 0;  ///< version_[*anchor] at build
+    std::uint64_t readyGen = 0;       ///< ready-list generation at build
+    std::size_t syncedTo = 0;         ///< ready-list prefix absorbed
+    std::vector<HeapEntry> entries;   ///< binary max-heap
+  };
+
+  void reset(const SharingMatrix& sharing, std::size_t n,
+             std::size_t coreCount);
+  void rebuildHeap(CoreHeap& heap, ProcessId anchor);
+  void syncHeap(CoreHeap& heap, ProcessId anchor);
+  void compactReadyList();
+  /// Peeks the current top (after sync + stale-pop); nullopt iff no
+  /// ready candidate survives.
+  [[nodiscard]] std::optional<HeapEntry> peekBest(
+      std::size_t core, std::optional<ProcessId> anchor);
+  /// The order-independent argmax by linear rescan (the audit oracle
+  /// and the anchorless path).
+  [[nodiscard]] std::optional<HeapEntry> rescanBest(
+      std::optional<ProcessId> anchor) const;
+
+  const ExtendedProcessGraph* graph_ = nullptr;  // planner mode only
+  const SharingMatrix* sharing_ = nullptr;
+  std::vector<std::uint32_t> version_;
+  std::vector<bool> ready_;
+  std::vector<bool> pending_;              // planner mode
+  std::vector<std::uint32_t> indegree_;    // planner mode
+  /// Ready candidates, append-only between compactions; may hold
+  /// duplicates and unready (stale) ids — consumers re-check ready_.
+  std::vector<ProcessId> readyList_;
+  std::size_t readyCount_ = 0;
+  std::uint64_t readyGen_ = 0;
+  std::vector<CoreHeap> heaps_;
+  std::uint64_t popCount_ = 0;  // audit sampling counter
+};
+
+}  // namespace laps

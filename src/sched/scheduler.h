@@ -84,6 +84,18 @@ struct SchedContext {
   const AddressSpace* space = nullptr;
 };
 
+/// Counters a policy may expose about its own decision work (all zero
+/// for policies that do not override stats()). Observational only: the
+/// engine copies them into SimResult after the run; nothing feeds back
+/// into scheduling, so reporting them cannot change a single decision.
+struct PolicyStats {
+  std::uint64_t decisions = 0;  ///< pickNext calls that returned a process
+  std::uint64_t rebuilds = 0;   ///< full plan rebuilds (replanning policies)
+  std::uint64_t patches = 0;    ///< incremental plan patches
+  std::uint64_t steals = 0;     ///< picks outside the core's own plan
+  std::uint64_t offloads = 0;   ///< load-balancer queue migrations
+};
+
 /// Dynamic scheduling policy; implementations must be deterministic.
 class SchedulerPolicy {
  public:
@@ -126,6 +138,10 @@ class SchedulerPolicy {
   [[nodiscard]] virtual std::optional<std::int64_t> quantum() const {
     return std::nullopt;
   }
+
+  /// Decision-work counters since reset() (see PolicyStats). Default:
+  /// all zero.
+  [[nodiscard]] virtual PolicyStats stats() const { return {}; }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

@@ -438,6 +438,7 @@ SimResult MpsocSimulator::run() {
 
   result_.makespanCycles = now;
   result_.seconds = config_.cyclesToSeconds(now);
+  result_.policy = policy_->stats();
   if (openWorkload_) {
     // Exact sojourn order statistics, per cohort and global, over the
     // admitted processes (rejected ones never sojourned). No sampling:

@@ -7,6 +7,7 @@
 
 #include "cache/cache.h"
 #include "cache/miss_class.h"
+#include "sched/scheduler.h"
 #include "taskgraph/process.h"
 
 namespace laps {
@@ -117,6 +118,11 @@ struct SimResult {
   std::vector<std::int64_t> coreIdleCycles;  ///< per core (until makespan)
 
   std::vector<ProcessRunRecord> processes;  ///< indexed by ProcessId
+
+  /// The policy's own decision-work counters (scheduling overhead, not
+  /// simulated time): rebuilds/patches/steals for replanning policies,
+  /// zeros for the rest.
+  PolicyStats policy;
 
   /// Total data references simulated.
   [[nodiscard]] std::uint64_t dataReferences() const {

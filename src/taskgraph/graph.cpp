@@ -32,6 +32,7 @@ void ExtendedProcessGraph::addDependence(ProcessId from, ProcessId to) {
   succ.push_back(to);
   preds_[to].push_back(from);
   ++edgeCount_;
+  acyclic_.reset();  // the new edge may have closed a cycle
 }
 
 const ProcessSpec& ExtendedProcessGraph::process(ProcessId id) const {
@@ -100,12 +101,15 @@ std::vector<ProcessId> ExtendedProcessGraph::topologicalOrder() const {
 }
 
 bool ExtendedProcessGraph::isAcyclic() const {
-  try {
-    (void)topologicalOrder();
-    return true;
-  } catch (const Error&) {
-    return false;
+  if (!acyclic_) {
+    try {
+      (void)topologicalOrder();
+      acyclic_ = true;
+    } catch (const Error&) {
+      acyclic_ = false;
+    }
   }
+  return *acyclic_;
 }
 
 bool ExtendedProcessGraph::respectsDependences(

@@ -7,6 +7,7 @@
 /// dependences), which is what makes the graph "extended".
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,7 +50,10 @@ class ExtendedProcessGraph {
   /// Topological order; throws laps::Error if the graph has a cycle.
   [[nodiscard]] std::vector<ProcessId> topologicalOrder() const;
 
-  /// True when the graph is acyclic.
+  /// True when the graph is acyclic. Memoized: replanning policies ask
+  /// on every rebuild, and the answer only changes when an edge is
+  /// added (a new process cannot close a cycle), so addDependence is
+  /// the sole invalidation point.
   [[nodiscard]] bool isAcyclic() const;
 
   /// True when \p order contains every process exactly once and never
@@ -74,6 +78,8 @@ class ExtendedProcessGraph {
   std::vector<std::vector<ProcessId>> preds_;
   std::vector<std::vector<ProcessId>> succs_;
   std::size_t edgeCount_ = 0;
+  /// isAcyclic() memo; nullopt = not computed since the last edge.
+  mutable std::optional<bool> acyclic_;
 };
 
 /// A complete schedulable problem instance: the arrays of all resident

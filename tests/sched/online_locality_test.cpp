@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
+#include <vector>
+
 #include "core/laps.h"
 
 namespace laps {
@@ -215,6 +219,220 @@ TEST(OnlineLocality, PlanGuidedDispatchThenSteal) {
 TEST(OnlineLocality, RequiresContext) {
   OnlineLocalityScheduler policy;
   EXPECT_THROW(policy.reset({}), Error);
+}
+
+/// Random DAG (edges low id -> high id) and symmetric small-valued
+/// sharing: the same generators the PlanIndex differential tests use,
+/// here driving whole policies instead of the planner core.
+ExtendedProcessGraph randomDag(Rng& rng, std::size_t n) {
+  ExtendedProcessGraph graph;
+  for (std::size_t i = 0; i < n; ++i) {
+    ProcessSpec p;
+    p.name = "O" + std::to_string(i);
+    graph.addProcess(std::move(p));
+  }
+  for (std::size_t to = 1; to < n; ++to) {
+    for (std::size_t from = 0; from < to; ++from) {
+      if (rng.below(100) < 15) {
+        graph.addDependence(static_cast<ProcessId>(from),
+                            static_cast<ProcessId>(to));
+      }
+    }
+  }
+  return graph;
+}
+
+SharingMatrix randomSharing(Rng& rng, std::size_t n) {
+  SharingMatrix sharing(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    sharing.set(p, p, static_cast<std::int64_t>(rng.below(16)));
+    for (std::size_t q = 0; q < p; ++q) {
+      const auto s = static_cast<std::int64_t>(rng.below(8));
+      sharing.set(p, q, s);
+      sharing.set(q, p, s);
+    }
+  }
+  return sharing;
+}
+
+TEST(OnlineLocality, IndexedMatchesLegacyOnRandomOpenWorkloads) {
+  // Lockstep differential: the indexed (tombstone queues + PlanIndex)
+  // and legacy (plain vectors + linear scans) implementations receive
+  // the identical event stream and must agree on every plan state and
+  // every dispatch decision — across rebuild thresholds, including
+  // exits of planned-but-never-dispatched processes.
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 7);
+    const std::size_t n = 6 + static_cast<std::size_t>(rng.below(20));
+    const ExtendedProcessGraph graph = randomDag(rng, n);
+    const SharingMatrix sharing = randomSharing(rng, n);
+    const std::size_t coreCount = 2 + static_cast<std::size_t>(rng.below(3));
+    const std::int64_t threshold =
+        static_cast<std::int64_t>(rng.below(3)) * 5;  // 0, 5 or 10
+
+    OnlineLocalityOptions options;
+    options.rebuildThreshold = threshold;
+    options.balancer.enabled = (seed % 3 == 0);
+    options.indexedPlanner = true;
+    OnlineLocalityScheduler indexed(options);
+    options.indexedPlanner = false;
+    OnlineLocalityScheduler legacy(options);
+    const SchedContext context{&graph, &sharing, coreCount};
+    indexed.reset(context);
+    legacy.reset(context);
+    expectPlansEqual(indexed.plan(), legacy.plan());
+
+    std::vector<bool> completed(n, false);
+    std::vector<bool> readySet(n, false);
+    std::vector<bool> dispatched(n, false);
+    std::vector<bool> gone(n, false);
+    const auto depsDone = [&](ProcessId p) {
+      for (const ProcessId pred : graph.predecessors(p)) {
+        if (!completed[pred]) return false;
+      }
+      return true;
+    };
+    const auto both = [&](auto&& call) {
+      call(indexed);
+      call(legacy);
+      expectPlansEqual(indexed.plan(), legacy.plan());
+    };
+
+    // Arrivals in random order; readiness follows the DAG.
+    std::vector<ProcessId> order;
+    for (ProcessId p = 0; p < n; ++p) order.push_back(p);
+    rng.shuffle(order);
+    for (const ProcessId p : order) {
+      both([&](auto& policy) { policy.onArrival(p); });
+      if (depsDone(p)) {
+        both([&](auto& policy) { policy.onReady(p); });
+        readySet[p] = true;
+      }
+    }
+
+    // A leaf process may retire before ever running (lifetime expiry in
+    // the open-workload engine): exit it while it is still planned.
+    for (ProcessId p = 0; p < n && p < 3; ++p) {
+      if (graph.successors(p).empty() && !graph.predecessors(p).empty()) {
+        both([&](auto& policy) { policy.onExit(p); });
+        gone[p] = true;
+        readySet[p] = false;
+        completed[p] = true;  // nothing waits on a leaf
+        break;
+      }
+    }
+
+    std::vector<std::optional<ProcessId>> previous(coreCount);
+    std::size_t done = static_cast<std::size_t>(
+        std::count(completed.begin(), completed.end(), true));
+    while (done < n) {
+      std::vector<ProcessId> ran;
+      for (std::size_t core = 0; core < coreCount; ++core) {
+        const auto a = indexed.pickNext(core, previous[core]);
+        const auto b = legacy.pickNext(core, previous[core]);
+        ASSERT_EQ(a, b) << "seed " << seed << " core " << core;
+        expectPlansEqual(indexed.plan(), legacy.plan());
+        if (!a) continue;
+        ASSERT_TRUE(readySet[*a]) << "seed " << seed;
+        readySet[*a] = false;
+        dispatched[*a] = true;
+        previous[core] = *a;
+        ran.push_back(*a);
+      }
+      ASSERT_FALSE(ran.empty()) << "seed " << seed << ": stranded at "
+                                << done << "/" << n;
+      for (const ProcessId p : ran) {
+        both([&](auto& policy) {
+          policy.onComplete(p);
+          policy.onExit(p);
+        });
+        completed[p] = true;
+        ++done;
+        for (const ProcessId succ : graph.successors(p)) {
+          if (!completed[succ] && !gone[succ] && !readySet[succ] &&
+              !dispatched[succ] && depsDone(succ)) {
+            both([&](auto& policy) { policy.onReady(succ); });
+            readySet[succ] = true;
+          }
+        }
+      }
+    }
+
+    const PolicyStats is = indexed.stats();
+    const PolicyStats ls = legacy.stats();
+    EXPECT_EQ(is.decisions, ls.decisions) << "seed " << seed;
+    EXPECT_EQ(is.rebuilds, ls.rebuilds) << "seed " << seed;
+    EXPECT_EQ(is.patches, ls.patches) << "seed " << seed;
+    EXPECT_EQ(is.steals, ls.steals) << "seed " << seed;
+    EXPECT_EQ(is.offloads, ls.offloads) << "seed " << seed;
+  }
+}
+
+TEST(OnlineLocality, IndexedMatchesLegacyFullOpenSimulation) {
+  // End-to-end through the simulation engine: staggered cohort arrivals
+  // plus lifetime retirement (exits of processes that never ran). The
+  // two implementations must produce the same simulation, cycle for
+  // cycle.
+  const auto suite = standardSuite();
+  const Workload mix = concurrentScenario(suite, 2);
+  ExperimentConfig config;
+  config.mpsoc.arrivals.emplace();
+  config.mpsoc.arrivals->meanInterArrivalCycles = 60'000;
+  config.mpsoc.arrivals->processLifetimeCycles = 400'000;
+  config.sched.onlineLocality.rebuildThreshold = 4;
+
+  config.sched.onlineLocality.indexedPlanner = true;
+  const auto indexed =
+      runExperiment(mix, SchedulerKind::OnlineLocality, config);
+  config.sched.onlineLocality.indexedPlanner = false;
+  const auto legacy =
+      runExperiment(mix, SchedulerKind::OnlineLocality, config);
+
+  EXPECT_EQ(indexed.sim.makespanCycles, legacy.sim.makespanCycles);
+  EXPECT_EQ(indexed.sim.retiredProcesses, legacy.sim.retiredProcesses);
+  ASSERT_EQ(indexed.sim.processes.size(), legacy.sim.processes.size());
+  for (std::size_t p = 0; p < indexed.sim.processes.size(); ++p) {
+    EXPECT_EQ(indexed.sim.processes[p].firstStartCycle,
+              legacy.sim.processes[p].firstStartCycle)
+        << "process " << p;
+    EXPECT_EQ(indexed.sim.processes[p].completionCycle,
+              legacy.sim.processes[p].completionCycle)
+        << "process " << p;
+    EXPECT_EQ(indexed.sim.processes[p].retired,
+              legacy.sim.processes[p].retired)
+        << "process " << p;
+  }
+  // PolicyStats ride SimResult out of the engine; the decision counts
+  // of two decision-identical runs match.
+  EXPECT_EQ(indexed.sim.policy.decisions, legacy.sim.policy.decisions);
+  EXPECT_GT(indexed.sim.policy.decisions, 0u);
+  EXPECT_EQ(indexed.sim.policy.rebuilds, legacy.sim.policy.rebuilds);
+}
+
+TEST(OnlineLocality, StatsCountersAccount) {
+  PatchRig rig;
+  OnlineLocalityOptions options;
+  options.rebuildThreshold = 100;  // patch-only
+  OnlineLocalityScheduler policy(options);
+  policy.reset(SchedContext{&rig.graph, &rig.sharing, 2});
+  for (const ProcessId p : {0u, 1u, 2u, 3u}) {
+    policy.onArrival(p);
+    policy.onReady(p);
+  }
+  // The uniform-tie arrivals all patched onto core 0's plan: core 0
+  // dispatches plan-guided, core 1's every pick is a steal.
+  std::vector<std::optional<ProcessId>> previous(2);
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t core = static_cast<std::size_t>(i) % 2;
+    previous[core] = policy.pickNext(core, previous[core]);
+    ASSERT_TRUE(previous[core].has_value());
+  }
+  const PolicyStats stats = policy.stats();
+  EXPECT_EQ(stats.decisions, 4u);
+  EXPECT_EQ(stats.patches, 4u);  // one per arrival, none rebuilt
+  EXPECT_EQ(stats.rebuilds, 0u);
+  EXPECT_EQ(stats.offloads, 0u);  // balancer disabled
+  EXPECT_EQ(stats.steals, 2u);   // both of core 1's picks
 }
 
 }  // namespace
