@@ -40,7 +40,14 @@ whose first column is the group key) and verifies:
     SloShed, and at the heaviest level every scheduler sheds under
     QueueCap.
 
- 5. Drift against a committed baseline CSV (--baseline): every row must
+ 5. With --fault-shapes (the bench_faults sweep): per scheduler, goodput
+    at the moderate fault level with retries on recovers to at least
+    --goodput-frac of the fault-free count; on every faulty retry-on
+    level the best locality-aware p95 stays no worse than the best
+    locality-blind p95; and every row conserves departures
+    (processes == completed + rejected + retired + failed).
+
+ 6. Drift against a committed baseline CSV (--baseline): every row must
     exist in both files, integer columns must match exactly (the
     simulator is deterministic), and float columns within a relative
     1e-9. With --columns only the named columns are compared, so a
@@ -57,6 +64,7 @@ the baselines after an intentional behavior change:
     build/bench_open_workload --csv > bench/baselines/open_workload.csv
     build/bench_saturation --csv > bench/baselines/saturation.csv
     build/bench_policy_overhead --csv > bench/baselines/policy_overhead.csv
+    build/bench_faults --csv > bench/baselines/faults.csv
 
 The policy_overhead baseline is compared on its deterministic columns
 only (--columns t,scheduler,cores,window,events,decisions,checksum);
@@ -262,6 +270,97 @@ def check_saturation_shapes(header, rows):
     return errors
 
 
+def check_fault_shapes(header, rows, goodput_frac):
+    """bench_faults shapes: retries recover goodput, the locality edge
+    survives faults, and departures are conserved.
+
+     * per scheduler, completed at (fault=moderate, retry=on) must be at
+       least --goodput-frac of completed at fault=none;
+     * per faulty retry-on fault level, the best locality-aware p95
+       (DLS/CALS/OLS) must not exceed the best locality-blind p95
+       (RS/RRS);
+     * on every row, processes == completed + rejected + retired +
+       failed (the engine's departure-conservation audit, visible in
+       the CSV)."""
+    needed = {
+        "scheduler",
+        "fault",
+        "retry",
+        "processes",
+        "completed",
+        "rejected",
+        "retired",
+        "failed",
+        "sojourn_p95",
+    }
+    missing = needed - set(header)
+    if missing:
+        return [f"--fault-shapes: input lacks columns {sorted(missing)}"]
+    errors = []
+    # arms[(fault, retry)][scheduler] = row
+    arms = {}
+    for row in rows:
+        n = int(row["processes"])
+        accounted = (
+            int(row["completed"])
+            + int(row["rejected"])
+            + int(row["retired"])
+            + int(row["failed"])
+        )
+        if accounted != n:
+            errors.append(
+                f"row ({row['fault']}, retry={row['retry']}, "
+                f"{row['scheduler']}): departures not conserved "
+                f"({accounted} accounted of {n} processes)"
+            )
+        arms.setdefault((row["fault"], row["retry"]), {})[
+            row["scheduler"]
+        ] = row
+    fault_free = next(
+        (by_sched for (fault, _), by_sched in arms.items() if fault == "none"),
+        {},
+    )
+    recovered = arms.get(("moderate", "on"), {})
+    for sched, row in sorted(fault_free.items()):
+        if sched not in recovered:
+            errors.append(
+                f"{sched}: fault-free row has no (moderate, retry=on) row"
+            )
+            continue
+        base = int(row["completed"])
+        got = int(recovered[sched]["completed"])
+        if got < goodput_frac * base:
+            errors.append(
+                f"{sched}: goodput with retries at moderate faults ({got}) "
+                f"below {goodput_frac:.0%} of fault-free ({base})"
+            )
+    for (fault, retry), by_sched in sorted(arms.items()):
+        if fault == "none" or retry != "on":
+            continue
+        aware = [
+            int(r["sojourn_p95"])
+            for s, r in by_sched.items()
+            if s in LOCALITY_AWARE
+        ]
+        blind = [
+            int(r["sojourn_p95"])
+            for s, r in by_sched.items()
+            if s in LOCALITY_BLIND
+        ]
+        if not aware or not blind:
+            errors.append(
+                f"fault level {fault}: retry-on rows lack a locality-aware "
+                f"or locality-blind scheduler"
+            )
+        elif min(aware) > min(blind):
+            errors.append(
+                f"fault level {fault}: best locality-aware p95 "
+                f"({min(aware)}) worse than best locality-blind p95 "
+                f"({min(blind)}) under faults"
+            )
+    return errors
+
+
 def check_decision_throughput(header, rows, min_speedup):
     """bench_policy_overhead shapes: the indexed OLS implementation must
     make the *same* decisions as the legacy one (equal checksum and
@@ -408,6 +507,19 @@ def main():
         "admission-control shapes",
     )
     parser.add_argument(
+        "--fault-shapes",
+        action="store_true",
+        help="check the bench_faults shapes: retry goodput recovery, "
+        "the locality p95 edge under faults, departure conservation",
+    )
+    parser.add_argument(
+        "--goodput-frac",
+        type=float,
+        default=0.9,
+        help="fraction of fault-free goodput --fault-shapes requires of "
+        "the (moderate, retry=on) arm (default 0.9)",
+    )
+    parser.add_argument(
         "--decision-throughput",
         action="store_true",
         help="check the bench_policy_overhead shapes: OLS-idx decision-"
@@ -443,6 +555,9 @@ def main():
     if args.saturation_shapes:
         errors += check_saturation_shapes(header, rows)
         checks.append("saturation shapes hold")
+    if args.fault_shapes:
+        errors += check_fault_shapes(header, rows, args.goodput_frac)
+        checks.append("fault shapes hold")
     if args.decision_throughput:
         errors += check_decision_throughput(header, rows, args.min_speedup)
         checks.append("decision throughput holds")

@@ -1,0 +1,189 @@
+/// \file bench_faults.cpp
+/// \brief Fault-tolerance sweep: fault rate x retry policy x scheduler.
+///
+/// Drives the keyed service workload (workloads/service.h) through the
+/// open engine with per-process Exponential arrivals while a seeded
+/// FaultPlan (sim/faults.h, docs/ARCHITECTURE.md §13) injects core
+/// outages, permanent core failures and process crashes. Three fault
+/// levels (none / moderate / high) cross with the crash RetryPolicy
+/// (off = the first crash is fatal, on = capped exponential backoff
+/// with seeded jitter) over the open scheduler set {RS, RRS, DLS,
+/// CALS, OLS}. Reported per point: goodput (completed requests),
+/// crash/retry/failure counters, availability accounting and the exact
+/// sojourn percentiles.
+///
+/// The interesting shapes — codified by
+/// bench/baselines/check_shapes.py --fault-shapes:
+///  * retries recover goodput: at the moderate fault level every
+///    scheduler completes at least 90% of its fault-free request count
+///    once retries are on, while retry-off permanently fails every
+///    crashed request;
+///  * the locality edge survives faults: on every faulty retry-on
+///    level the best locality-aware policy (DLS/CALS/OLS) still has
+///    p95 sojourn no worse than the best locality-blind baseline
+///    (RS/RRS), displacement penalties and all;
+///  * conservation: processes == completed + rejected + retired +
+///    failed on every row (the engine's departure audit, visible in
+///    the CSV).
+///
+/// With --csv the sweep is emitted for check_shapes.py, which also
+/// diffs it against the committed baseline (faults.csv) — the fault
+/// sequence is seeded, so any drift is a behavior change.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/laps.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace laps;
+
+/// The swept fault intensities. Means are chosen against the ~700k-cycle
+/// fault-free makespan of the 512-request stream: moderate injects a few
+/// outages and ~8 crashes; high adds permanent core failures (the seed
+/// kills five of the eight cores — deep graceful degradation) and
+/// roughly one crash per 12 requests.
+enum class FaultLevel { None, Moderate, High };
+
+const char* to_string(FaultLevel level) {
+  switch (level) {
+    case FaultLevel::None: return "none";
+    case FaultLevel::Moderate: return "moderate";
+    case FaultLevel::High: return "high";
+  }
+  return "?";
+}
+
+std::optional<FaultPlan> faultPlan(FaultLevel level, bool retryOn) {
+  if (level == FaultLevel::None) return std::nullopt;
+  FaultPlan plan;
+  plan.seed = 7;
+  if (level == FaultLevel::Moderate) {
+    plan.meanCoreOutageCycles = 400'000;
+    plan.meanCrashCycles = 60'000;
+  } else {
+    plan.meanCoreFailureCycles = 200'000;
+    plan.meanCoreOutageCycles = 150'000;
+    plan.meanCrashCycles = 25'000;
+  }
+  // Retry off: the first crash exhausts the budget and the request
+  // permanently fails. Retry on: up to three re-executions under capped
+  // exponential backoff; the jitter exercises the RetryJitter stream in
+  // the committed baseline.
+  plan.retry.maxAttempts = retryOn ? 3 : 0;
+  plan.retry.backoffJitterCycles = retryOn ? 512 : 0;
+  return plan;
+}
+
+struct Job {
+  std::string label;
+  FaultLevel level = FaultLevel::None;
+  bool retryOn = false;
+  SchedulerKind kind = SchedulerKind::Random;
+};
+
+void sweep(bool csv) {
+  // Service-scale request stream at a sub-saturation arrival rate: the
+  // fault-free run completes everything, so goodput losses in the
+  // faulty arms are attributable to the injected faults, not to load.
+  ServiceWorkloadParams serviceParams;
+  serviceParams.requestCount = 512;
+  serviceParams.keyCount = 32;
+  const Workload service = makeServiceWorkload(serviceParams);
+  const std::vector<SchedulerKind> kinds = openSchedulers();
+  const std::vector<std::pair<FaultLevel, bool>> arms{
+      {FaultLevel::None, false},
+      {FaultLevel::Moderate, false},
+      {FaultLevel::Moderate, true},
+      {FaultLevel::High, false},
+      {FaultLevel::High, true},
+  };
+
+  std::vector<Job> jobs;
+  for (const auto& [level, retryOn] : arms) {
+    const std::string label = std::string("fault-") + to_string(level) +
+                              "_retry-" + (retryOn ? "on" : "off");
+    for (const SchedulerKind kind : kinds) {
+      jobs.push_back(Job{label, level, retryOn, kind});
+    }
+  }
+
+  // Independent experiments fanned over the analysis pool with ordered
+  // collection: the emitted rows are byte-exact with a serial sweep at
+  // any thread count.
+  const std::vector<ExperimentResult> results =
+      parallelMap<ExperimentResult>(jobs.size(), [&](std::size_t i) {
+        const Job& job = jobs[i];
+        ExperimentConfig config;
+        config.mpsoc.arrivals.emplace();
+        config.mpsoc.arrivals->meanInterArrivalCycles = 1000;
+        config.mpsoc.arrivals->granularity = ArrivalGranularity::PerProcess;
+        config.mpsoc.arrivals->distribution = ArrivalDistribution::Exponential;
+        config.mpsoc.faults = faultPlan(job.level, job.retryOn);
+        return runExperiment(service, job.kind, config);
+      });
+
+  if (csv) {
+    std::cout << "case,scheduler,fault,retry,processes,completed,rejected,"
+                 "retired,failed,crashes,retries,retries_shed,core_failures,"
+                 "core_outages,recoveries,suppressed,migrations,"
+                 "migration_penalty_cycles,core_down_cycles,makespan_cycles,"
+                 "sojourn_p50,sojourn_p95,sojourn_p99\n";
+  }
+  Table table({"Case", "Sched", "Completed", "Crashes", "Failed",
+               "Down (kcyc)", "p95 (kcyc)"});
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    const SimResult& r = results[i].sim;
+    const FaultStats& f = r.faults;
+    if (csv) {
+      std::cout << job.label << ',' << results[i].schedulerName << ','
+                << to_string(job.level) << ',' << (job.retryOn ? "on" : "off")
+                << ',' << r.processes.size() << ',' << r.completedProcesses()
+                << ',' << r.rejectedProcesses << ',' << r.retiredProcesses
+                << ',' << f.failedProcesses << ',' << f.processCrashes << ','
+                << f.retriesScheduled << ',' << f.retriesShed << ','
+                << f.coreFailures << ',' << f.coreOutages << ','
+                << f.coreRecoveries << ',' << f.faultsSuppressed << ','
+                << f.faultMigrations << ',' << f.migrationPenaltyCycles << ','
+                << f.coreDownCycles << ',' << r.makespanCycles << ','
+                << r.sojourn.p50 << ',' << r.sojourn.p95 << ','
+                << r.sojourn.p99 << '\n';
+    } else {
+      table.row()
+          .cell(job.label)
+          .cell(results[i].schedulerName)
+          .cell(r.completedProcesses())
+          .cell(f.processCrashes)
+          .cell(f.failedProcesses)
+          .cell(static_cast<double>(f.coreDownCycles) / 1e3, 1)
+          .cell(static_cast<double>(r.sojourn.p95) / 1e3, 1);
+    }
+  }
+  if (!csv) {
+    std::cout << "=== Fault-tolerance sweep (fault level x retry policy x "
+                 "scheduler, per-process Exponential arrivals) ===\n"
+              << table.ascii() << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else {
+      std::cerr << "usage: bench_faults [--csv]\n";
+      return 2;
+    }
+  }
+  sweep(csv);
+  return 0;
+}

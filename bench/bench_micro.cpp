@@ -251,6 +251,50 @@ void BM_LocalityPlanLargeLegacy(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalityPlanLargeLegacy)->Arg(1000)->Arg(4000);
 
+// The fault-path overhead guard (docs §13): the same open service run
+// with a FaultPlan attached whose every rate is zero — the plan is
+// inert, faultsActive_ stays false, and the engine must take the exact
+// fault-free code path. The merge script derives vs_faultfree_speedup
+// from the (BM_OpenWorkloadFaultPathFaultFree, BM_OpenWorkloadFaultPath)
+// pair; check_bench_regression gates it, so the zero-rate path drifting
+// out of the fault-free noise band fails the perf gate.
+void BM_OpenWorkloadFaultPath(benchmark::State& state) {
+  ServiceWorkloadParams params;
+  const Workload service = makeServiceWorkload(params);
+  ExperimentConfig config;
+  config.mpsoc.arrivals.emplace();
+  config.mpsoc.arrivals->meanInterArrivalCycles = 2000;
+  config.mpsoc.arrivals->granularity = ArrivalGranularity::PerProcess;
+  config.mpsoc.arrivals->distribution = ArrivalDistribution::Exponential;
+  config.mpsoc.faults.emplace();  // every mean zero: configured, inert
+  for (auto _ : state) {
+    const auto r = runExperiment(service, SchedulerKind::DynamicLocality, config);
+    benchmark::DoNotOptimize(r.sim.makespanCycles);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(r.sim.dcacheTotal.accesses) +
+        state.items_processed());
+  }
+}
+BENCHMARK(BM_OpenWorkloadFaultPath);
+
+void BM_OpenWorkloadFaultPathFaultFree(benchmark::State& state) {
+  ServiceWorkloadParams params;
+  const Workload service = makeServiceWorkload(params);
+  ExperimentConfig config;
+  config.mpsoc.arrivals.emplace();
+  config.mpsoc.arrivals->meanInterArrivalCycles = 2000;
+  config.mpsoc.arrivals->granularity = ArrivalGranularity::PerProcess;
+  config.mpsoc.arrivals->distribution = ArrivalDistribution::Exponential;
+  for (auto _ : state) {
+    const auto r = runExperiment(service, SchedulerKind::DynamicLocality, config);
+    benchmark::DoNotOptimize(r.sim.makespanCycles);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(r.sim.dcacheTotal.accesses) +
+        state.items_processed());
+  }
+}
+BENCHMARK(BM_OpenWorkloadFaultPathFaultFree);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -102,6 +102,15 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "tier1" ]; then
         --no-shapes --decision-throughput \
         --baseline ../bench/baselines/policy_overhead.csv \
         --columns t,scheduler,cores,window,events,decisions,checksum
+      # Fault-tolerance sweep: seeded fault injection x retry policy x
+      # scheduler (docs §13). Checks that retries recover goodput, that
+      # the locality p95 edge survives faults and that departures are
+      # conserved on every row, then diffs the seeded CSV against the
+      # baseline.
+      ./bench_faults --csv > bench_faults.csv
+      python3 ../bench/baselines/check_shapes.py bench_faults.csv \
+        --no-shapes --percentile-monotone --fault-shapes \
+        --baseline ../bench/baselines/faults.csv
     )
   else
     echo "ci.sh: python3 not found; skipping bench baseline checks" >&2
@@ -208,6 +217,14 @@ if [ "$MODE" = "bench" ] || [ "$MODE" = "bench-gate" ]; then
     --baseline bench/baselines/policy_overhead.csv \
     --columns t,scheduler,cores,window,events,decisions,checksum
   echo "ci.sh: wrote build/bench_policy_overhead.csv"
+  # Fault-tolerance sweep: the seeded fault/retry CSV doubles as a
+  # cross-host reproducibility probe of the integer-only fault streams.
+  cmake --build build -j --target bench_faults
+  ./build/bench_faults --csv > build/bench_faults.csv
+  python3 bench/baselines/check_shapes.py build/bench_faults.csv \
+    --no-shapes --percentile-monotone --fault-shapes \
+    --baseline bench/baselines/faults.csv
+  echo "ci.sh: wrote build/bench_faults.csv"
   if [ "$MODE" = "bench-gate" ]; then
     python3 bench/baselines/check_bench_regression.py \
       BENCH_micro.json build_bench_baseline.json

@@ -73,6 +73,7 @@
 #include "sim/config.h"
 #include "sim/energy.h"
 #include "sim/engine.h"
+#include "sim/faults.h"
 #include "sim/result.h"
 
 // The six applications of Table 1

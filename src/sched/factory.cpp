@@ -6,20 +6,46 @@
 
 namespace laps {
 
-std::string to_string(SchedulerKind kind) {
+namespace {
+
+// Compile-time factory coverage: tags mirror makeScheduler's branches
+// 1:1, so a SchedulerKind added to the enum and the catalogue without a
+// constructor branch fails the static_assert below (and the switches
+// themselves under -Wswitch) instead of reaching makeScheduler's
+// unreachable fail() at run time.
+constexpr int factoryBranchTag(SchedulerKind kind) {
   switch (kind) {
-    case SchedulerKind::Random: return "RS";
-    case SchedulerKind::RoundRobin: return "RRS";
-    case SchedulerKind::Locality: return "LS";
-    case SchedulerKind::LocalityMapping: return "LSM";
-    case SchedulerKind::Fcfs: return "FCFS";
-    case SchedulerKind::Sjf: return "SJF";
-    case SchedulerKind::CriticalPath: return "CPATH";
-    case SchedulerKind::DynamicLocality: return "DLS";
-    case SchedulerKind::L2ContentionAware: return "CALS";
-    case SchedulerKind::OnlineLocality: return "OLS";
+    case SchedulerKind::Random: return 1;
+    case SchedulerKind::RoundRobin: return 2;
+    case SchedulerKind::Locality:
+    case SchedulerKind::LocalityMapping: return 3;
+    case SchedulerKind::Fcfs: return 4;
+    case SchedulerKind::Sjf: return 5;
+    case SchedulerKind::CriticalPath: return 6;
+    case SchedulerKind::DynamicLocality: return 7;
+    case SchedulerKind::L2ContentionAware: return 8;
+    case SchedulerKind::OnlineLocality: return 9;
   }
-  fail("to_string: unknown SchedulerKind");
+  return 0;
+}
+
+constexpr bool factoryCoversCatalogue() {
+  for (const SchedulerKind kind : kAllSchedulerKinds) {
+    if (factoryBranchTag(kind) == 0) return false;
+  }
+  return true;
+}
+
+static_assert(factoryCoversCatalogue(),
+              "makeScheduler lacks a constructor branch for a catalogued "
+              "SchedulerKind");
+
+}  // namespace
+
+std::string to_string(SchedulerKind kind) {
+  const std::string_view name = schedulerKindName(kind);
+  check(!name.empty(), "to_string: unknown SchedulerKind");
+  return std::string(name);
 }
 
 void validateSchedulerParams(SchedulerKind kind,

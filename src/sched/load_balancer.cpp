@@ -28,27 +28,41 @@ std::vector<BalanceMove> planBalanceMoves(
     const std::vector<std::vector<ProcessId>>& queues,
     const SharingMatrix& sharing,
     std::span<const std::optional<ProcessId>> anchors,
-    const LoadBalancerOptions& options) {
+    const LoadBalancerOptions& options, const std::vector<bool>& upMask) {
   options.validate();
   const std::size_t cores = queues.size();
   check(anchors.size() == cores,
         "planBalanceMoves: anchor count does not match core count");
+  check(upMask.empty() || upMask.size() == cores,
+        "planBalanceMoves: up mask does not match core count");
+  const auto up = [&](std::size_t c) { return upMask.empty() || upMask[c]; };
   std::vector<BalanceMove> moves;
   if (cores < 2) return moves;
 
   // Simulated weights; the queues themselves are only mutated in the
-  // simulation copy below when a move is planned.
+  // simulation copy below when a move is planned. Down cores are out of
+  // the move space entirely — no source, no target, and no seat in the
+  // mean the overload trigger compares against.
   std::vector<std::vector<ProcessId>> sim = queues;
   std::size_t total = 0;
-  for (const auto& q : sim) total += q.size();
-  const std::size_t mean = total / cores;
+  std::size_t upCores = 0;
+  for (std::size_t c = 0; c < cores; ++c) {
+    if (!up(c)) continue;
+    total += sim[c].size();
+    ++upCores;
+  }
+  if (upCores < 2) return moves;
+  const std::size_t mean = total / upCores;
 
   while (moves.size() < options.maxMovesPerEvent) {
-    // Most loaded core (smallest index on ties) that trips the trigger.
-    std::size_t src = 0;
-    for (std::size_t c = 1; c < cores; ++c) {
-      if (sim[c].size() > sim[src].size()) src = c;
+    // Most loaded up core (smallest index on ties) that trips the
+    // trigger.
+    std::optional<std::size_t> srcPick;
+    for (std::size_t c = 0; c < cores; ++c) {
+      if (!up(c)) continue;
+      if (!srcPick || sim[c].size() > sim[*srcPick].size()) srcPick = c;
     }
+    const std::size_t src = *srcPick;
     const std::size_t weight = sim[src].size();
     if (weight * 100 <= mean * options.overloadPercent) break;
     if (weight < mean + 2) break;  // no target can sit two below
@@ -60,7 +74,7 @@ std::vector<BalanceMove> planBalanceMoves(
     std::optional<std::size_t> target;
     std::int64_t bestSharing = -1;
     for (std::size_t c = 0; c < cores; ++c) {
-      if (c == src || sim[c].size() + 1 >= weight) continue;
+      if (c == src || !up(c) || sim[c].size() + 1 >= weight) continue;
       const std::optional<ProcessId> anchor = queueAnchor(sim, anchors, c);
       const std::int64_t s = anchor ? sharing.at(*anchor, moved) : 0;
       if (s > bestSharing) {
@@ -75,6 +89,49 @@ std::vector<BalanceMove> planBalanceMoves(
     moves.push_back(BalanceMove{moved, src, *target});
   }
   return moves;
+}
+
+std::vector<std::size_t> planOrphanReassignment(
+    std::span<const ProcessId> orphans,
+    const std::vector<std::vector<ProcessId>>& queues,
+    const SharingMatrix& sharing,
+    std::span<const std::optional<ProcessId>> anchors,
+    const std::vector<bool>& upMask) {
+  const std::size_t cores = queues.size();
+  check(cores >= 1, "planOrphanReassignment: need at least one core");
+  check(anchors.size() == cores,
+        "planOrphanReassignment: anchor count does not match core count");
+  check(upMask.size() == cores,
+        "planOrphanReassignment: up mask does not match core count");
+  // With every core down the work must still park somewhere until a
+  // recovery: fall back to the full core set (dispatch is gated by the
+  // engine, not the plan, so a parked orphan cannot run early).
+  bool anyUp = false;
+  for (std::size_t c = 0; c < cores; ++c) anyUp = anyUp || upMask[c];
+  const auto eligible = [&](std::size_t c) { return !anyUp || upMask[c]; };
+
+  std::vector<std::vector<ProcessId>> sim = queues;
+  std::vector<std::size_t> targets;
+  targets.reserve(orphans.size());
+  for (const ProcessId orphan : orphans) {
+    // The arrival patch's greedy rule, restricted to eligible cores:
+    // maximum sharing with the target's tail (or anchor), ties to the
+    // lowest core index.
+    std::optional<std::size_t> best;
+    std::int64_t bestSharing = -1;
+    for (std::size_t c = 0; c < cores; ++c) {
+      if (!eligible(c)) continue;
+      const std::optional<ProcessId> anchor = queueAnchor(sim, anchors, c);
+      const std::int64_t s = anchor ? sharing.at(*anchor, orphan) : 0;
+      if (s > bestSharing) {
+        bestSharing = s;
+        best = c;
+      }
+    }
+    sim[*best].push_back(orphan);  // chained: the next orphan sees it
+    targets.push_back(*best);
+  }
+  return targets;
 }
 
 }  // namespace laps

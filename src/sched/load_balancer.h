@@ -20,6 +20,13 @@
 /// sum-of-squared-weights potential strictly decreases and the loop
 /// terminates without a round counter; maxMovesPerEvent merely bounds
 /// the work done on any single arrival/exit event.
+///
+/// planOrphanReassignment is the fault-injection sibling (docs §13):
+/// when a core goes down, the work planned on it is orphaned, and OLS
+/// re-homes every orphan onto the up core sharing the most data with
+/// it — the same pure-function shape, same greedy max-sharing rule as
+/// the arrival patch, chained so each placed orphan becomes the queue
+/// tail the next one scores against.
 
 #include <cstdint>
 #include <optional>
@@ -68,10 +75,31 @@ struct BalanceMove {
 /// moved process); an empty, anchorless core scores 0. Ties fall to
 /// the lowest core index. Returns the moves in planning order; the
 /// caller applies them to its own representation.
+/// \p upMask (empty = every core is up, the exact pre-fault behavior;
+/// else one flag per core) removes down cores from the move space:
+/// never a shed source — their queues were already orphaned — never a
+/// target, and excluded from the mean the overload trigger compares
+/// against.
 [[nodiscard]] std::vector<BalanceMove> planBalanceMoves(
     const std::vector<std::vector<ProcessId>>& queues,
     const SharingMatrix& sharing,
     std::span<const std::optional<ProcessId>> anchors,
-    const LoadBalancerOptions& options);
+    const LoadBalancerOptions& options, const std::vector<bool>& upMask = {});
+
+/// Plans where the \p orphans of a downed core go (pure; see file
+/// comment). \p queues is the per-core pending work *after* the downed
+/// core's queue was emptied; \p anchors as in planBalanceMoves. Each
+/// orphan, in the given order, lands on the up core (\p upMask true;
+/// with no core up every core is eligible — the work must park
+/// somewhere until a recovery) whose last queued — or anchor — process
+/// shares the most data with it, ties to the lowest core index, and
+/// then counts as that core's new tail for the next orphan. Returns
+/// the target core per orphan, parallel to \p orphans.
+[[nodiscard]] std::vector<std::size_t> planOrphanReassignment(
+    std::span<const ProcessId> orphans,
+    const std::vector<std::vector<ProcessId>>& queues,
+    const SharingMatrix& sharing,
+    std::span<const std::optional<ProcessId>> anchors,
+    const std::vector<bool>& upMask);
 
 }  // namespace laps

@@ -41,6 +41,8 @@ void OnlineLocalityScheduler::reset(const SchedContext& context) {
   exited_.assign(n, false);
   dispatched_.assign(n, false);
   anchor_.assign(coreCount_, std::nullopt);
+  coreDown_.assign(coreCount_, false);
+  downCount_ = 0;
   seqCounter_ = 0;
   planned_.assign(n, std::nullopt);
   // Stale queues from a previous reset must not leak into adoptPlan's
@@ -179,6 +181,13 @@ void OnlineLocalityScheduler::rebuild() {
   } else {
     plan_ = std::move(fresh);
   }
+  // buildLocalityPlan places over the full core set; work it put on a
+  // down core is orphaned right back to the up cores.
+  if (downCount_ > 0 && downCount_ < coreCount_) {
+    for (std::size_t c = 0; c < coreCount_; ++c) {
+      if (coreDown_[c]) evacuateCore(c);
+    }
+  }
   patchesSinceRebuild_ = 0;
   ++rebuilds_;
 }
@@ -187,11 +196,15 @@ void OnlineLocalityScheduler::patchArrival(ProcessId process) {
   // Fig. 3's greedy append, applied to one process: the core whose most
   // recently planned — or, when its plan ran dry, last dispatched —
   // process shares the most data with it (an idle-and-empty core scores
-  // 0; ties fall to the lowest core index).
+  // 0; ties fall to the lowest core index). Down cores are skipped —
+  // unless every core is down, in which case the work parks anywhere
+  // (dispatch is gated by the engine, not the plan).
+  const bool skipDown = downCount_ > 0 && downCount_ < coreCount_;
   std::size_t bestCore = 0;
   std::int64_t bestSharing = -1;
   if (indexed()) {
     for (std::size_t c = 0; c < coreCount_; ++c) {
+      if (skipDown && coreDown_[c]) continue;
       dropTrailingDead(c);
       std::int64_t s = 0;
       if (!queues_[c].empty()) {
@@ -208,6 +221,7 @@ void OnlineLocalityScheduler::patchArrival(ProcessId process) {
     return;
   }
   for (std::size_t c = 0; c < plan_.perCore.size(); ++c) {
+    if (skipDown && coreDown_[c]) continue;
     std::int64_t s = 0;
     if (!plan_.perCore[c].empty()) {
       s = sharing_->at(plan_.perCore[c].back(), process);
@@ -240,10 +254,17 @@ void OnlineLocalityScheduler::maybeBalance() {
   if (!options_.balancer.enabled) return;
   // planBalanceMoves simulates against a materialized snapshot; the
   // apply loop below replays its pops and pushes in planning order, so
-  // each move's source tail is exactly the process the plan named.
+  // each move's source tail is exactly the process the plan named. With
+  // cores down, the mask keeps moves inside the up set (an empty mask
+  // is the exact fault-free behavior).
+  std::vector<bool> upMask;
+  if (downCount_ > 0) {
+    upMask.resize(coreCount_);
+    for (std::size_t c = 0; c < coreCount_; ++c) upMask[c] = !coreDown_[c];
+  }
   const std::vector<std::vector<ProcessId>>& snapshot = plan().perCore;
   const std::vector<BalanceMove> moves =
-      planBalanceMoves(snapshot, *sharing_, anchor_, options_.balancer);
+      planBalanceMoves(snapshot, *sharing_, anchor_, options_.balancer, upMask);
   for (const BalanceMove& move : moves) {
     if (indexed()) {
       unplan(move.process);
@@ -260,7 +281,62 @@ void OnlineLocalityScheduler::maybeBalance() {
   stats_.offloads += moves.size();
 }
 
+void OnlineLocalityScheduler::evacuateCore(std::size_t core) {
+  // Orphan the core's pending queue...
+  std::vector<ProcessId> orphans;
+  if (indexed()) {
+    for (const PlanEntry& entry : queues_[core]) {
+      if (aliveEntry(core, entry)) orphans.push_back(entry.process);
+    }
+    if (!queues_[core].empty()) {
+      for (const ProcessId p : orphans) planned_[p] = std::nullopt;
+      queues_[core].clear();
+      deadCount_[core] = 0;
+      planDirty_ = true;
+    }
+  } else {
+    orphans = std::move(plan_.perCore[core]);
+    plan_.perCore[core].clear();
+  }
+  if (orphans.empty()) return;
+  // ...and re-home every orphan onto the best-sharing up core (pure
+  // planning in load_balancer.h; the apply loop mirrors maybeBalance's).
+  std::vector<bool> upMask(coreCount_);
+  for (std::size_t c = 0; c < coreCount_; ++c) upMask[c] = !coreDown_[c];
+  const std::vector<std::size_t> targets = planOrphanReassignment(
+      orphans, plan().perCore, *sharing_, anchor_, upMask);
+  for (std::size_t i = 0; i < orphans.size(); ++i) {
+    if (indexed()) {
+      pushPlanned(targets[i], orphans[i]);
+    } else {
+      plan_.perCore[targets[i]].push_back(orphans[i]);
+    }
+  }
+  stats_.offloads += orphans.size();
+}
+
 // --- Engine events ---------------------------------------------------
+
+void OnlineLocalityScheduler::onCoreDown(std::size_t core) {
+  check(core < coreCount_, "OnlineLocalityScheduler: unknown core");
+  if (coreDown_[core]) return;
+  coreDown_[core] = true;
+  ++downCount_;
+  // The caches the core warmed are gone (it recovers cold, if ever), so
+  // its dispatch anchor is meaningless from here on.
+  anchor_[core].reset();
+  evacuateCore(core);
+}
+
+void OnlineLocalityScheduler::onCoreUp(std::size_t core) {
+  check(core < coreCount_, "OnlineLocalityScheduler: unknown core");
+  if (!coreDown_[core]) return;
+  coreDown_[core] = false;
+  --downCount_;
+  // Nothing to replan eagerly: the recovered core starts by stealing
+  // (it has no anchor and an empty queue) and wins arrival patches
+  // again from here on.
+}
 
 void OnlineLocalityScheduler::onArrival(ProcessId process) {
   check(process < exited_.size(), "OnlineLocalityScheduler: unknown process");
@@ -278,9 +354,15 @@ void OnlineLocalityScheduler::onArrival(ProcessId process) {
     }
     patchesSinceRebuild_ = 0;
   }
-  check(!arrived_[process],
+  // A crashed process re-enters as a fresh arrival after its onExit
+  // (fault injection; see scheduler.h) — the one legal exit-then-
+  // arrival of the same id.
+  const bool reentry = arrived_[process] && exited_[process];
+  check(reentry || !arrived_[process],
         "OnlineLocalityScheduler: process arrived twice");
   arrived_[process] = true;
+  exited_[process] = false;
+  dispatched_[process] = false;
   // The live sharing matrix gained this process's row and column just
   // before this event; cached keys involving it must not survive.
   if (indexed()) index_.invalidateProcess(process);
@@ -347,6 +429,9 @@ void OnlineLocalityScheduler::onPreempt(ProcessId process) {
 std::optional<ProcessId> OnlineLocalityScheduler::pickNext(
     std::size_t core, std::optional<ProcessId> previous) {
   check(core < coreCount_, "OnlineLocalityScheduler: unknown core");
+  // The engine never offers a down core work (audited there); the guard
+  // keeps direct policy harnesses honest too.
+  if (coreDown_[core]) return std::nullopt;
 
   if (indexed()) {
     if (index_.readyCount() == 0) return std::nullopt;

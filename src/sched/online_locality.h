@@ -45,6 +45,15 @@
 /// default) sheds queue tails from overloaded cores to the best-sharing
 /// underloaded core after each absorbed event, in either mode.
 ///
+/// Under fault injection (docs §13) the engine reports core outages and
+/// failures through onCoreDown/onCoreUp. A downed core's pending queue
+/// is orphaned on the spot and re-homed by planOrphanReassignment (the
+/// same greedy max-sharing rule as the arrival patch, restricted to up
+/// cores); arrival patches, rebuild placement and balance moves avoid
+/// down cores until they recover. A crashed process re-enters through
+/// onArrival after its onExit — the one case where exit-then-arrival of
+/// the same id is legal (scheduler.h).
+///
 /// On a closed workload no arrival event ever fires, so the reset()-
 /// time plan is byte-identical to buildLocalityPlan — i.e. to the
 /// static LS plan — at every threshold; the differential test pins
@@ -97,6 +106,8 @@ class OnlineLocalityScheduler final : public SchedulerPolicy {
   void onExit(ProcessId process) override;
   void onReady(ProcessId process) override;
   void onPreempt(ProcessId process) override;
+  void onCoreDown(std::size_t core) override;
+  void onCoreUp(std::size_t core) override;
   std::optional<ProcessId> pickNext(std::size_t core,
                                     std::optional<ProcessId> previous) override;
   [[nodiscard]] std::string name() const override { return "OLS"; }
@@ -154,6 +165,11 @@ class OnlineLocalityScheduler final : public SchedulerPolicy {
   /// options_.balancer.enabled).
   void maybeBalance();
 
+  /// Orphans core \p core's pending queue and re-homes every entry via
+  /// planOrphanReassignment. Called when the core goes down, and after
+  /// a rebuild placed work on a core that is (still) down.
+  void evacuateCore(std::size_t core);
+
   /// \name Tombstone-queue primitives (indexed representation)
   /// @{
   /// Adopts a freshly built plan as the queue state.
@@ -186,6 +202,11 @@ class OnlineLocalityScheduler final : public SchedulerPolicy {
   /// Last process dispatched on each core — the sharing anchor for
   /// arrival patches when a core's plan has run dry.
   std::vector<std::optional<ProcessId>> anchor_;
+  /// Cores the engine reported down (onCoreDown/onCoreUp). Never
+  /// planned onto while any core is up; downCount_ caches the popcount
+  /// so the fault-free path pays one integer compare per use.
+  std::vector<bool> coreDown_;
+  std::size_t downCount_ = 0;
 
   /// \name Legacy dispatch state (indexedPlanner == false)
   /// @{

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "region/sharing.h"
 #include "taskgraph/graph.h"
@@ -69,7 +70,63 @@ static_assert(static_cast<std::size_t>(SchedulerKind::OnlineLocality) + 1 ==
                   kAllSchedulerKinds.size(),
               "kAllSchedulerKinds is out of sync with SchedulerKind");
 
-/// Short stable name ("RS", "RRS", "LS", "LSM", ...).
+/// Compile-time short stable name of a kind ("RS", "RRS", "LS", ...).
+/// The single source of truth: to_string returns exactly this, and the
+/// static_asserts below prove every catalogued kind has a distinct
+/// non-empty name — a new enum value without a case here fails the
+/// build (-Wswitch under LAPSCHED_WERROR, the empty-name assert
+/// otherwise) instead of drifting until a test notices.
+[[nodiscard]] constexpr std::string_view schedulerKindName(
+    SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::Random: return "RS";
+    case SchedulerKind::RoundRobin: return "RRS";
+    case SchedulerKind::Locality: return "LS";
+    case SchedulerKind::LocalityMapping: return "LSM";
+    case SchedulerKind::Fcfs: return "FCFS";
+    case SchedulerKind::Sjf: return "SJF";
+    case SchedulerKind::CriticalPath: return "CPATH";
+    case SchedulerKind::DynamicLocality: return "DLS";
+    case SchedulerKind::L2ContentionAware: return "CALS";
+    case SchedulerKind::OnlineLocality: return "OLS";
+  }
+  return {};
+}
+
+namespace detail {
+/// The catalogue lists every enumerator exactly once (it is a
+/// permutation of [0, size)).
+constexpr bool schedulerCatalogueCoversEnum() {
+  std::array<bool, kAllSchedulerKinds.size()> seen{};
+  for (const SchedulerKind kind : kAllSchedulerKinds) {
+    const auto index = static_cast<std::size_t>(kind);
+    if (index >= seen.size() || seen[index]) return false;
+    seen[index] = true;
+  }
+  return true;
+}
+
+/// Every catalogued kind has a non-empty name, and no two share one.
+constexpr bool schedulerNamesDistinct() {
+  for (std::size_t i = 0; i < kAllSchedulerKinds.size(); ++i) {
+    const std::string_view name = schedulerKindName(kAllSchedulerKinds[i]);
+    if (name.empty()) return false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (name == schedulerKindName(kAllSchedulerKinds[j])) return false;
+    }
+  }
+  return true;
+}
+}  // namespace detail
+
+static_assert(detail::schedulerCatalogueCoversEnum(),
+              "kAllSchedulerKinds must list every SchedulerKind exactly once");
+static_assert(detail::schedulerNamesDistinct(),
+              "schedulerKindName must give every catalogued SchedulerKind a "
+              "distinct non-empty name");
+
+/// Short stable name ("RS", "RRS", "LS", "LSM", ...) — the runtime
+/// std::string form of schedulerKindName.
 [[nodiscard]] std::string to_string(SchedulerKind kind);
 
 /// Everything a policy may consult when (re)initialized. The workload
@@ -128,11 +185,25 @@ class SchedulerPolicy {
   virtual void onArrival(ProcessId process) { (void)process; }
 
   /// Open workloads: \p process left the system — it ran to completion
-  /// (after onComplete) or was retired at its lifetime deadline (in
-  /// which case no onComplete fires, and the process may have been
-  /// running or waiting). Policies holding per-process state (running
-  /// sets, plans, queues) drop it here. Default: ignored.
+  /// (after onComplete), was retired at its lifetime deadline, or
+  /// crashed under fault injection (no onComplete in either of the
+  /// latter cases; the process may have been running or waiting).
+  /// Policies holding per-process state (running sets, plans, queues)
+  /// drop it here. A crashed process that retries re-enters through a
+  /// fresh onArrival, so exit-then-arrival for the same id is legal in
+  /// fault runs. Default: ignored.
   virtual void onExit(ProcessId process) { (void)process; }
+
+  /// Fault injection: core \p core went down (permanently or for a
+  /// transient outage). The engine never offers a down core work, so
+  /// this hook exists for bookkeeping — replanning policies re-home the
+  /// work they had planned for the core. Default: ignored.
+  virtual void onCoreDown(std::size_t core) { (void)core; }
+
+  /// Fault injection: core \p core recovered from a transient outage
+  /// (with cold caches) and is eligible for dispatch again. Default:
+  /// ignored.
+  virtual void onCoreUp(std::size_t core) { (void)core; }
 
   /// Quantum in cycles; nullopt = non-preemptive.
   [[nodiscard]] virtual std::optional<std::int64_t> quantum() const {

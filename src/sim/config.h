@@ -11,6 +11,7 @@
 #include "cache/shared_l2.h"
 #include "sim/admission.h"
 #include "sim/arrivals.h"
+#include "sim/faults.h"
 
 namespace laps {
 
@@ -49,6 +50,15 @@ struct MpsocConfig {
   /// processes. Disabled = the paper's closed workload (everything
   /// resident at cycle 0), bit-identical to the pre-arrival simulator.
   std::optional<ArrivalSchedule> arrivals;
+
+  /// Optional deterministic fault injection (docs/ARCHITECTURE.md §13):
+  /// seeded permanent core failures, transient core outages and process
+  /// crashes with retry/backoff, interleaved into the event loop.
+  /// Requires an arrival schedule (crash retries re-enter as arrivals).
+  /// Absent — or present with every class mean zero — the engine takes
+  /// the exact fault-free path, bit-identical to the pre-fault
+  /// simulator.
+  std::optional<FaultPlan> faults;
 
   /// Admission control for open workloads (docs/ARCHITECTURE.md §10):
   /// consulted once per arriving process, before the scheduling policy

@@ -49,15 +49,35 @@ std::int64_t MpsocSimulator::runSegment(std::size_t coreIdx, ProcessId process,
                                         std::int64_t now) {
   Core& core = cores_[coreIdx];
 
+  // The offer path skips down cores; this compiled-in check proves no
+  // other path can slip a segment onto one (the ForTest seam lets the
+  // audit suite show the checker is live).
+  LAPS_AUDIT(audit::coreUpForDispatch(
+      coreDown_[coreIdx] || auditPretendDownCoreForTest_ == coreIdx, coreIdx));
+
   // Switch overhead is charged outside the quantum comparison: the OS
   // timer starts when the process actually runs, so dispatch overhead
-  // must not shrink the time slice the policy grants.
+  // must not shrink the time slice the policy grants. A fault-displaced
+  // process's resume additionally pays the migration penalty (cold L1
+  // on whatever core took it in, plus the shared-L2 re-warm when the
+  // platform has one) — also outside the quantum, but accounted
+  // separately (FaultStats::migrationPenaltyCycles).
   std::int64_t switchOverhead = 0;
+  if (faultsActive_ && migrationPenaltyDue_[process]) {
+    migrationPenaltyDue_[process] = false;
+    const std::int64_t penalty =
+        config_.faults->migrationPenaltyCycles +
+        (config_.sharedL2 ? config_.faults->l2RewarmPenaltyCycles : 0);
+    switchOverhead += penalty;
+    result_.faults.migrationPenaltyCycles +=
+        static_cast<std::uint64_t>(penalty);
+  }
   const bool isSwitch = core.lastScheduled != std::optional<ProcessId>{process};
   if (isSwitch) {
-    switchOverhead = config_.switchCycles;
+    switchOverhead += config_.switchCycles;
     ++result_.contextSwitches;
-    result_.switchOverheadCycles += static_cast<std::uint64_t>(switchOverhead);
+    result_.switchOverheadCycles +=
+        static_cast<std::uint64_t>(config_.switchCycles);
     if (config_.flushOnSwitch) core.memory->flushAll();
   }
   if (lastRanOn_[process] && *lastRanOn_[process] != coreIdx) {
@@ -134,49 +154,97 @@ std::int64_t MpsocSimulator::deadline(ProcessId process) const {
   return arrivalCycle_[process] + *config_.arrivals->processLifetimeCycles;
 }
 
-void MpsocSimulator::exitProcess(ProcessId process, std::size_t coreIdx,
-                                 std::int64_t now, bool retired) {
+void MpsocSimulator::leaveSystem(ProcessId process) {
+  policy_->onExit(process);
+  liveSharing_.removeProcess(process);
+  --inSystem_;
+  LAPS_AUDIT(liveSharing_.auditInvariants());
+  LAPS_AUDIT(
+      audit::activeSetAgreement(liveSharing_, arrived_, completed_, inSystem_));
+}
+
+void MpsocSimulator::markDeparted(ProcessId process, std::size_t coreIdx,
+                                  std::int64_t now, DepartureReason reason) {
   // A retired process logically left at its deadline; the engine may
   // only *notice* later (a waiting process is lazily retired at its
   // next pick). Record the deadline, not the notice time — otherwise a
   // starvation-prone policy would be credited unbounded sojourn for
   // processes the lifetime model says were already gone.
-  if (retired) now = std::min(now, deadline(process));
+  if (reason == DepartureReason::Retired) {
+    now = std::min(now, deadline(process));
+  }
   completed_[process] = true;
-  ++completedCount_;
+  ++departedCount_;
   auto& record = result_.processes[process];
   record.completionCycle = now;
-  record.lastCore = coreIdx;
-  record.retired = retired;
-  if (retired) {
-    ++result_.retiredProcesses;
-  } else {
-    policy_->onComplete(process);
+  switch (reason) {
+    case DepartureReason::Completed:
+      record.lastCore = coreIdx;
+      ++departedCompleted_;
+      policy_->onComplete(process);
+      break;
+    case DepartureReason::Retired:
+      record.lastCore = coreIdx;
+      record.retired = true;
+      ++result_.retiredProcesses;
+      break;
+    case DepartureReason::Rejected:
+      record.arrivalCycle = now;
+      record.rejected = true;
+      ++result_.rejectedProcesses;
+      break;
+    case DepartureReason::Failed:
+      record.failed = true;
+      ++result_.faults.failedProcesses;
+      break;
   }
   if (openWorkload_) {
-    policy_->onExit(process);
-    liveSharing_.removeProcess(process);
-    --inSystem_;
-    LAPS_AUDIT(liveSharing_.auditInvariants());
-    LAPS_AUDIT(audit::activeSetAgreement(liveSharing_, arrived_, completed_,
-                                         inSystem_));
-    // Feed the exit's sojourn into the admission controller's SLO
-    // estimator (SloShed; a no-op state update for the other kinds).
-    admission_.recordSojourn(now - arrivalCycle_[process]);
     CohortStats& cohort = result_.cohorts[cohortOfProcess_[process]];
-    cohort.completionCycle = std::max(cohort.completionCycle, now);
-    cohort.totalLatencyCycles += now - arrivalCycle_[process];
-    if (retired) ++cohort.retiredCount;
+    switch (reason) {
+      case DepartureReason::Completed:
+      case DepartureReason::Retired:
+        leaveSystem(process);
+        // Feed the exit's sojourn into the admission controller's SLO
+        // estimator (SloShed; a no-op state update for the other kinds).
+        admission_.recordSojourn(now - arrivalCycle_[process]);
+        cohort.completionCycle = std::max(cohort.completionCycle, now);
+        cohort.totalLatencyCycles += now - arrivalCycle_[process];
+        if (reason == DepartureReason::Retired) ++cohort.retiredCount;
+        break;
+      case DepartureReason::Rejected:
+        // Never entered the system: no onExit, no sojourn. arrived_
+        // stays false, so the release below can never make it ready
+        // even when its own predecessors later complete.
+        ++cohort.rejectedCount;
+        break;
+      case DepartureReason::Failed:
+        // The crash departure already removed the process from the
+        // live set (handleCrash; a shed retry was never readmitted),
+        // so only the terminal accounting happens here. Failed
+        // processes never sojourned — they are excluded from the
+        // percentiles and the SLO estimator, like rejected ones.
+        ++cohort.failedCount;
+        break;
+    }
   }
-  // Dependents are released on retirement too: a killed producer must
-  // not strand its consumers (they run against whatever data exists —
-  // the simulation models timing, not values).
+  // Dependents are released on every terminal departure: a retired,
+  // rejected or permanently failed producer must not strand its
+  // consumers (they run against whatever data exists — the simulation
+  // models timing, not values).
   for (const ProcessId succ : workload_->graph.successors(process)) {
     check(remainingPreds_[succ] > 0, "MpsocSimulator: dependence accounting");
     if (--remainingPreds_[succ] == 0 && arrived_[succ]) {
       announceReady(succ);
     }
   }
+  // Conservation after every departure: a double departure or one that
+  // skipped its reason's accounting fires at the event, not at the end
+  // of the run (the ForTest skew proves the checker is live).
+  LAPS_AUDIT(audit::departureConservation(
+      departedCount_ + auditDepartureSkewForTest_, departedCompleted_,
+      static_cast<std::size_t>(result_.rejectedProcesses),
+      static_cast<std::size_t>(result_.retiredProcesses),
+      static_cast<std::size_t>(result_.faults.failedProcesses)));
 }
 
 void MpsocSimulator::announceReady(ProcessId process) {
@@ -185,25 +253,135 @@ void MpsocSimulator::announceReady(ProcessId process) {
   policy_->onReady(process);
 }
 
-void MpsocSimulator::rejectProcess(ProcessId process, std::int64_t now) {
-  completed_[process] = true;
-  ++completedCount_;
-  auto& record = result_.processes[process];
-  record.arrivalCycle = now;
-  record.completionCycle = now;
-  record.rejected = true;
-  ++result_.rejectedProcesses;
-  ++result_.cohorts[cohortOfProcess_[process]].rejectedCount;
-  // A rejected producer releases its dependents exactly like an exiting
-  // one — the admission decision must never strand downstream work. A
-  // rejected process itself can never become ready: arrived_ stays
-  // false, so the release path skips it even when its own predecessors
-  // later complete.
-  for (const ProcessId succ : workload_->graph.successors(process)) {
-    check(remainingPreds_[succ] > 0, "MpsocSimulator: dependence accounting");
-    if (--remainingPreds_[succ] == 0 && arrived_[succ]) {
-      announceReady(succ);
+void MpsocSimulator::takeCoreDown(std::size_t coreIdx, std::int64_t now,
+                                  bool permanent) {
+  Core& core = cores_[coreIdx];
+  // Only idle cores go down directly (a busy core's fault waits at
+  // pendingCoreFault_ until its segment boundary, where current has
+  // already been cleared and freeAt set to now — zero idle here).
+  result_.coreIdleCycles[coreIdx] += now - core.freeAt;
+  core.freeAt = now;
+  coreDown_[coreIdx] = true;
+  coreDownSince_[coreIdx] = now;
+  if (permanent) {
+    corePermanentlyDown_[coreIdx] = true;
+    ++result_.faults.coreFailures;
+  } else {
+    ++result_.faults.coreOutages;
+    recoveryQueue_.emplace(now + config_.faults->outageDownCycles, coreIdx);
+  }
+  policy_->onCoreDown(coreIdx);
+}
+
+void MpsocSimulator::applyFault(const FaultEvent& event, std::int64_t now) {
+  // Targets are drawn at application time against the currently
+  // eligible set; an event with no valid target draws nothing and is
+  // counted suppressed, so enabling one fault class never shifts
+  // another class's draws.
+  switch (event.kind) {
+    case FaultClass::CoreFailure: {
+      // Eligible: cores that could still fail permanently. At least one
+      // core must stay capable of running work, so a failure that would
+      // wedge the platform is suppressed, not applied.
+      std::vector<std::size_t> eligible;
+      for (std::size_t c = 0; c < config_.coreCount; ++c) {
+        if (!corePermanentlyDown_[c] &&
+            pendingCoreFault_[c] != PendingCoreFault::Failure) {
+          eligible.push_back(c);
+        }
+      }
+      if (eligible.size() <= 1) {
+        ++result_.faults.faultsSuppressed;
+        return;
+      }
+      const std::size_t c =
+          eligible[faultTargetRng_.below(eligible.size())];
+      if (pendingCoreFault_[c] == PendingCoreFault::Outage) {
+        // The harsher event wins: the pending outage never applies
+        // (counted suppressed) and the boundary takes the core down
+        // for good.
+        pendingCoreFault_[c] = PendingCoreFault::Failure;
+        ++result_.faults.faultsSuppressed;
+      } else if (coreDown_[c]) {
+        // Already transiently down: the failure makes it permanent.
+        // The policy heard onCoreDown at the outage and simply never
+        // hears onCoreUp; the queued recovery is dropped when popped.
+        corePermanentlyDown_[c] = true;
+        ++result_.faults.coreFailures;
+      } else if (cores_[c].current) {
+        pendingCoreFault_[c] = PendingCoreFault::Failure;
+      } else {
+        takeCoreDown(c, now, /*permanent=*/true);
+      }
+      return;
     }
+    case FaultClass::CoreOutage: {
+      // Eligible: up cores with no fault already pending.
+      std::vector<std::size_t> eligible;
+      for (std::size_t c = 0; c < config_.coreCount; ++c) {
+        if (!coreDown_[c] && pendingCoreFault_[c] == PendingCoreFault::None) {
+          eligible.push_back(c);
+        }
+      }
+      if (eligible.empty()) {
+        ++result_.faults.faultsSuppressed;
+        return;
+      }
+      const std::size_t c =
+          eligible[faultTargetRng_.below(eligible.size())];
+      if (cores_[c].current) {
+        pendingCoreFault_[c] = PendingCoreFault::Outage;
+      } else {
+        takeCoreDown(c, now, /*permanent=*/false);
+      }
+      return;
+    }
+    case FaultClass::ProcessCrash: {
+      // Eligible: cores running a process not already doomed to crash
+      // at this boundary (a second crash of the same segment changes
+      // nothing — all progress is lost either way).
+      std::vector<std::size_t> eligible;
+      for (std::size_t c = 0; c < config_.coreCount; ++c) {
+        if (cores_[c].current && !crashPending_[c]) eligible.push_back(c);
+      }
+      if (eligible.empty()) {
+        ++result_.faults.faultsSuppressed;
+        return;
+      }
+      crashPending_[eligible[faultTargetRng_.below(eligible.size())]] = true;
+      return;
+    }
+  }
+  fail("applyFault: unknown FaultClass");
+}
+
+void MpsocSimulator::handleCrash(ProcessId process, std::size_t coreIdx,
+                                 std::int64_t now) {
+  const RetryPolicy& retry = config_.faults->retry;
+  ++result_.faults.processCrashes;
+  ++result_.processes[process].crashes;
+  ++crashCount_[process];
+  // All progress is lost: the trace restarts from the beginning on the
+  // next attempt, and the resume bookkeeping forgets the core (a
+  // restart is a fresh run, not a migration).
+  cursors_[process].reset();
+  lastRanOn_[process].reset();
+  migrationPenaltyDue_[process] = false;
+  // Temporary departure: the process leaves the live set (the policy
+  // hears onExit) and, if retried, re-enters through admission like
+  // any other arrival. arrived_ drops first so the active-set audit
+  // inside leaveSystem sees a consistent live set; dependents are NOT
+  // released — the process may still complete on a retry.
+  arrived_[process] = false;
+  readyAnnounced_[process] = false;
+  leaveSystem(process);
+  if (crashCount_[process] > retry.maxAttempts) {
+    markDeparted(process, coreIdx, now, DepartureReason::Failed);
+  } else {
+    retryQueue_.emplace(
+        now + retryBackoffCycles(retry, crashCount_[process], retryJitterRng_),
+        process);
+    ++result_.faults.retriesScheduled;
   }
 }
 
@@ -215,7 +393,7 @@ void MpsocSimulator::admitBatch(std::size_t batchIdx, std::int64_t now) {
   const ArrivalBatch& batch = arrivalBatches_[batchIdx];
   for (const ProcessId p : batch.members) {
     if (!admission_.admit(inSystem_ - runningCount_)) {
-      rejectProcess(p, now);
+      markDeparted(p, 0, now, DepartureReason::Rejected);
       continue;
     }
     arrived_[p] = true;
@@ -226,7 +404,7 @@ void MpsocSimulator::admitBatch(std::size_t batchIdx, std::int64_t now) {
   }
   // announceReady's exactly-once guard matters here: an in-batch
   // rejection may have already released an admitted batch member via
-  // rejectProcess.
+  // markDeparted's dependent release.
   for (const ProcessId p : batch.members) {
     if (arrived_[p] && remainingPreds_[p] == 0) announceReady(p);
   }
@@ -259,7 +437,8 @@ SimResult MpsocSimulator::run() {
   }
   cursors_.assign(n, std::nullopt);
   completed_.assign(n, false);
-  completedCount_ = 0;
+  departedCount_ = 0;
+  departedCompleted_ = 0;
   lastRanOn_.assign(n, std::nullopt);
   remainingPreds_.resize(n);
   std::vector<bool> running(n, false);
@@ -330,6 +509,32 @@ SimResult MpsocSimulator::run() {
     liveSharing_ = SharingMatrix::inactive(n);
   }
 
+  // Fault injection (docs §13). Disabled — the default, including a
+  // FaultPlan with every mean zero — none of this state is consulted on
+  // the hot path beyond one boolean, and the run is bit-identical to a
+  // fault-free engine.
+  if (config_.faults) config_.faults->validate();
+  faultsActive_ = config_.faults.has_value() && config_.faults->enabled();
+  faultTimeline_.reset();
+  if (faultsActive_) {
+    check(openWorkload_,
+          "MpsocConfig::faults requires an arrival schedule (open workload)");
+    faultTimeline_.emplace(*config_.faults);
+    faultTargetRng_ =
+        Rng(faultStreamSeed(config_.faults->seed, FaultStream::Targets));
+    retryJitterRng_ =
+        Rng(faultStreamSeed(config_.faults->seed, FaultStream::RetryJitter));
+  }
+  coreDown_.assign(config_.coreCount, false);
+  corePermanentlyDown_.assign(config_.coreCount, false);
+  coreDownSince_.assign(config_.coreCount, 0);
+  pendingCoreFault_.assign(config_.coreCount, PendingCoreFault::None);
+  crashPending_.assign(config_.coreCount, false);
+  crashCount_.assign(n, 0);
+  migrationPenaltyDue_.assign(n, false);
+  retryQueue_ = TimedEventQueue{};
+  recoveryQueue_ = TimedEventQueue{};
+
   const SchedContext context{&workload_->graph,
                              openWorkload_ ? &liveSharing_ : sharing_,
                              config_.coreCount, workload_, space_};
@@ -355,6 +560,7 @@ SimResult MpsocSimulator::run() {
   // lazy retirement at the scheduling boundary keeps every policy's
   // ready-queue bookkeeping valid without new obligations.
   const auto offer = [&](std::size_t coreIdx, std::int64_t now) {
+    if (coreDown_[coreIdx]) return false;  // a down core is never offered
     while (true) {
       const auto pick =
           policy_->pickNext(coreIdx, cores_[coreIdx].lastScheduled);
@@ -366,8 +572,8 @@ SimResult MpsocSimulator::run() {
       check(arrived_[p], "scheduler picked a process that has not arrived");
       check(remainingPreds_[p] == 0, "scheduler picked a dependent process");
       if (deadline(p) <= now) {
-        exitProcess(p, lastRanOn_[p].value_or(coreIdx), now,
-                    /*retired=*/true);
+        markDeparted(p, lastRanOn_[p].value_or(coreIdx), now,
+                     DepartureReason::Retired);
         continue;
       }
       result_.coreIdleCycles[coreIdx] += now - cores_[coreIdx].freeAt;
@@ -378,62 +584,177 @@ SimResult MpsocSimulator::run() {
       return true;
     }
   };
+  const auto offerIdleCores = [&](std::int64_t now) {
+    for (std::size_t c = 0; c < config_.coreCount; ++c) {
+      if (!cores_[c].current) offer(c, now);
+    }
+  };
 
   for (std::size_t c = 0; c < config_.coreCount; ++c) {
     offer(c, 0);
   }
 
+  // The event loop merges five sources in fixed priority at equal
+  // cycles: arrivals, then crash retries, then outage recoveries, then
+  // fault injections, then core events. Arrivals-before-core-events is
+  // the PR 5 discipline (a core freeing at t must see the processes
+  // arriving at t) extended to the fault sources; injections beat core
+  // events so a fault at t lands on the segment ending at t. The fault
+  // timeline is infinite, so injections never keep the loop alive by
+  // themselves — one is consumed only when due at or before the next
+  // real event. Recoveries alone sustain the loop only while processes
+  // remain (an all-cores-down platform must wake up to finish them).
+  constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
   std::int64_t now = 0;
-  while (!events.empty() || nextBatch < arrivalBatches_.size()) {
-    // Arrivals first at equal cycles: a core freeing at t must see the
-    // processes that arrive at t.
+  while (!events.empty() || nextBatch < arrivalBatches_.size() ||
+         !retryQueue_.empty() ||
+         (departedCount_ < n && !recoveryQueue_.empty())) {
     const std::int64_t nextArrival =
-        nextBatch < arrivalBatches_.size()
-            ? arrivalBatches_[nextBatch].cycle
-            : std::numeric_limits<std::int64_t>::max();
-    if (events.empty() || nextArrival <= events.top().first) {
-      LAPS_AUDIT(audit::cycleMonotone(now, nextArrival));
-      now = nextArrival;
-      admitBatch(nextBatch++, now);
-      for (std::size_t c = 0; c < config_.coreCount; ++c) {
-        if (!cores_[c].current) offer(c, now);
-      }
+        nextBatch < arrivalBatches_.size() ? arrivalBatches_[nextBatch].cycle
+                                           : kNever;
+    const std::int64_t nextRetry =
+        retryQueue_.empty() ? kNever : retryQueue_.top().first;
+    const std::int64_t nextRecovery =
+        recoveryQueue_.empty() ? kNever : recoveryQueue_.top().first;
+    const std::int64_t nextCore = events.empty() ? kNever : events.top().first;
+    const std::int64_t t = std::min(std::min(nextArrival, nextRetry),
+                                    std::min(nextRecovery, nextCore));
+    const std::int64_t nextInjection =
+        faultsActive_ ? faultTimeline_->peek().cycle : kNever;
+
+    // An injection strictly earlier than every real event applies
+    // first; at equal cycles the sources drain in the documented
+    // priority (arrival, retry, recovery, injection, core), handled by
+    // the second injection branch below. t is a real event (the loop
+    // condition holds), so the timeline never sustains the loop.
+    if (faultsActive_ && nextInjection < t) {
+      const FaultEvent event = faultTimeline_->pop();
+      LAPS_AUDIT(audit::cycleMonotone(now, event.cycle));
+      now = event.cycle;
+      applyFault(event, now);
+      offerIdleCores(now);
       continue;
     }
-    const auto [t, coreIdx] = events.top();
+
+    if (nextArrival <= t) {
+      LAPS_AUDIT(audit::cycleMonotone(now, t));
+      now = t;
+      admitBatch(nextBatch++, now);
+      offerIdleCores(now);
+      continue;
+    }
+    if (nextRetry <= t) {
+      LAPS_AUDIT(audit::cycleMonotone(now, t));
+      now = t;
+      const auto p = static_cast<ProcessId>(retryQueue_.top().second);
+      retryQueue_.pop();
+      // A retry re-enters through admission control like any other
+      // arrival, so QueueCap/SloShed can shed it under overload — a
+      // shed retry permanently fails the process.
+      if (!admission_.admit(inSystem_ - runningCount_)) {
+        ++result_.faults.retriesShed;
+        markDeparted(p, 0, now, DepartureReason::Failed);
+      } else {
+        arrived_[p] = true;
+        ++inSystem_;
+        // result_.processes[p].arrivalCycle keeps the ORIGINAL arrival:
+        // sojourn and the lifetime deadline are measured from when the
+        // request first entered, so crashes cannot launder SLO time.
+        liveSharing_.addProcess(footprints_, p);
+        policy_->onArrival(p);
+        if (remainingPreds_[p] == 0) announceReady(p);
+        LAPS_AUDIT(liveSharing_.auditInvariants());
+        LAPS_AUDIT(audit::activeSetAgreement(liveSharing_, arrived_,
+                                             completed_, inSystem_));
+      }
+      offerIdleCores(now);
+      continue;
+    }
+    if (nextRecovery <= t) {
+      LAPS_AUDIT(audit::cycleMonotone(now, t));
+      now = t;
+      const std::size_t c = recoveryQueue_.top().second;
+      recoveryQueue_.pop();
+      // A core permanently failed mid-outage never recovers; its queued
+      // recovery is simply dropped.
+      if (!corePermanentlyDown_[c]) {
+        coreDown_[c] = false;
+        result_.faults.coreDownCycles +=
+            static_cast<std::uint64_t>(now - coreDownSince_[c]);
+        ++result_.faults.coreRecoveries;
+        Core& core = cores_[c];
+        core.freeAt = now;
+        core.memory->flushAll();  // the outage lost the caches
+        core.lastScheduled.reset();
+        policy_->onCoreUp(c);
+      }
+      offerIdleCores(now);
+      continue;
+    }
+    if (faultsActive_ && nextInjection <= t) {
+      const FaultEvent event = faultTimeline_->pop();
+      LAPS_AUDIT(audit::cycleMonotone(now, event.cycle));
+      now = event.cycle;
+      applyFault(event, now);
+      // onCoreDown may have re-homed planned work onto cores that were
+      // idle for lack of it.
+      offerIdleCores(now);
+      continue;
+    }
+
+    const auto [tc, coreIdx] = events.top();
     events.pop();
-    // This branch is taken only when every pending arrival is strictly
-    // later than the popped core event (arrivals win ties), and popped
-    // event times never run backwards.
-    LAPS_AUDIT(audit::arrivalBeforeCore(t, nextArrival));
-    LAPS_AUDIT(audit::cycleMonotone(now, t));
-    now = t;
+    // This branch is taken only when every pending arrival/retry/
+    // recovery is strictly later and every due injection has been
+    // applied (they all win ties), and popped event times never run
+    // backwards.
+    LAPS_AUDIT(audit::arrivalBeforeCore(tc, nextArrival));
+    LAPS_AUDIT(audit::faultBeforeCore(tc, nextInjection));
+    LAPS_AUDIT(audit::cycleMonotone(now, tc));
+    now = tc;
     Core& core = cores_[coreIdx];
     const ProcessId p = *core.current;
     core.current.reset();
     core.freeAt = now;
     running[p] = false;
     --runningCount_;
-    if (cursors_[p]->done()) {
-      exitProcess(p, coreIdx, now, /*retired=*/false);
+    const bool crashed = faultsActive_ && crashPending_[coreIdx];
+    const bool displaced =
+        faultsActive_ && pendingCoreFault_[coreIdx] != PendingCoreFault::None;
+    if (crashed) {
+      // The crash point precedes the boundary, so it wins even over a
+      // finished trace (documented approximation, docs §13).
+      crashPending_[coreIdx] = false;
+      handleCrash(p, coreIdx, now);
+    } else if (cursors_[p]->done()) {
+      markDeparted(p, coreIdx, now, DepartureReason::Completed);
     } else if (deadline(p) <= now) {
       // The lifetime cap cut this segment: the process overstayed.
-      exitProcess(p, coreIdx, now, /*retired=*/true);
+      markDeparted(p, coreIdx, now, DepartureReason::Retired);
     } else {
       ++result_.preemptions;
       policy_->onPreempt(p);
+      if (displaced) {
+        // Displaced by the core going down: progress is kept, but the
+        // resume pays the migration penalty (charged in runSegment).
+        migrationPenaltyDue_[p] = true;
+        ++result_.faults.faultMigrations;
+      }
+    }
+    if (displaced) {
+      const bool permanent =
+          pendingCoreFault_[coreIdx] == PendingCoreFault::Failure;
+      pendingCoreFault_[coreIdx] = PendingCoreFault::None;
+      takeCoreDown(coreIdx, now, permanent);
     }
     // The finishing core first, then any core that was starved — new
     // readiness may have unblocked them.
     offer(coreIdx, now);
-    for (std::size_t c = 0; c < config_.coreCount; ++c) {
-      if (!cores_[c].current) offer(c, now);
-    }
+    offerIdleCores(now);
   }
 
-  check(completedCount_ == n,
-        "MpsocSimulator: deadlock — " +
-            std::to_string(n - completedCount_) +
+  check(departedCount_ == n,
+        "MpsocSimulator: deadlock — " + std::to_string(n - departedCount_) +
             " process(es) never completed (policy stranded work)");
 
   result_.makespanCycles = now;
@@ -460,7 +781,7 @@ SimResult MpsocSimulator::run() {
       perCohort.clear();
       for (const ProcessId p : cohortMembers_[k]) {
         const ProcessRunRecord& record = result_.processes[p];
-        if (record.rejected) continue;
+        if (record.rejected || record.failed) continue;
         const std::int64_t sojourn =
             record.completionCycle - record.arrivalCycle;
         perCohort.push_back(sojourn);
@@ -468,19 +789,27 @@ SimResult MpsocSimulator::run() {
       }
       fill(result_.cohorts[k].sojourn, perCohort);
       // Per-cohort admission identity: every member is a sojourn
-      // sample or was rejected.
+      // sample, was rejected, or was permanently failed.
       LAPS_AUDIT(audit::admissionIdentity(
           result_.cohorts[k].sojourn.samples, result_.cohorts[k].rejectedCount,
-          result_.cohorts[k].processCount));
+          result_.cohorts[k].failedCount, result_.cohorts[k].processCount));
     }
     fill(result_.sojourn, global);
     LAPS_AUDIT(audit::admissionIdentity(
         result_.sojourn.samples,
-        static_cast<std::size_t>(result_.rejectedProcesses), n));
+        static_cast<std::size_t>(result_.rejectedProcesses),
+        static_cast<std::size_t>(result_.faults.failedProcesses), n));
   }
   for (std::size_t c = 0; c < config_.coreCount; ++c) {
     result_.coreBusyCycles[c] = cores_[c].busyCycles;
-    result_.coreIdleCycles[c] += now - cores_[c].freeAt;
+    if (coreDown_[c]) {
+      // A core that ends the run down was unavailable, not idle, since
+      // it went down.
+      result_.faults.coreDownCycles +=
+          static_cast<std::uint64_t>(now - coreDownSince_[c]);
+    } else {
+      result_.coreIdleCycles[c] += now - cores_[c].freeAt;
+    }
     result_.dcacheTotal.accumulate(cores_[c].memory->dcache().stats());
     result_.icacheTotal.accumulate(cores_[c].memory->icache().stats());
     result_.dataMisses.accumulate(cores_[c].memory->dataMissBreakdown());

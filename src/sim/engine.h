@@ -34,15 +34,31 @@
 ///  * a preempted process resumes where it stopped, on any core;
 ///  * context switches cost MpsocConfig::switchCycles, charged outside
 ///    the quantum (overhead must not shrink the policy's time slice) and
-///    reported separately from useful work (SimResult::switchOverheadCycles).
+///    reported separately from useful work (SimResult::switchOverheadCycles);
+///  * with a FaultPlan (MpsocConfig::faults, docs §13; requires an
+///    arrival schedule) the platform is unreliable: seeded fault events
+///    interleave with the event loop (arrivals, then retries, then
+///    recoveries, then injections, then core events at equal cycles).
+///    A failing or transiently-outaged core goes down at its next
+///    segment boundary (immediately when idle); its displaced process
+///    is preempted with progress kept and pays a migration penalty on
+///    resume, while a down core is never offered work again until it
+///    recovers (cold). A crashed process loses all progress, leaves the
+///    system through the same departure path as lifetime retirement,
+///    and re-enters as a fresh arrival after a seeded exponential
+///    backoff — admission control can shed the retry; a process out of
+///    retry budget is permanently failed (SimResult::faults).
 ///
 /// Traces replay either per event or run-length encoded
 /// (MpsocConfig::replayMode; see sim/replay.h) with bit-identical
 /// results. The simulation is fully deterministic: identical inputs
 /// (workload, layout, policy, config) produce identical results.
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "layout/address_space.h"
@@ -75,6 +91,22 @@ class MpsocSimulator {
   /// process.
   SimResult run();
 
+  /// \name Audit-liveness test seams
+  /// Prove the engine's compiled-in fault checkers fire (see
+  /// tests/sim/fault_test.cpp): the seams skew the checked state without
+  /// touching the simulation itself, so an audit build must abort while
+  /// a default build still returns the unperturbed result.
+  /// @{
+  /// coreUpForDispatch sees \p core as down on its next dispatch.
+  void auditPretendCoreDownForTest(std::size_t core) {
+    auditPretendDownCoreForTest_ = core;
+  }
+  /// departureConservation sees \p skew phantom departures.
+  void auditSkewDepartureCountForTest(std::size_t skew) {
+    auditDepartureSkewForTest_ = skew;
+  }
+  /// @}
+
  private:
   struct Core {
     std::unique_ptr<MemorySystem> memory;
@@ -84,17 +116,35 @@ class MpsocSimulator {
     std::int64_t busyCycles = 0;
   };
 
+  /// Why a process terminally left the system. Every terminal departure
+  /// goes through markDeparted with exactly one reason, which is what
+  /// the departure-conservation audit counts (docs/ARCHITECTURE.md §13).
+  enum class DepartureReason {
+    Completed,  ///< ran its trace to the end
+    Retired,    ///< overstayed its lifetime deadline
+    Rejected,   ///< turned away by admission control at arrival
+    Failed,     ///< crash retry budget exhausted, or retry shed
+  };
+
   /// Executes one segment of \p process on \p core starting at \p now;
   /// returns the segment's end cycle.
   std::int64_t runSegment(std::size_t coreIdx, ProcessId process,
                           std::int64_t now);
 
-  /// Marks \p process gone at \p now — naturally completed (\p retired
-  /// false) or retired at its lifetime deadline — and announces newly
-  /// ready successors to the policy. Either way dependents are released,
-  /// so retirement cannot strand downstream work.
-  void exitProcess(ProcessId process, std::size_t coreIdx, std::int64_t now,
-                   bool retired);
+  /// The single terminal-departure path: marks \p process gone at \p now
+  /// for \p reason, does the per-reason accounting, and releases its
+  /// dependents — a retired, rejected or permanently failed producer
+  /// must not strand its consumers. \p coreIdx is recorded as the last
+  /// core for Completed/Retired (ignored otherwise — the process was
+  /// not on a core when it departed).
+  void markDeparted(ProcessId process, std::size_t coreIdx, std::int64_t now,
+                    DepartureReason reason);
+
+  /// Open workloads: removes \p process from the live set — the policy
+  /// hears onExit, the live sharing matrix drops the row, inSystem_
+  /// falls. Shared by terminal departures out of the system and the
+  /// *temporary* crash departure (which may re-enter via a retry).
+  void leaveSystem(ProcessId process);
 
   /// Handles arrival batch \p batchIdx at \p now (one cohort in cohort
   /// granularity, one process in per-process granularity): consults
@@ -103,14 +153,28 @@ class MpsocSimulator {
   /// before any onReady.
   void admitBatch(std::size_t batchIdx, std::int64_t now);
 
-  /// Turns \p process away at arrival: it is counted as rejected,
-  /// released like an exit (dependents must not deadlock), and the
-  /// policy never hears of it.
-  void rejectProcess(ProcessId process, std::int64_t now);
+  /// Applies injected fault \p event at \p now: picks the target from
+  /// the Targets stream among the currently eligible cores/processes,
+  /// defers busy-core faults to the segment boundary
+  /// (pendingCoreFault_/crashPending_), and counts events with no valid
+  /// target as suppressed.
+  void applyFault(const FaultEvent& event, std::int64_t now);
 
-  /// Fires onReady(\p process) exactly once (guarded by
-  /// readyAnnounced_). The multi-path release logic — batch admission,
-  /// exit release, reject release — funnels through here.
+  /// Takes idle, up core \p coreIdx down at \p now (permanently, or
+  /// transiently with a recovery queued). Busy cores reach here at
+  /// their segment boundary, after the displaced process was handled.
+  void takeCoreDown(std::size_t coreIdx, std::int64_t now, bool permanent);
+
+  /// \p process crashed at its segment boundary on \p coreIdx: all
+  /// progress is lost, the process leaves the live set, and either a
+  /// retry is scheduled (seeded exponential backoff) or — with the
+  /// budget exhausted — it departs permanently failed.
+  void handleCrash(ProcessId process, std::size_t coreIdx, std::int64_t now);
+
+  /// Fires onReady(\p process) exactly once per stay in the system
+  /// (guarded by readyAnnounced_; a crash departure resets the guard so
+  /// a readmitted retry is announced afresh). The multi-path release
+  /// logic — batch admission, departure release — funnels through here.
   void announceReady(ProcessId process);
 
   /// Lifetime deadline of \p process (max int64 when unlimited).
@@ -127,8 +191,9 @@ class MpsocSimulator {
   std::vector<std::optional<ProcessTraceCursor>> cursors_;
   std::vector<std::size_t> remainingPreds_;
   std::vector<std::optional<std::size_t>> lastRanOn_;  // migration detection
-  std::vector<bool> completed_;
-  std::size_t completedCount_ = 0;
+  std::vector<bool> completed_;       // terminally departed (any reason)
+  std::size_t departedCount_ = 0;     // terminal departures, all reasons
+  std::size_t departedCompleted_ = 0; // natural completions among them
   SimResult result_;
 
   /// \name Open-workload state (inert when config_.arrivals is empty)
@@ -159,6 +224,37 @@ class MpsocSimulator {
   /// exit, so the policy only ever reads values of live processes —
   /// identical, for those, to the full precomputed matrix.
   SharingMatrix liveSharing_;
+  /// @}
+
+  /// \name Fault-injection state (inert when config_.faults is disabled)
+  /// @{
+  bool faultsActive_ = false;
+  std::optional<FaultTimeline> faultTimeline_;
+  Rng faultTargetRng_{0};   ///< FaultStream::Targets
+  Rng retryJitterRng_{0};   ///< FaultStream::RetryJitter
+  /// A fault aimed at a busy core, waiting for its segment boundary.
+  /// Failure overrides a pending Outage (the harsher event wins).
+  enum class PendingCoreFault : std::uint8_t { None, Outage, Failure };
+  std::vector<bool> coreDown_;             // per core: unavailable now
+  std::vector<bool> corePermanentlyDown_;  // per core: never recovers
+  std::vector<std::int64_t> coreDownSince_;
+  std::vector<PendingCoreFault> pendingCoreFault_;
+  std::vector<bool> crashPending_;          // per core: crash at boundary
+  std::vector<std::uint32_t> crashCount_;   // per process
+  std::vector<bool> migrationPenaltyDue_;   // per process: charge on resume
+  /// (cycle, id) min-heaps; ties break on the smaller id, so equal-cycle
+  /// retries/recoveries process in deterministic order.
+  using TimedEvent = std::pair<std::int64_t, std::size_t>;
+  using TimedEventQueue =
+      std::priority_queue<TimedEvent, std::vector<TimedEvent>, std::greater<>>;
+  TimedEventQueue retryQueue_;     // crashed processes awaiting re-arrival
+  TimedEventQueue recoveryQueue_;  // transiently-down cores
+  /// @}
+
+  /// \name Audit test seams (see the public ...ForTest setters)
+  /// @{
+  std::optional<std::size_t> auditPretendDownCoreForTest_;
+  std::size_t auditDepartureSkewForTest_ = 0;
   /// @}
 };
 

@@ -1,0 +1,131 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace laps {
+
+namespace {
+
+/// Overflow guard for backoff arithmetic: a cap this large shifted or
+/// added to any simulated cycle still fits int64 comfortably.
+constexpr std::int64_t kMaxBackoffCapCycles =
+    std::numeric_limits<std::int64_t>::max() / 8;
+
+}  // namespace
+
+const char* to_string(FaultClass kind) {
+  switch (kind) {
+    case FaultClass::CoreFailure: return "CoreFailure";
+    case FaultClass::CoreOutage: return "CoreOutage";
+    case FaultClass::ProcessCrash: return "ProcessCrash";
+  }
+  fail("to_string: unknown FaultClass");
+}
+
+std::uint64_t faultStreamSeed(std::uint64_t planSeed, FaultStream stream) {
+  Rng seeder(planSeed);
+  std::uint64_t seed = 0;
+  for (int k = 0; k <= static_cast<int>(stream); ++k) seed = seeder();
+  return seed;
+}
+
+void RetryPolicy::validate() const {
+  check(backoffBaseCycles > 0,
+        "RetryPolicy: backoffBaseCycles must be positive");
+  check(backoffCapCycles >= backoffBaseCycles,
+        "RetryPolicy: backoffCapCycles must be >= backoffBaseCycles");
+  check(backoffCapCycles <= kMaxBackoffCapCycles,
+        "RetryPolicy: backoffCapCycles past the overflow guard");
+  check(backoffJitterCycles >= 0,
+        "RetryPolicy: backoffJitterCycles must be >= 0");
+  check(backoffJitterCycles <= kMaxBackoffCapCycles,
+        "RetryPolicy: backoffJitterCycles past the overflow guard");
+}
+
+std::int64_t retryBackoffCycles(const RetryPolicy& policy,
+                                std::uint32_t attempt, Rng& jitterRng) {
+  check(attempt >= 1, "retryBackoffCycles: attempts are 1-based");
+  // Doubling with an explicit cap instead of a shift: the cap is the
+  // overflow guard (validate bounds it), so delay * 2 cannot wrap.
+  std::int64_t delay = policy.backoffBaseCycles;
+  for (std::uint32_t k = 1; k < attempt && delay < policy.backoffCapCycles;
+       ++k) {
+    delay = std::min(policy.backoffCapCycles, delay * 2);
+  }
+  delay = std::min(delay, policy.backoffCapCycles);
+  if (policy.backoffJitterCycles > 0) {
+    delay += jitterRng.range(0, policy.backoffJitterCycles);
+  }
+  return delay;
+}
+
+void FaultPlan::validate() const {
+  check(meanCoreFailureCycles >= 0,
+        "FaultPlan: meanCoreFailureCycles must be >= 0");
+  check(meanCoreOutageCycles >= 0,
+        "FaultPlan: meanCoreOutageCycles must be >= 0");
+  check(meanCrashCycles >= 0, "FaultPlan: meanCrashCycles must be >= 0");
+  if (meanCoreOutageCycles > 0) {
+    check(outageDownCycles > 0,
+          "FaultPlan: outageDownCycles must be positive while outages are "
+          "enabled");
+  }
+  check(outageDownCycles >= 0, "FaultPlan: outageDownCycles must be >= 0");
+  check(migrationPenaltyCycles >= 0,
+        "FaultPlan: migrationPenaltyCycles must be >= 0");
+  check(l2RewarmPenaltyCycles >= 0,
+        "FaultPlan: l2RewarmPenaltyCycles must be >= 0");
+  retry.validate();
+}
+
+FaultTimeline::FaultTimeline(const FaultPlan& plan) {
+  plan.validate();
+  check(plan.enabled(), "FaultTimeline: every fault class is disabled");
+  const auto addStream = [&](FaultClass kind, std::int64_t mean,
+                             FaultStream stream) {
+    if (mean <= 0) return;
+    // The Exponential GapSampler is exactly the integer-geometric
+    // machinery the arrival streams use; a synthesized schedule reuses
+    // it verbatim (same Q0.64 survival inversion, same draw order).
+    ArrivalSchedule gaps;
+    gaps.seed = faultStreamSeed(plan.seed, stream);
+    gaps.meanInterArrivalCycles = mean;
+    gaps.distribution = ArrivalDistribution::Exponential;
+    streams_.push_back(ClassStream{kind, GapSampler(gaps), 0});
+    streams_.back().nextCycle = streams_.back().sampler.next();
+  };
+  addStream(FaultClass::CoreFailure, plan.meanCoreFailureCycles,
+            FaultStream::FailureGaps);
+  addStream(FaultClass::CoreOutage, plan.meanCoreOutageCycles,
+            FaultStream::OutageGaps);
+  addStream(FaultClass::ProcessCrash, plan.meanCrashCycles,
+            FaultStream::CrashGaps);
+  refresh();
+}
+
+void FaultTimeline::refresh() {
+  // streams_ is in FaultClass order, so scanning with a strict < keeps
+  // the documented tie-break: equal cycles fire in enum order.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < streams_.size(); ++i) {
+    if (streams_[i].nextCycle < streams_[best].nextCycle) best = i;
+  }
+  next_ = FaultEvent{streams_[best].nextCycle, streams_[best].kind};
+}
+
+FaultEvent FaultTimeline::pop() {
+  const FaultEvent event = next_;
+  for (ClassStream& stream : streams_) {
+    if (stream.kind == event.kind) {
+      stream.nextCycle += stream.sampler.next();
+      break;
+    }
+  }
+  refresh();
+  return event;
+}
+
+}  // namespace laps

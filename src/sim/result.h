@@ -31,6 +31,44 @@ struct ProcessRunRecord {
   /// arrival cycle. Rejected processes are excluded from the sojourn
   /// percentiles.
   bool rejected = false;
+  /// Fault injection only: the process crashed and its retry budget ran
+  /// out (or its retry was shed by admission control) — it left the
+  /// system without completing. completionCycle holds the failure
+  /// cycle; like rejected processes, failed ones are excluded from the
+  /// sojourn percentiles.
+  bool failed = false;
+  /// Fault injection only: crashes this process suffered (each one
+  /// restarted its trace from the beginning).
+  std::uint32_t crashes = 0;
+};
+
+/// Fault-injection and availability accounting of one run (all zero
+/// when MpsocConfig::faults is disabled — the fault-free engine).
+struct FaultStats {
+  std::uint64_t coreFailures = 0;   ///< permanent core failures applied
+  std::uint64_t coreOutages = 0;    ///< transient outages applied
+  std::uint64_t coreRecoveries = 0; ///< outage recoveries processed
+  /// Injected events that found no valid target: a permanent failure
+  /// that would have wedged the platform (no other core left able to
+  /// run), an outage with every core already down, or a crash with
+  /// nothing running.
+  std::uint64_t faultsSuppressed = 0;
+  std::uint64_t processCrashes = 0;    ///< crash events applied
+  std::uint64_t retriesScheduled = 0;  ///< crash retries queued
+  std::uint64_t retriesShed = 0;       ///< retries denied by admission
+  /// Processes whose crash retry budget ran out (or whose retry was
+  /// shed): they left the system without completing.
+  std::uint64_t failedProcesses = 0;
+  /// Running processes displaced by a core going down (preempted with
+  /// progress kept; their next segment pays the migration penalty).
+  std::uint64_t faultMigrations = 0;
+  /// Penalty cycles actually charged to displaced processes' resumes
+  /// (migration + optional L2 re-warm), outside the quantum like
+  /// switch overhead.
+  std::uint64_t migrationPenaltyCycles = 0;
+  /// Core-cycles spent unavailable (down), summed over cores — neither
+  /// busy nor idle in the per-core accounting.
+  std::uint64_t coreDownCycles = 0;
 };
 
 /// Exact p50/p95/p99 order statistics over recorded sojourn times
@@ -52,17 +90,25 @@ struct CohortStats {
   std::size_t processCount = 0;
   std::size_t retiredCount = 0;     ///< processes killed by the lifetime
   std::size_t rejectedCount = 0;    ///< processes turned away at arrival
-  /// Sum over the cohort's *admitted* processes of
-  /// (exit cycle - arrival cycle) — divide by
-  /// (processCount - rejectedCount) for the mean sojourn time.
+  std::size_t failedCount = 0;      ///< processes lost to crash failures
+  /// Sum over the cohort's completed-or-retired processes of
+  /// (exit cycle - arrival cycle) — divide by completedCount() +
+  /// retiredCount for the mean sojourn time.
   std::int64_t totalLatencyCycles = 0;
-  /// Exact sojourn order statistics over the cohort's admitted
-  /// processes.
+  /// Exact sojourn order statistics over the cohort's completed-or-
+  /// retired processes (rejected and failed ones never sojourned).
   SojournPercentiles sojourn;
 
   /// Response time of the whole cohort.
   [[nodiscard]] std::int64_t makespanCycles() const {
     return completionCycle - arrivalCycle;
+  }
+
+  /// Goodput of the cohort: processes that ran to completion — neither
+  /// rejected at the door, retired by the lifetime, nor permanently
+  /// failed after crashes.
+  [[nodiscard]] std::size_t completedCount() const {
+    return processCount - retiredCount - rejectedCount - failedCount;
   }
 };
 
@@ -107,6 +153,9 @@ struct SimResult {
   std::uint64_t rejectedProcesses = 0;
   /// Exact global sojourn order statistics over all admitted processes.
   SojournPercentiles sojourn;
+  /// Fault-injection and availability accounting (all zero when
+  /// MpsocConfig::faults is disabled).
+  FaultStats faults;
   /// @}
 
   /// Cycles spent on context-switch overhead (summed over cores). Kept
@@ -127,6 +176,15 @@ struct SimResult {
   /// Total data references simulated.
   [[nodiscard]] std::uint64_t dataReferences() const {
     return dcacheTotal.accesses;
+  }
+
+  /// Goodput of the run: processes that ran to completion — neither
+  /// rejected at admission, retired by the lifetime, nor permanently
+  /// failed after crashes.
+  [[nodiscard]] std::size_t completedProcesses() const {
+    return processes.size() -
+           static_cast<std::size_t>(rejectedProcesses + retiredProcesses +
+                                    faults.failedProcesses);
   }
 
   /// Overall data-cache miss rate (reporting only; see CacheStats).

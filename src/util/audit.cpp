@@ -25,11 +25,37 @@ void arrivalBeforeCore(std::int64_t coreEventCycle,
 }
 
 void admissionIdentity(std::size_t samples, std::size_t rejected,
-                       std::size_t processes) {
-  require(samples + rejected == processes,
+                       std::size_t failed, std::size_t processes) {
+  require(samples + rejected + failed == processes,
           "admission identity violated: " + std::to_string(samples) +
               " sojourn samples + " + std::to_string(rejected) +
-              " rejected != " + std::to_string(processes) + " processes");
+              " rejected + " + std::to_string(failed) +
+              " failed != " + std::to_string(processes) + " processes");
+}
+
+void departureConservation(std::size_t departed, std::size_t completed,
+                           std::size_t rejected, std::size_t retired,
+                           std::size_t failed) {
+  require(departed == completed + rejected + retired + failed,
+          "departure conservation violated: " + std::to_string(departed) +
+              " departed != " + std::to_string(completed) + " completed + " +
+              std::to_string(rejected) + " rejected + " +
+              std::to_string(retired) + " retired + " +
+              std::to_string(failed) + " failed");
+}
+
+void coreUpForDispatch(bool coreDown, std::size_t core) {
+  require(!coreDown, "down-core dispatch: a segment was dispatched on core " +
+                         std::to_string(core) + " while it is down");
+}
+
+void faultBeforeCore(std::int64_t coreEventCycle,
+                     std::int64_t nextFaultCycle) {
+  require(coreEventCycle <= nextFaultCycle,
+          "fault-before-core ordering violated: core event at cycle " +
+              std::to_string(coreEventCycle) +
+              " processed with a fault injection pending at cycle " +
+              std::to_string(nextFaultCycle));
 }
 
 void percentileOrdering(std::int64_t p50, std::int64_t p95, std::int64_t p99,

@@ -72,10 +72,32 @@ void arrivalBeforeCore(std::int64_t coreEventCycle,
                        std::int64_t nextArrivalCycle);
 
 /// Open-workload accounting identity: every process of the run is
-/// either a ranked sojourn sample or was rejected at admission —
-/// samples + rejected == processes.
+/// either a ranked sojourn sample, was rejected at admission, or was
+/// permanently failed by fault injection —
+/// samples + rejected + failed == processes.
 void admissionIdentity(std::size_t samples, std::size_t rejected,
-                       std::size_t processes);
+                       std::size_t failed, std::size_t processes);
+
+/// Departure conservation (docs/ARCHITECTURE.md §13): every process
+/// that terminally left the system did so for exactly one reason —
+/// departed == completed + rejected + retired + failed. Checked after
+/// every departure, so a double-departure or a departure that skips
+/// its accounting fires at the event, not at the end of the run.
+void departureConservation(std::size_t departed, std::size_t completed,
+                           std::size_t rejected, std::size_t retired,
+                           std::size_t failed);
+
+/// Fault engine: a segment may only be dispatched on a core that is up
+/// (\p coreDown false). The engine's offer path skips down cores; this
+/// checker is the compiled-in proof that no other path can slip work
+/// onto one.
+void coreUpForDispatch(bool coreDown, std::size_t core);
+
+/// Fault engine event ordering: when a core event at \p coreEventCycle
+/// is popped, every pending fault injection at a strictly earlier
+/// cycle has already been applied.
+void faultBeforeCore(std::int64_t coreEventCycle,
+                     std::int64_t nextFaultCycle);
 
 /// Order statistics sanity: p50 <= p95 <= p99, and all three are zero
 /// while no sample was recorded.

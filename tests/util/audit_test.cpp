@@ -69,13 +69,45 @@ TEST(AuditArrivalBeforeCore, RejectsDueArrivalLeftPending) {
 }
 
 TEST(AuditAdmissionIdentity, AcceptsExactPartition) {
-  EXPECT_NO_THROW(audit::admissionIdentity(0, 0, 0));
-  EXPECT_NO_THROW(audit::admissionIdentity(7, 3, 10));
+  EXPECT_NO_THROW(audit::admissionIdentity(0, 0, 0, 0));
+  EXPECT_NO_THROW(audit::admissionIdentity(7, 3, 0, 10));
+  EXPECT_NO_THROW(audit::admissionIdentity(6, 3, 1, 10));
 }
 
 TEST(AuditAdmissionIdentity, RejectsLostProcesses) {
-  EXPECT_THROW(audit::admissionIdentity(6, 3, 10), AuditError);
-  EXPECT_THROW(audit::admissionIdentity(8, 3, 10), AuditError);
+  EXPECT_THROW(audit::admissionIdentity(6, 3, 0, 10), AuditError);
+  EXPECT_THROW(audit::admissionIdentity(8, 3, 0, 10), AuditError);
+  EXPECT_THROW(audit::admissionIdentity(7, 3, 1, 10), AuditError);
+}
+
+TEST(AuditDepartureConservation, AcceptsExactPartition) {
+  EXPECT_NO_THROW(audit::departureConservation(0, 0, 0, 0, 0));
+  EXPECT_NO_THROW(audit::departureConservation(10, 5, 2, 2, 1));
+}
+
+TEST(AuditDepartureConservation, RejectsMisaccountedDeparture) {
+  EXPECT_THROW(audit::departureConservation(9, 5, 2, 2, 1), AuditError);
+  EXPECT_THROW(audit::departureConservation(11, 5, 2, 2, 1), AuditError);
+}
+
+TEST(AuditCoreUpForDispatch, AcceptsUpCore) {
+  EXPECT_NO_THROW(audit::coreUpForDispatch(false, 3));
+}
+
+TEST(AuditCoreUpForDispatch, RejectsDownCoreDispatch) {
+  EXPECT_THROW(audit::coreUpForDispatch(true, 3), AuditError);
+}
+
+TEST(AuditFaultBeforeCore, AcceptsDrainedFaults) {
+  // A fault injection due strictly before the core event must already
+  // have been applied; one at the same cycle applies after arrivals but
+  // before the core event is handled, so equality is fine here.
+  EXPECT_NO_THROW(audit::faultBeforeCore(5, 5));
+  EXPECT_NO_THROW(audit::faultBeforeCore(5, 6));
+}
+
+TEST(AuditFaultBeforeCore, RejectsEarlierFaultLeftPending) {
+  EXPECT_THROW(audit::faultBeforeCore(5, 4), AuditError);
 }
 
 TEST(AuditPercentileOrdering, AcceptsOrderedPercentiles) {
