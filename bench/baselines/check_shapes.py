@@ -361,6 +361,87 @@ def check_fault_shapes(header, rows, goodput_frac):
     return errors
 
 
+def check_noc_shapes(header, rows):
+    """bench_noc shapes: the hop-weighted scheduler earns its keep on
+    the largest mesh.
+
+     * every case carries one OLS (distance-blind) and one OLS-NOC
+       (hop-weighted) row;
+     * every row routes real NoC traffic (noc_transfers > 0) and
+       completes its whole cohort (completed == processes);
+     * on the largest cores value, per case: OLS-NOC sojourn_p95 and
+       total migration penalty are both no worse than OLS, and at least
+       one such case shows a strict penalty win — the distance term
+       must actually remove migration churn somewhere, not just
+       coincide with the blind policy everywhere.
+    """
+    needed = {
+        "case",
+        "scheduler",
+        "cores",
+        "processes",
+        "completed",
+        "noc_transfers",
+        "noc_migration_penalty_cycles",
+        "sojourn_p95",
+    }
+    missing = needed - set(header)
+    if missing:
+        return [f"--noc-shapes: input lacks columns {sorted(missing)}"]
+    errors = []
+    cases = {}
+    for row in rows:
+        if int(row["noc_transfers"]) <= 0:
+            errors.append(
+                f"row ({row['case']}, {row['scheduler']}): no NoC traffic "
+                f"routed (noc_transfers == 0)"
+            )
+        if row["completed"] != row["processes"]:
+            errors.append(
+                f"row ({row['case']}, {row['scheduler']}): cohort not "
+                f"conserved ({row['completed']} completed of "
+                f"{row['processes']})"
+            )
+        cases.setdefault(row["case"], {})[row["scheduler"]] = row
+    for case, by_sched in sorted(cases.items()):
+        if set(by_sched) != {"OLS", "OLS-NOC"}:
+            errors.append(
+                f"case {case}: expected one OLS and one OLS-NOC row, got "
+                f"{sorted(by_sched)}"
+            )
+    if errors:
+        return errors
+    largest = max(int(row["cores"]) for row in rows)
+    strict_penalty_win = False
+    for case, by_sched in sorted(cases.items()):
+        if int(by_sched["OLS"]["cores"]) != largest:
+            continue
+        blind_p95 = int(by_sched["OLS"]["sojourn_p95"])
+        aware_p95 = int(by_sched["OLS-NOC"]["sojourn_p95"])
+        if aware_p95 > blind_p95:
+            errors.append(
+                f"case {case}: OLS-NOC p95 ({aware_p95}) worse than "
+                f"distance-blind OLS ({blind_p95}) on the largest mesh"
+            )
+        blind_pen = int(by_sched["OLS"]["noc_migration_penalty_cycles"])
+        aware_pen = int(by_sched["OLS-NOC"]["noc_migration_penalty_cycles"])
+        if aware_pen > blind_pen:
+            errors.append(
+                f"case {case}: OLS-NOC migration penalty ({aware_pen}) "
+                f"exceeds distance-blind OLS ({blind_pen}) on the largest "
+                f"mesh"
+            )
+        elif aware_pen < blind_pen:
+            strict_penalty_win = True
+    if not strict_penalty_win:
+        errors.append(
+            f"no largest-mesh ({largest} cores) case where OLS-NOC strictly "
+            f"cuts the migration penalty (the distance term never earned "
+            f"its keep)"
+        )
+    return errors
+
+
 def check_decision_throughput(header, rows, min_speedup):
     """bench_policy_overhead shapes: the indexed OLS implementation must
     make the *same* decisions as the legacy one (equal checksum and
@@ -520,6 +601,13 @@ def main():
         "the (moderate, retry=on) arm (default 0.9)",
     )
     parser.add_argument(
+        "--noc-shapes",
+        action="store_true",
+        help="check the bench_noc shapes: cohort conservation, real NoC "
+        "traffic per row, and the hop-weighted scheduler's p95/migration-"
+        "penalty edge on the largest mesh",
+    )
+    parser.add_argument(
         "--decision-throughput",
         action="store_true",
         help="check the bench_policy_overhead shapes: OLS-idx decision-"
@@ -558,6 +646,9 @@ def main():
     if args.fault_shapes:
         errors += check_fault_shapes(header, rows, args.goodput_frac)
         checks.append("fault shapes hold")
+    if args.noc_shapes:
+        errors += check_noc_shapes(header, rows)
+        checks.append("NoC shapes hold")
     if args.decision_throughput:
         errors += check_decision_throughput(header, rows, args.min_speedup)
         checks.append("decision throughput holds")

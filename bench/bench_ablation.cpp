@@ -78,10 +78,15 @@ void contentionSweep(bool csv) {
       parallelMap<ExperimentResult>(jobs.size(), [&](std::size_t i) {
         const Job& job = jobs[i];
         ExperimentConfig config;
-        config.mpsoc.sharedL2.emplace();
-        config.mpsoc.sharedL2->sizeBytes = job.l2Kb * 1024;
-        config.mpsoc.bus.emplace();
-        config.mpsoc.bus->widthBytes = job.width;
+        // The composable platform descriptor (cache/platform.h): a
+        // broadcast-coherent bus MPSoC with a shared banked L2 —
+        // exactly what the legacy sharedL2/bus toggles resolved to, so
+        // the sweep stays byte-identical to its committed baseline.
+        PlatformConfig& platform = config.mpsoc.platform.emplace();
+        platform.interconnect = InterconnectKind::Bus;
+        platform.sharedL2.emplace();
+        platform.sharedL2->sizeBytes = job.l2Kb * 1024;
+        platform.bus.widthBytes = job.width;
         return runExperiment(mixes[job.mixIndex], job.kind, config);
       });
 

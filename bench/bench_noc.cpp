@@ -1,0 +1,205 @@
+/// \file bench_noc.cpp
+/// \brief NoC sweep: mesh size x link width x OLS distance-awareness.
+///
+/// Drives the keyed service workload through the open engine on a
+/// directory-coherent mesh platform (cache/platform.h) and sweeps the
+/// die size across {2x2, 4x4, 8x8} and the link width across {8, 32}
+/// bytes. Each arm runs distance-blind OLS (hopWeight = 0, the PR 8
+/// policy exactly) against hop-weighted OLS ("OLS-NOC"), which scores
+/// every steal, balance move and arrival patch by
+/// LocalityScore::key — sharing first, NoC hops as the tie-break — and
+/// seeds rebuilds with the spiral initial mapping.
+///
+/// The interesting shape — codified by
+/// bench/baselines/check_shapes.py --noc-shapes:
+///  * on the largest mesh, OLS-NOC carries the same arrival stream
+///    with p95 sojourn no worse than distance-blind OLS per link
+///    width, and strictly cuts the total migration penalty where
+///    cross-core resumes occur at all: hop-weighted placement keeps a
+///    process's resumes near its cache-warm tile, so the
+///    distance-scaled migration penalty (NocConfig::migrationHopCycles)
+///    stops taxing the tail. On the narrow-link arm the bisection —
+///    not placement — is the bottleneck at matched load and the two
+///    arms coincide; the edge lives exactly where the scheduler has
+///    migration churn to remove, which is the paper's locality
+///    argument transplanted to the interconnect;
+///  * every row routes real traffic (noc_transfers > 0), completes its
+///    whole cohort (completed == processes) and keeps p50 <= p95 <=
+///    p99 (order-statistics sanity).
+///
+/// With --csv the sweep is emitted for check_shapes.py, which also
+/// diffs it against the committed baseline (noc.csv) — the simulation
+/// is deterministic, so any drift is a behavior change.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/laps.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace laps;
+
+struct Job {
+  std::string label;
+  std::size_t cores = 4;
+  std::int64_t linkWidthBytes = 8;
+  std::int64_t arrivalCycles = 0;
+  std::int64_t hopWeight = 0;  // 0 = distance-blind OLS
+};
+
+/// Hop penalty per unit distance for the distance-aware arm, in
+/// 1/LocalityScore::kSharingScale sharing units: 2048 lets two hops of
+/// proximity outweigh one unit of sharing — strong enough to redirect
+/// near-tie steals, weak enough that real sharing clusters still
+/// dominate placement.
+constexpr std::int64_t kHopWeight = 2048;
+
+PlatformConfig meshPlatform(std::int64_t linkWidthBytes) {
+  PlatformConfig platform;
+  platform.interconnect = InterconnectKind::Mesh;
+  platform.coherence = CoherenceKind::Directory;
+  platform.sharedL2.emplace();
+  platform.sharedL2->sizeBytes = 64 * 1024;
+  platform.sharedL2->bankCount = 8;
+  platform.noc.hopCycles = 4;
+  platform.noc.linkWidthBytes = linkWidthBytes;
+  // A migration drags the resume's warm state across the die: charge
+  // it per hop, so *where* the scheduler resumes a process matters.
+  platform.noc.migrationHopCycles = 1024;
+  return platform;
+}
+
+void sweep(bool csv) {
+  ServiceWorkloadParams serviceParams;
+  serviceParams.requestCount = 1024;
+  serviceParams.keyCount = 48;
+  const Workload service = makeServiceWorkload(serviceParams);
+
+  // Arrival mean matched to each platform's drain rate — scaled to the
+  // die (8x8 drains ~16x faster than 2x2) and to the link width (8-byte
+  // links quadruple each transfer's occupancy, so the 8x8/lw-8 bisection
+  // saturates far earlier). Every arm runs at a comparable moderate
+  // utilization, kept out of deep saturation on purpose: under overload
+  // any placement preference degenerates into a fairness fight over one
+  // global backlog; at service load the tail measures what placement
+  // actually controls (resume distance, route length), which is the
+  // regime the paper's locality argument speaks to.
+  struct Arm {
+    std::size_t cores;
+    std::int64_t linkWidthBytes;
+    std::int64_t arrivalCycles;
+  };
+  const std::vector<Arm> arms{{4, 8, 4000},  {4, 32, 4000},
+                              {16, 8, 1200}, {16, 32, 1200},
+                              {64, 8, 850}, {64, 32, 300}};
+
+  std::vector<Job> jobs;
+  for (const Arm& arm : arms) {
+    const std::string label = "mesh-" + std::to_string(arm.cores) + "_lw-" +
+                              std::to_string(arm.linkWidthBytes);
+    for (const std::int64_t hopWeight : {std::int64_t{0}, kHopWeight}) {
+      jobs.push_back(
+          Job{label, arm.cores, arm.linkWidthBytes, arm.arrivalCycles,
+              hopWeight});
+    }
+  }
+
+  // Independent experiments fanned over the analysis pool with ordered
+  // collection: the emitted rows are byte-exact with a serial sweep at
+  // any thread count.
+  const std::vector<ExperimentResult> results =
+      parallelMap<ExperimentResult>(jobs.size(), [&](std::size_t i) {
+        const Job& job = jobs[i];
+        ExperimentConfig config;
+        config.mpsoc.coreCount = job.cores;
+        config.mpsoc.platform = meshPlatform(job.linkWidthBytes);
+        config.mpsoc.arrivals.emplace();
+        config.mpsoc.arrivals->meanInterArrivalCycles = job.arrivalCycles;
+        config.mpsoc.arrivals->granularity = ArrivalGranularity::PerProcess;
+        config.mpsoc.arrivals->distribution = ArrivalDistribution::BoundedPareto;
+        config.sched.onlineLocality.hopWeight = job.hopWeight;
+        // Preemptive OLS: a request spans several quanta, so resumes —
+        // and their distance-scaled migration penalties — are routine.
+        config.sched.onlineLocality.quantumCycles = 2000;
+        // Pure incremental patching: a periodic full rebuild re-places
+        // every pending process with no regard to where its warm state
+        // sits, churning cross-die resumes in BOTH arms (and costs
+        // O(n^2) per rebuild at this process count).
+        config.sched.onlineLocality.rebuildThreshold = 1 << 30;
+        return runExperiment(service, SchedulerKind::OnlineLocality, config);
+      });
+
+  if (csv) {
+    std::cout << "case,scheduler,cores,link_width,processes,completed,"
+                 "makespan_cycles,dcache_misses,migrations,"
+                 "noc_transfers,noc_hop_cycles,noc_link_wait_cycles,"
+                 "noc_migration_penalty_cycles,directory_inv_sent,"
+                 "directory_inv_filtered,sojourn_p50,sojourn_p95,"
+                 "sojourn_p99\n";
+  }
+  Table table({"Case", "Sched", "Migrations", "NoC wait (kcyc)",
+               "Mig penalty (kcyc)", "p50 (kcyc)", "p95 (kcyc)",
+               "p99 (kcyc)"});
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    const SimResult& r = results[i].sim;
+    const char* sched = job.hopWeight == 0 ? "OLS" : "OLS-NOC";
+    // Conservation column: every admitted process must run to
+    // completion (no lifetimes, no faults, no admission control here).
+    std::size_t completed = 0;
+    for (const ProcessRunRecord& p : r.processes) {
+      if (p.completionCycle >= 0 && !p.retired && !p.rejected && !p.failed) {
+        ++completed;
+      }
+    }
+    if (csv) {
+      std::cout << job.label << ',' << sched << ',' << job.cores << ','
+                << job.linkWidthBytes << ',' << r.processes.size() << ','
+                << completed << ',' << r.makespanCycles << ','
+                << r.dcacheTotal.misses << ',' << r.migrations << ','
+                << r.nocTransfers << ',' << r.nocHopCycles << ','
+                << r.nocLinkWaitCycles << ','
+                << r.nocMigrationPenaltyCycles << ','
+                << r.directoryInvalidationsSent << ','
+                << r.directoryInvalidationsFiltered << ','
+                << r.sojourn.p50 << ',' << r.sojourn.p95 << ','
+                << r.sojourn.p99 << '\n';
+    } else {
+      table.row()
+          .cell(job.label)
+          .cell(sched)
+          .cell(r.migrations)
+          .cell(static_cast<double>(r.nocLinkWaitCycles) / 1e3, 1)
+          .cell(static_cast<double>(r.nocMigrationPenaltyCycles) / 1e3, 1)
+          .cell(static_cast<double>(r.sojourn.p50) / 1e3, 1)
+          .cell(static_cast<double>(r.sojourn.p95) / 1e3, 1)
+          .cell(static_cast<double>(r.sojourn.p99) / 1e3, 1);
+    }
+  }
+  if (!csv) {
+    std::cout << "=== NoC sweep (mesh size x link width x OLS "
+                 "distance-awareness, directory-coherent mesh) ===\n"
+              << table.ascii() << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else {
+      std::cerr << "usage: bench_noc [--csv]\n";
+      return 2;
+    }
+  }
+  sweep(csv);
+  return 0;
+}

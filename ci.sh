@@ -111,6 +111,15 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "tier1" ]; then
       python3 ../bench/baselines/check_shapes.py bench_faults.csv \
         --no-shapes --percentile-monotone --fault-shapes \
         --baseline ../bench/baselines/faults.csv
+      # NoC sweep: mesh size x link width x OLS distance-awareness on
+      # the directory-coherent mesh platform. Checks cohort
+      # conservation, real routed traffic per row and the hop-weighted
+      # scheduler's p95/migration-penalty edge on the largest mesh,
+      # then diffs the deterministic CSV against the baseline.
+      ./bench_noc --csv > bench_noc.csv
+      python3 ../bench/baselines/check_shapes.py bench_noc.csv \
+        --no-shapes --percentile-monotone --noc-shapes \
+        --baseline ../bench/baselines/noc.csv
     )
   else
     echo "ci.sh: python3 not found; skipping bench baseline checks" >&2
@@ -225,6 +234,14 @@ if [ "$MODE" = "bench" ] || [ "$MODE" = "bench-gate" ]; then
     --no-shapes --percentile-monotone --fault-shapes \
     --baseline bench/baselines/faults.csv
   echo "ci.sh: wrote build/bench_faults.csv"
+  # NoC sweep: the deterministic mesh/directory CSV doubles as a
+  # cross-host reproducibility probe of the integer-only NoC timing.
+  cmake --build build -j --target bench_noc
+  ./build/bench_noc --csv > build/bench_noc.csv
+  python3 bench/baselines/check_shapes.py build/bench_noc.csv \
+    --no-shapes --percentile-monotone --noc-shapes \
+    --baseline bench/baselines/noc.csv
+  echo "ci.sh: wrote build/bench_noc.csv"
   if [ "$MODE" = "bench-gate" ]; then
     python3 bench/baselines/check_bench_regression.py \
       BENCH_micro.json build_bench_baseline.json

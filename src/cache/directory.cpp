@@ -1,0 +1,38 @@
+#include "cache/directory.h"
+
+#include "util/error.h"
+
+namespace laps {
+
+SharerDirectory::SharerDirectory(std::size_t coreCount)
+    : coreCount_(coreCount) {
+  check(coreCount_ >= 1, "SharerDirectory: core count must be positive");
+  check(coreCount_ <= 64,
+        "SharerDirectory: the sharer bitmask holds at most 64 cores");
+}
+
+void SharerDirectory::recordSharer(std::uint64_t lineAddr, std::size_t core) {
+  check(core < coreCount_, "SharerDirectory: core out of range");
+  sharers_[lineAddr] |= std::uint64_t{1} << core;
+}
+
+std::uint64_t SharerDirectory::sharersOf(std::uint64_t lineAddr) const {
+  const auto it = sharers_.find(lineAddr);
+  return it == sharers_.end() ? 0 : it->second;
+}
+
+void SharerDirectory::dropLine(std::uint64_t lineAddr) {
+  sharers_.erase(lineAddr);
+}
+
+void SharerDirectory::noteInvalidationRound(std::uint64_t mask,
+                                            std::size_t probeTargets) {
+  std::size_t sent = 0;
+  for (std::size_t c = 0; c < probeTargets && c < 64; ++c) {
+    if (mask >> c & 1) ++sent;
+  }
+  stats_.invalidationsSent += sent;
+  stats_.invalidationsFiltered += probeTargets - sent;
+}
+
+}  // namespace laps

@@ -1,0 +1,77 @@
+#pragma once
+/// \file directory.h
+/// \brief Sharer-bitmask coherence directory for the inclusive shared
+/// L2's back-invalidations.
+///
+/// The broadcast protocol (cache/hierarchy.cpp) probes every private L1
+/// data cache whenever an inclusive L2 victim must be recalled. A
+/// directory instead remembers, per L2-resident line, a bitmask of the
+/// cores whose L1 may hold it, and recalls only those — the targeted
+/// invalidations ride the NoC (cache/noc.h) as posted transfers.
+///
+/// The mask is a deliberate over-approximation: bits are set on every
+/// data-side fill and cleared only when the line is recalled, never on
+/// silent L1 evictions (real hardware does the same — silent drops are
+/// cheaper than notify-on-evict). Functional equivalence with the
+/// broadcast path follows:
+///
+///  * every L1-resident line got there via a fill that set its bit, so
+///    mask ⊇ actual holders — no holder is ever skipped;
+///  * SetAssocCache::invalidateLine on a non-holder returns false and
+///    changes nothing, so probing the (stale) extra bits is harmless;
+///  * therefore the dirty-victim fold, inclusionWritebacks and final
+///    cache state match the broadcast protocol exactly — the oracle
+///    test in tests/cache/directory_test.cpp replays random access
+///    streams through both and compares, and the LAPS_AUDIT inclusion
+///    invariant (which always checks *all* caches) backstops the
+///    over-approximation argument in audit builds.
+///
+/// Like every model class, the directory is integer-only and iterates
+/// an ordered map, keeping the determinism contract (ARCHITECTURE §12).
+
+#include <cstdint>
+#include <map>
+
+namespace laps {
+
+/// Counters accumulated by the directory.
+struct DirectoryStats {
+  /// Targeted invalidation probes actually sent.
+  std::uint64_t invalidationsSent = 0;
+  /// Probes the broadcast protocol would have issued that the
+  /// directory's mask filtered out — the protocol's whole point.
+  std::uint64_t invalidationsFiltered = 0;
+};
+
+/// Per-line sharer bitmasks for up to 64 cores (see file comment).
+class SharerDirectory {
+ public:
+  /// Throws laps::Error when \p coreCount exceeds the 64-bit mask.
+  explicit SharerDirectory(std::size_t coreCount);
+
+  /// Records that \p core 's L1 data cache filled \p lineAddr.
+  void recordSharer(std::uint64_t lineAddr, std::size_t core);
+
+  /// Bitmask of cores whose L1 may hold \p lineAddr (0 if untracked).
+  [[nodiscard]] std::uint64_t sharersOf(std::uint64_t lineAddr) const;
+
+  /// Forgets \p lineAddr after its back-invalidation round.
+  void dropLine(std::uint64_t lineAddr);
+
+  /// Accounts one back-invalidation round that probed the set bits of
+  /// \p mask instead of broadcasting to all \p probeTargets caches.
+  void noteInvalidationRound(std::uint64_t mask, std::size_t probeTargets);
+
+  /// Lines currently tracked (test / audit seam).
+  [[nodiscard]] std::size_t trackedLines() const { return sharers_.size(); }
+
+  [[nodiscard]] const DirectoryStats& stats() const { return stats_; }
+  void resetStats() { stats_ = DirectoryStats{}; }
+
+ private:
+  std::size_t coreCount_;
+  std::map<std::uint64_t, std::uint64_t> sharers_;  ///< line -> core mask
+  DirectoryStats stats_;
+};
+
+}  // namespace laps

@@ -47,6 +47,32 @@ MemoryHierarchy::MemoryHierarchy(std::int64_t memLatencyCycles,
   }
 }
 
+MemoryHierarchy::MemoryHierarchy(std::int64_t memLatencyCycles,
+                                 const PlatformConfig& platform,
+                                 std::size_t coreCount, std::int64_t lineBytes)
+    : memLatencyCycles_(memLatencyCycles) {
+  platform.validate(coreCount);
+  if (platform.sharedL2) {
+    check(platform.sharedL2->lineBytes == lineBytes,
+          "MemoryHierarchy: shared L2 line size must match the L1s");
+    l2_.emplace(*platform.sharedL2);
+  }
+  if (platform.busEnabled()) {
+    bus_.emplace(platform.bus, lineBytes);
+  }
+  if (platform.nocEnabled()) {
+    noc_.emplace(platform.noc, static_cast<std::int64_t>(coreCount),
+                 lineBytes, platform.nocKind());
+  }
+  if (platform.coherence == CoherenceKind::Directory) {
+    directory_.emplace(coreCount);
+  }
+}
+
+std::int64_t MemoryHierarchy::bankHomeNode(std::int64_t bank) const {
+  return bank % noc_->topology().nodeCount();
+}
+
 void MemoryHierarchy::registerDataCache(SetAssocCache* l1d) {
   l1DataCaches_.push_back(l1d);
 }
@@ -58,22 +84,47 @@ void MemoryHierarchy::unregisterDataCache(SetAssocCache* l1d) {
 }
 
 std::int64_t MemoryHierarchy::missLatency(std::uint64_t addr,
-                                          std::int64_t now) {
+                                          std::int64_t now, std::size_t core,
+                                          bool dataFill) {
+  const std::int64_t node = static_cast<std::int64_t>(core);
   if (!l2_) {
-    return bus_ ? bus_->demandAccess(now) : memLatencyCycles_;
+    // The memory controller sits at NoC node 0.
+    std::int64_t latency = noc_ ? noc_->demandTransfer(node, 0, now) : 0;
+    latency += bus_ ? bus_->demandAccess(now + latency) : memLatencyCycles_;
+    return latency;
   }
 
-  const L2AccessResult l2 = l2_->access(addr, now);
-  std::int64_t latency =
-      l2.bankWaitCycles + l2_->config().hitLatencyCycles;
+  // The request first travels to the accessed bank's home tile.
+  const std::int64_t home =
+      noc_ ? bankHomeNode(l2_->bankOf(addr)) : 0;
+  std::int64_t latency = noc_ ? noc_->demandTransfer(node, home, now) : 0;
+
+  const L2AccessResult l2 = l2_->access(addr, now + latency);
+  latency += l2.bankWaitCycles + l2_->config().hitLatencyCycles;
 
   // Inclusion: the evicted line may live on in L1 data caches — drop
-  // those copies before anything else observes the L2 state.
+  // those copies before anything else observes the L2 state. With a
+  // directory, only the recorded sharers are probed; the recall rides
+  // the NoC as posted invalidations (home tile -> sharer tile).
   bool victimDirty = l2.evictedLineDirty;
   if (l2.evictedLineAddr) {
     bool l1Dirty = false;
-    for (SetAssocCache* l1 : l1DataCaches_) {
-      l1Dirty |= l1->invalidateLine(*l2.evictedLineAddr);
+    if (directory_) {
+      const std::uint64_t mask = directory_->sharersOf(*l2.evictedLineAddr);
+      for (std::size_t c = 0; c < l1DataCaches_.size() && c < 64; ++c) {
+        if (!(mask >> c & 1)) continue;
+        l1Dirty |= l1DataCaches_[c]->invalidateLine(*l2.evictedLineAddr);
+        if (noc_) {
+          noc_->postedTransfer(home, static_cast<std::int64_t>(c),
+                               now + latency);
+        }
+      }
+      directory_->noteInvalidationRound(mask, l1DataCaches_.size());
+      directory_->dropLine(*l2.evictedLineAddr);
+    } else {
+      for (SetAssocCache* l1 : l1DataCaches_) {
+        l1Dirty |= l1->invalidateLine(*l2.evictedLineAddr);
+      }
     }
     // A dirty L1 copy whose L2 entry was clean still leaves the chip;
     // count it so the energy model sees every off-chip write.
@@ -83,7 +134,23 @@ std::int64_t MemoryHierarchy::missLatency(std::uint64_t addr,
   }
 
   if (l2.outcome == AccessOutcome::Miss) {
-    latency += bus_ ? bus_->demandAccess(now + latency) : memLatencyCycles_;
+    // The fill continues from the bank's home tile to the memory
+    // controller at node 0, then off chip.
+    std::int64_t fill =
+        noc_ ? noc_->demandTransfer(home, 0, now + latency) : 0;
+    fill += bus_ ? bus_->demandAccess(now + latency + fill)
+                 : memLatencyCycles_;
+    latency += fill;
+  }
+
+  // The fill installs the line in the requester's L1 data cache: record
+  // the sharer so a later back-invalidation can find it. Directory-mode
+  // callers flag data fills explicitly; instruction fetches never set
+  // it (icaches are inclusion-exempt and never probed).
+  if (directory_ && dataFill) {
+    const auto lineBytes =
+        static_cast<std::uint64_t>(l2_->config().lineBytes);
+    directory_->recordSharer(addr - addr % lineBytes, core);
   }
 
   // The victim's write-back is posted *after* the demand fill resolves
@@ -91,6 +158,9 @@ std::int64_t MemoryHierarchy::missLatency(std::uint64_t addr,
   // delaying later traffic, but never stalls its own requester.
   if (victimDirty && bus_) {
     bus_->postedAccess(now + latency);
+  }
+  if (victimDirty && noc_) {
+    noc_->postedTransfer(home, 0, now + latency);
   }
   return latency;
 }
@@ -109,23 +179,28 @@ void MemoryHierarchy::postL1Writeback(std::int64_t now) {
 void MemoryHierarchy::resetStats() {
   if (l2_) l2_->resetStats();
   if (bus_) bus_->resetStats();
+  if (noc_) noc_->resetStats();
+  if (directory_) directory_->resetStats();
   inclusionWritebacks_ = 0;
 }
 
 void MemoryHierarchy::retireBefore(std::int64_t cycle) {
   if (l2_) l2_->retireBefore(cycle);
   if (bus_) bus_->retireBefore(cycle);
+  if (noc_) noc_->retireBefore(cycle);
   // Segment boundary: the natural cadence for the full inclusion scan
   // (the per-miss auditLineAbsent covers the mutation points between).
   LAPS_AUDIT(auditInclusion());
 }
 
 MemorySystem::MemorySystem(const MemoryConfig& config,
-                           std::shared_ptr<MemoryHierarchy> shared)
+                           std::shared_ptr<MemoryHierarchy> shared,
+                           std::size_t coreIndex)
     : config_(config),
       hierarchy_(shared ? std::move(shared)
                         : std::make_shared<MemoryHierarchy>(
                               config.memLatencyCycles)),
+      coreIndex_(coreIndex),
       dcache_(config.l1d),
       icache_(config.l1i) {
   if (config_.classifyMisses) {
@@ -159,7 +234,8 @@ std::int64_t MemorySystem::missBeyondL1(std::uint64_t addr,
   const bool dirtyVictim = evicted.evicted && evicted.dirty;
   const bool absorbed =
       dirtyVictim && hierarchy_->absorbL1Writeback(evicted.lineAddr);
-  const std::int64_t latency = hierarchy_->missLatency(addr, issueCycle);
+  const std::int64_t latency = hierarchy_->missLatency(
+      addr, issueCycle, coreIndex_, /*dataFill=*/true);
   if (dirtyVictim && !absorbed) {
     hierarchy_->postL1Writeback(issueCycle + latency);
   }
@@ -204,7 +280,8 @@ std::int64_t MemorySystem::instrFetch(std::uint64_t addr,
   // Instruction lines are never dirty: no write-back on eviction.
   return config_.l1i.hitLatencyCycles +
          hierarchy_->missLatency(addr,
-                                 nowCycles + config_.l1i.hitLatencyCycles);
+                                 nowCycles + config_.l1i.hitLatencyCycles,
+                                 coreIndex_, /*dataFill=*/false);
 }
 
 void MemorySystem::flushAll() {

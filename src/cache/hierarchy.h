@@ -11,16 +11,24 @@
 ///
 ///   MemorySystem (per core: split L1 I/D)
 ///     └─ MemoryHierarchy (shared by all cores)
-///          ├─ SharedL2  (banked, inclusive; optional)
-///          └─ MemoryBus (bounded outstanding transactions; optional)
-///          └─ fixed memLatencyCycles when both are disabled
+///          ├─ SharedL2        (banked, inclusive; optional)
+///          ├─ MemoryBus       (bounded outstanding transactions) — or —
+///          ├─ NocFabric       (mesh/crossbar, per-link calendars)
+///          ├─ SharerDirectory (targeted back-invalidation; optional)
+///          └─ fixed memLatencyCycles on the flat interconnect
 ///
-/// With both levels disabled the miss path is the paper's constant
-/// off-chip latency, bit-identical to the pre-hierarchy simulator (the
+/// The shared-level shape is described by a PlatformConfig
+/// (cache/platform.h): interconnect {Flat, Bus, Mesh, Xbar} ×
+/// coherence {Broadcast, Directory} × optional shared L2. With
+/// everything disabled the miss path is the paper's constant off-chip
+/// latency, bit-identical to the pre-hierarchy simulator (the
 /// differential suite and the committed bench baselines enforce this).
-/// With them enabled, a miss's latency depends on the absolute cycle it
-/// issues and on the other cores' traffic: bank conflicts and bus
-/// queueing are how co-scheduled processes now interfere.
+/// With contended levels enabled, a miss's latency depends on the
+/// absolute cycle it issues and on the other cores' traffic: bank
+/// conflicts, bus queueing and NoC link congestion are how co-scheduled
+/// processes now interfere — and on a NoC, on *which tile* the
+/// requester sits (distance to the bank's home tile and the memory
+/// controller at node 0).
 
 #include <cstdint>
 #include <memory>
@@ -29,7 +37,10 @@
 
 #include "cache/bus.h"
 #include "cache/cache.h"
+#include "cache/directory.h"
 #include "cache/miss_class.h"
+#include "cache/noc.h"
+#include "cache/platform.h"
 #include "cache/shared_l2.h"
 
 namespace laps {
@@ -51,18 +62,35 @@ class MemoryHierarchy {
   /// Flat off-chip memory with a fixed latency (paper default).
   explicit MemoryHierarchy(std::int64_t memLatencyCycles = 75);
 
-  /// Full composition: optional shared L2 and optional bus.
+  /// Legacy composition shim: optional shared L2 and optional bus.
   /// \p memLatencyCycles is the off-chip latency used when \p bus is
-  /// absent.
+  /// absent. Equivalent to the PlatformConfig constructor with the
+  /// descriptor MpsocConfig::resolvedPlatform() would derive.
   MemoryHierarchy(std::int64_t memLatencyCycles,
                   const std::optional<SharedL2Config>& l2,
                   const std::optional<BusConfig>& bus,
                   std::int64_t lineBytes);
 
+  /// Full composition from a platform descriptor (cache/platform.h):
+  /// interconnect {Flat, Bus, Mesh, Xbar} × coherence {Broadcast,
+  /// Directory} × optional shared L2. \p coreCount sizes the NoC (one
+  /// node per core; the memory controller sits at node 0 and L2 bank b
+  /// is homed at node b % coreCount) and the directory's sharer mask.
+  MemoryHierarchy(std::int64_t memLatencyCycles,
+                  const PlatformConfig& platform, std::size_t coreCount,
+                  std::int64_t lineBytes);
+
   /// Latency beyond the L1 of a miss on \p addr issued at absolute cycle
   /// \p now. May back-invalidate registered L1 data caches (inclusion)
-  /// and post write-back bus traffic.
-  std::int64_t missLatency(std::uint64_t addr, std::int64_t now);
+  /// and post write-back bus/NoC traffic. \p core is the requesting
+  /// core's index (its NoC node and directory bit); \p dataFill marks
+  /// fills that install the line in the requester's L1 *data* cache, so
+  /// the directory can record the sharer — instruction fetches leave it
+  /// false (icaches are inclusion-exempt and never probed). Both extra
+  /// arguments are ignored by the flat/bus/broadcast paths, keeping
+  /// every legacy two-argument call site exact.
+  std::int64_t missLatency(std::uint64_t addr, std::int64_t now,
+                           std::size_t core = 0, bool dataFill = false);
 
   /// \name Dirty L1 victim write-backs (two phases)
   /// Phase 1, *before* the miss's own fill: try to absorb the
@@ -88,10 +116,12 @@ class MemoryHierarchy {
   void unregisterDataCache(SetAssocCache* l1d);
   /// @}
 
-  /// True when at least one contended level (L2 or bus) is enabled —
-  /// i.e. when a miss's latency depends on \p now.
+  /// True when at least one contended level (L2, bus, or a NoC with
+  /// non-zero timing) is enabled — i.e. when a miss's latency depends
+  /// on \p now. A zero-cost NoC never adds latency, so it deliberately
+  /// does not count: the flat fast paths stay bit-identical.
   [[nodiscard]] bool contended() const {
-    return l2_.has_value() || bus_.has_value();
+    return l2_.has_value() || bus_.has_value() || (noc_ && noc_->timed());
   }
 
   [[nodiscard]] const SharedL2* l2() const {
@@ -99,6 +129,12 @@ class MemoryHierarchy {
   }
   [[nodiscard]] const MemoryBus* bus() const {
     return bus_ ? &*bus_ : nullptr;
+  }
+  [[nodiscard]] const NocFabric* noc() const {
+    return noc_ ? &*noc_ : nullptr;
+  }
+  [[nodiscard]] const SharerDirectory* directory() const {
+    return directory_ ? &*directory_ : nullptr;
   }
 
   /// Off-chip write-backs of dirty L1 data that no L2 statistic sees:
@@ -133,9 +169,14 @@ class MemoryHierarchy {
   /// auditInclusion).
   void auditLineAbsent(std::uint64_t lineAddr) const;
 
+  /// NoC node of L2 bank \p bank (its home tile).
+  [[nodiscard]] std::int64_t bankHomeNode(std::int64_t bank) const;
+
   std::int64_t memLatencyCycles_;
   std::optional<SharedL2> l2_;
   std::optional<MemoryBus> bus_;
+  std::optional<NocFabric> noc_;
+  std::optional<SharerDirectory> directory_;
   std::vector<SetAssocCache*> l1DataCaches_;
   std::uint64_t inclusionWritebacks_ = 0;
 };
@@ -150,9 +191,13 @@ class MemorySystem {
  public:
   /// \p shared is the hierarchy below the L1s; when null, a private
   /// flat hierarchy with config.memLatencyCycles is created (the paper
-  /// platform).
+  /// platform). \p coreIndex identifies this core to the shared levels
+  /// (its NoC node and directory sharer bit); irrelevant — and safely
+  /// defaultable — on flat/bus/broadcast platforms. Directory-coherent
+  /// platforms require distinct, in-range indices.
   explicit MemorySystem(const MemoryConfig& config,
-                        std::shared_ptr<MemoryHierarchy> shared = nullptr);
+                        std::shared_ptr<MemoryHierarchy> shared = nullptr,
+                        std::size_t coreIndex = 0);
   ~MemorySystem();
   MemorySystem(const MemorySystem&) = delete;
   MemorySystem& operator=(const MemorySystem&) = delete;
@@ -243,6 +288,7 @@ class MemorySystem {
 
   MemoryConfig config_;
   std::shared_ptr<MemoryHierarchy> hierarchy_;
+  std::size_t coreIndex_;
   SetAssocCache dcache_;
   SetAssocCache icache_;
   std::optional<MissClassifier> classifier_;

@@ -91,11 +91,12 @@ ExperimentResult runExperiment(const Workload& workload, SchedulerKind kind,
   }
 
   SchedulerParams schedParams = config.sched;
-  if (kind == SchedulerKind::L2ContentionAware && config.mpsoc.sharedL2) {
+  const PlatformConfig platform = config.mpsoc.resolvedPlatform();
+  if (kind == SchedulerKind::L2ContentionAware && platform.sharedL2) {
     // The contention-aware policy should reason about the L2 the
-    // platform actually has.
+    // platform actually has — whichever config surface declared it.
     schedParams.l2Contention.l2Geometry =
-        config.mpsoc.sharedL2->aggregateConfig();
+        platform.sharedL2->aggregateConfig();
   }
   const std::unique_ptr<SchedulerPolicy> policy =
       makeScheduler(kind, schedParams);

@@ -45,8 +45,11 @@
 #include "cache/bus.h"
 #include "cache/cache.h"
 #include "cache/config.h"
+#include "cache/directory.h"
 #include "cache/hierarchy.h"
 #include "cache/miss_class.h"
+#include "cache/noc.h"
+#include "cache/platform.h"
 #include "cache/shared_l2.h"
 
 // Data layout and re-mapping (paper §3, Figs. 4-5)
@@ -64,6 +67,7 @@
 #include "sched/dynamic_locality.h"
 #include "sched/factory.h"
 #include "sched/locality.h"
+#include "sched/locality_score.h"
 #include "sched/online_locality.h"
 #include "sched/scheduler.h"
 

@@ -17,7 +17,7 @@ void L2ContentionOptions::validate() const {
 
 void DynamicLocalityScheduler::reset(const SchedContext& context) {
   check(context.sharing != nullptr, "DynamicLocalityScheduler: sharing required");
-  sharing_ = context.sharing;
+  score_.configure(context.sharing, context.topology);
   ready_.clear();
   aging_.reset(context.sharing->size());
 }
@@ -43,7 +43,7 @@ std::optional<ProcessId> DynamicLocalityScheduler::pickNext(
     std::int64_t bestSharing = -1;
     std::int64_t bestSeq = -1;
     for (std::size_t i = 0; i < ready_.size(); ++i) {
-      const std::int64_t s = sharing_->at(*previous, ready_[i]);
+      const std::int64_t s = score_.sharing(previous, ready_[i]);
       const std::int64_t seq = aging_.seqOf(ready_[i]);
       // Equal sharing: ArrivalAging decides (earliest arrival in open
       // workloads, plain ready-order FIFO in closed ones).
@@ -76,7 +76,7 @@ void L2ContentionAwareScheduler::reset(const SchedContext& context) {
   check(context.workload != nullptr && context.space != nullptr,
         "L2ContentionAwareScheduler: workload and address space required "
         "(footprint conflict analysis)");
-  sharing_ = context.sharing;
+  score_.configure(context.sharing, context.topology);
   ready_.clear();
   conflictMemo_.clear();
   runningOn_.assign(context.coreCount, std::nullopt);
@@ -131,24 +131,24 @@ std::optional<ProcessId> L2ContentionAwareScheduler::pickNext(
   // is an integer count far below 2^53 (converted exactly), and with the
   // default conflictWeight of 1.0 every product and difference stays
   // integer-valued. A non-default weight keeps determinism as long as
-  // each operation is a single correctly-rounded IEEE op, which this is.
+  // each operation is a single correctly-rounded IEEE op, which it is —
+  // the conflict counts are summed exactly in integers first, then
+  // combined once by LocalityScore::contendedScore.
   std::size_t bestIdx = 0;
   double bestScore = 0.0;  // LINT-ALLOW(no-float): exact integer-valued score, see note above
   std::int64_t bestSeq = -1;
   bool haveBest = false;
   for (std::size_t i = 0; i < ready_.size(); ++i) {
     const ProcessId candidate = ready_[i];
-    // LINT-ALLOW(no-float): exact integer-valued score, see note above
-    double score =
-        // LINT-ALLOW(no-float): exact conversion of integer count < 2^53
-        previous ? static_cast<double>(sharing_->at(*previous, candidate))
-                 : 0.0;
+    std::int64_t conflicts = 0;
     for (std::size_t c = 0; c < runningOn_.size(); ++c) {
       if (c == core || !runningOn_[c]) continue;
-      score -= options_.conflictWeight *
-               // LINT-ALLOW(no-float): exact conversion of integer count < 2^53
-               static_cast<double>(conflictBetween(candidate, *runningOn_[c]));
+      conflicts += conflictBetween(candidate, *runningOn_[c]);
     }
+    // LINT-ALLOW(no-float): exact integer-valued score, see note above
+    const double score = LocalityScore::contendedScore(
+        score_.sharing(previous, candidate), options_.conflictWeight,
+        conflicts);
     const std::int64_t seq = aging_.seqOf(candidate);
     // Equal score: ArrivalAging decides (earliest arrival in open
     // workloads, plain ready-order FIFO in closed ones).

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cache/config.h"
+#include "sched/locality_score.h"
 #include "sched/scheduler.h"
 #include "util/error.h"
 
@@ -69,10 +70,13 @@ class DynamicLocalityScheduler final : public SchedulerPolicy {
   std::optional<ProcessId> pickNext(std::size_t core,
                                     std::optional<ProcessId> previous) override;
   [[nodiscard]] std::string name() const override { return "DLS"; }
+  [[nodiscard]] const LocalityScore* localityScore() const override {
+    return &score_;
+  }
 
  private:
-  const SharingMatrix* sharing_ = nullptr;
   std::vector<ProcessId> ready_;
+  LocalityScore score_;  ///< the one scoring arithmetic (sharing term)
   ArrivalAging aging_;
 };
 
@@ -124,11 +128,15 @@ class L2ContentionAwareScheduler final : public SchedulerPolicy {
   /// tests; lazily computed and memoized).
   [[nodiscard]] std::int64_t conflictBetween(ProcessId a, ProcessId b);
 
+  [[nodiscard]] const LocalityScore* localityScore() const override {
+    return &score_;
+  }
+
  private:
   void stopRunning(ProcessId process);
 
   L2ContentionOptions options_;
-  const SharingMatrix* sharing_ = nullptr;
+  LocalityScore score_;  ///< the one scoring arithmetic (sharing+conflict)
   std::vector<ProcessId> ready_;
   /// Per-process line occupancy of the L2 set space (n x numSets).
   std::vector<std::vector<std::int64_t>> occupancy_;

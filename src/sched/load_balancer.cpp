@@ -28,7 +28,8 @@ std::vector<BalanceMove> planBalanceMoves(
     const std::vector<std::vector<ProcessId>>& queues,
     const SharingMatrix& sharing,
     std::span<const std::optional<ProcessId>> anchors,
-    const LoadBalancerOptions& options, const std::vector<bool>& upMask) {
+    const LoadBalancerOptions& options, const std::vector<bool>& upMask,
+    const LocalityScore* score) {
   options.validate();
   const std::size_t cores = queues.size();
   check(anchors.size() == cores,
@@ -71,14 +72,21 @@ std::vector<BalanceMove> planBalanceMoves(
     // with it. Requiring the target at least two below the source makes
     // each move strictly shrink the pair's squared-weight sum.
     const ProcessId moved = sim[src].back();
+    const bool hopWeighted = score != nullptr && score->distanceAware();
     std::optional<std::size_t> target;
-    std::int64_t bestSharing = -1;
+    std::int64_t bestKey = 0;
+    bool haveKey = false;
     for (std::size_t c = 0; c < cores; ++c) {
       if (c == src || !up(c) || sim[c].size() + 1 >= weight) continue;
       const std::optional<ProcessId> anchor = queueAnchor(sim, anchors, c);
       const std::int64_t s = anchor ? sharing.at(*anchor, moved) : 0;
-      if (s > bestSharing) {
-        bestSharing = s;
+      // Hop-weighted targets discount sharing by the distance the moved
+      // process's warm state (on the source tile) would travel; blind,
+      // key == s and the argmax is the exact pre-NoC raw-sharing scan.
+      const std::int64_t k = hopWeighted ? score->key(s, c, src) : s;
+      if (!haveKey || k > bestKey) {
+        haveKey = true;
+        bestKey = k;
         target = c;
       }
     }

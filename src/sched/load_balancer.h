@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "region/sharing.h"
+#include "sched/locality_score.h"
 #include "taskgraph/process.h"
 
 namespace laps {
@@ -80,11 +81,18 @@ struct BalanceMove {
 /// never a shed source — their queues were already orphaned — never a
 /// target, and excluded from the mean the overload trigger compares
 /// against.
+/// \p score (null or distance-blind = the raw sharing argmax, the exact
+/// pre-NoC behavior) makes target selection hop-weighted on NoC
+/// platforms: a candidate target scores LocalityScore::key(sharing,
+/// target, source) — the moved process's warm state sits on the source
+/// tile, so sharing with a far target is discounted by the hops the
+/// traffic would cross.
 [[nodiscard]] std::vector<BalanceMove> planBalanceMoves(
     const std::vector<std::vector<ProcessId>>& queues,
     const SharingMatrix& sharing,
     std::span<const std::optional<ProcessId>> anchors,
-    const LoadBalancerOptions& options, const std::vector<bool>& upMask = {});
+    const LoadBalancerOptions& options, const std::vector<bool>& upMask = {},
+    const LocalityScore* score = nullptr);
 
 /// Plans where the \p orphans of a downed core go (pure; see file
 /// comment). \p queues is the per-core pending work *after* the downed
@@ -95,6 +103,9 @@ struct BalanceMove {
 /// shares the most data with it, ties to the lowest core index, and
 /// then counts as that core's new tail for the next orphan. Returns
 /// the target core per orphan, parallel to \p orphans.
+/// Deliberately distance-blind even on NoC platforms: the downed core's
+/// caches are gone, so the orphan has no warm tile to stay near — raw
+/// sharing with the target's tail is the whole signal.
 [[nodiscard]] std::vector<std::size_t> planOrphanReassignment(
     std::span<const ProcessId> orphans,
     const std::vector<std::vector<ProcessId>>& queues,

@@ -67,6 +67,56 @@ std::vector<ProcessId> initialCandidates(const ExtendedProcessGraph& graph,
   return in;
 }
 
+/// Places the initial round — one process per core. Distance-blind
+/// (no topology): id order onto cores 0..|in|-1, the paper's placement,
+/// byte-identical to the pre-NoC loop. With a topology: a region-growing
+/// walk over the center-out spiral — each visited tile takes the
+/// unplaced candidate maximizing the proximity-weighted sharing with
+/// everything already placed, Σ over placed (p @ tile d) of
+/// sharing(p, q) × (diameter + 1 − hops(tile, d)); strict `>` over the
+/// ascending-id candidate list makes ties fall to the smallest id, and
+/// the first tile (all scores 0) takes the smallest id outright.
+/// Shared by both planner implementations so the legacy oracle and the
+/// indexed planner keep producing element-identical plans.
+void placeInitialRound(LocalityPlan& plan, const std::vector<ProcessId>& in,
+                       const SharingMatrix& sharing,
+                       const NocTopology* topology, std::size_t coreCount) {
+  if (topology == nullptr) {
+    for (std::size_t c = 0; c < in.size(); ++c) {
+      plan.perCore[c].push_back(in[c]);
+    }
+    return;
+  }
+  check(topology->nodeCount() == static_cast<std::int64_t>(coreCount),
+        "buildLocalityPlan: topology node count != core count");
+  const std::int64_t reach = topology->maxHops() + 1;
+  std::vector<bool> taken(in.size(), false);
+  // (process, tile) pairs already placed, in spiral order.
+  std::vector<std::pair<ProcessId, std::int64_t>> placed;
+  placed.reserve(in.size());
+  for (const std::int64_t tile : topology->spiralOrder()) {
+    if (placed.size() == in.size()) break;
+    std::size_t bestIdx = 0;
+    std::int64_t bestScore = -1;
+    bool have = false;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if (taken[i]) continue;
+      std::int64_t score = 0;
+      for (const auto& [p, d] : placed) {
+        score += sharing.at(p, in[i]) * (reach - topology->hops(tile, d));
+      }
+      if (!have || score > bestScore) {
+        have = true;
+        bestScore = score;
+        bestIdx = i;
+      }
+    }
+    taken[bestIdx] = true;
+    placed.emplace_back(in[bestIdx], tile);
+    plan.perCore[static_cast<std::size_t>(tile)].push_back(in[bestIdx]);
+  }
+}
+
 }  // namespace
 
 LocalityPlan buildLocalityPlan(const ExtendedProcessGraph& graph,
@@ -125,10 +175,9 @@ LocalityPlan buildLocalityPlan(const ExtendedProcessGraph& graph,
     while (in.size() > coreCount) in.pop_back();
   }
 
-  // Schedule the initial round (one process per core, id order).
-  for (std::size_t c = 0; c < in.size(); ++c) {
-    plan.perCore[c].push_back(in[c]);
-  }
+  // Schedule the initial round (one process per core; id order, or the
+  // spiral region-growing walk on NoC platforms — see placeInitialRound).
+  placeInitialRound(plan, in, sharing, options.topology, coreCount);
 
   // Remaining pool: every subset member not yet placed.
   std::vector<bool> pending = inSubset;
@@ -209,11 +258,10 @@ LocalityPlan buildLocalityPlanLegacy(const ExtendedProcessGraph& graph,
     while (in.size() > coreCount) in.pop_back();
   }
 
-  // Schedule the initial round (one process per core, id order).
-  for (std::size_t c = 0; c < in.size(); ++c) {
-    plan.perCore[c].push_back(in[c]);
-    inPlan[in[c]] = true;
-  }
+  // Schedule the initial round (one process per core; id order, or the
+  // spiral region-growing walk on NoC platforms — see placeInitialRound).
+  placeInitialRound(plan, in, sharing, options.topology, coreCount);
+  for (const ProcessId p : in) inPlan[p] = true;
 
   // Remaining pool: every subset member not yet placed.
   std::vector<bool> pending = inSubset;

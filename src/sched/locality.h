@@ -24,6 +24,8 @@
 
 namespace laps {
 
+class NocTopology;  // cache/noc.h
+
 /// Static per-core schedule produced by the Fig. 3 algorithm.
 struct LocalityPlan {
   /// perCore[c] = ordered processes for core c.
@@ -43,6 +45,18 @@ struct LocalityOptions {
   /// Disabled, the first X roots are taken as-is — the ablation
   /// quantifies what the initial round contributes.
   bool initialMinSharingRound = true;
+
+  /// NoC platforms (opt-in): interconnect geometry for the initial
+  /// placement. Null — every pre-NoC configuration — keeps the paper's
+  /// id-order initial round bit-identically. Set (by the distance-aware
+  /// OLS replanner, or explicitly), the initial round becomes a
+  /// region-growing walk over the topology's center-out spiral: each
+  /// spiral tile takes the candidate with maximum proximity-weighted
+  /// sharing to the already-placed ones, so tightly coupled initial
+  /// processes land on adjacent central tiles. Greedy rounds are
+  /// unchanged (distance enters them through PlanIndex hop-weighted
+  /// keys, not here). Non-owning; must outlive the plan build.
+  const NocTopology* topology = nullptr;
 
   /// Execute the Fig. 3 plan rigidly (a core stalls until its next
   /// planned process is ready). The default interprets Fig. 3

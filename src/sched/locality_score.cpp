@@ -1,0 +1,16 @@
+#include "sched/locality_score.h"
+
+namespace laps {
+
+// LINT-ALLOW(no-float): CALS's documented double-but-integer-exact combiner
+double LocalityScore::contendedScore(std::int64_t sharingTerm,
+                                     // LINT-ALLOW(no-float): see header
+                                     double conflictWeight,
+                                     std::int64_t conflicts) {
+  // LINT-ALLOW(no-float): CALS's documented double-but-integer-exact combiner
+  return static_cast<double>(sharingTerm) -
+         // LINT-ALLOW(no-float): CALS's documented double-but-integer-exact combiner
+         conflictWeight * static_cast<double>(conflicts);
+}
+
+}  // namespace laps

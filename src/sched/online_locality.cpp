@@ -9,6 +9,13 @@ namespace laps {
 void OnlineLocalityOptions::validate() const {
   check(rebuildThreshold >= 0,
         "OnlineLocalityOptions: rebuildThreshold must be >= 0");
+  check(hopWeight >= 0, "OnlineLocalityOptions: hopWeight must be >= 0");
+  // The legacy loops are the distance-blind differential oracle; they
+  // never learned hop arithmetic and never will.
+  check(hopWeight == 0 || indexedPlanner,
+        "OnlineLocalityOptions: hopWeight requires the indexed planner");
+  check(quantumCycles >= 0,
+        "OnlineLocalityOptions: quantumCycles must be >= 0");
   balancer.validate();
 }
 
@@ -33,8 +40,14 @@ void OnlineLocalityScheduler::reset(const SchedContext& context) {
   // accepted cost: plan() is documented (and differentially tested) to
   // equal the static LS plan right after reset(), so the build cannot
   // be deferred to first dispatch without breaking that contract.
+  // Distance-aware iff the user asked (hopWeight > 0) AND the platform
+  // has a topology; configure() zeroes the weight otherwise, so every
+  // downstream gate reads score_.distanceAware().
+  score_.configure(sharing_, context.topology, options_.hopWeight);
+
   LocalityOptions lsOptions;
   lsOptions.initialMinSharingRound = options_.initialMinSharingRound;
+  if (score_.distanceAware()) lsOptions.topology = score_.topology();
 
   open_ = false;
   arrived_.assign(n, false);
@@ -49,8 +62,11 @@ void OnlineLocalityScheduler::reset(const SchedContext& context) {
   // slot clearing (their entries may reference a different universe).
   queues_.clear();
   if (indexed()) {
-    adoptPlan(buildLocalityPlan(*graph_, *sharing_, coreCount_, lsOptions));
+    // Index first: adoptPlan's pushPlanned records distance homes in
+    // the index, which must already cover this process universe.
     index_.beginDispatch(*sharing_, n, coreCount_);
+    index_.enableDistance(&score_);
+    adoptPlan(buildLocalityPlan(*graph_, *sharing_, coreCount_, lsOptions));
     ready_.clear();
   } else {
     plan_ = buildLocalityPlanLegacy(*graph_, *sharing_, coreCount_,
@@ -170,6 +186,7 @@ void OnlineLocalityScheduler::rebuild() {
   } else {
     LocalityOptions lsOptions;
     lsOptions.initialMinSharingRound = options_.initialMinSharingRound;
+    if (score_.distanceAware()) lsOptions.topology = score_.topology();
     fresh = indexed()
                 ? buildLocalityPlan(*graph_, *sharing_, coreCount_,
                                     lsOptions, liveSet)
@@ -203,6 +220,18 @@ void OnlineLocalityScheduler::patchArrival(ProcessId process) {
   std::size_t bestCore = 0;
   std::int64_t bestSharing = -1;
   if (indexed()) {
+    // The legacy scan lifted through LocalityScore::key: distance-blind
+    // the key is the raw sharing term — exactly the loop below — while
+    // on NoC platforms each core's term is discounted by its hops from
+    // the process's home (the core it last ran on, where its warm state
+    // sits; a never-ran process has none and pays no penalty anywhere —
+    // its first dispatch charges no migration). Sharing still dominates;
+    // among comparable cores the patch lands the process close to its
+    // warm tile, which is precisely the distance the migration penalty
+    // charges at resume.
+    const std::optional<std::size_t> home =
+        score_.distanceAware() ? index_.homeOf(process) : std::nullopt;
+    bool have = false;
     for (std::size_t c = 0; c < coreCount_; ++c) {
       if (skipDown && coreDown_[c]) continue;
       dropTrailingDead(c);
@@ -212,8 +241,10 @@ void OnlineLocalityScheduler::patchArrival(ProcessId process) {
       } else if (anchor_[c]) {
         s = sharing_->at(*anchor_[c], process);
       }
-      if (s > bestSharing) {
-        bestSharing = s;
+      const std::int64_t key = score_.key(s, c, home);
+      if (!have || key > bestSharing) {
+        have = true;
+        bestSharing = key;
         bestCore = c;
       }
     }
@@ -263,8 +294,8 @@ void OnlineLocalityScheduler::maybeBalance() {
     for (std::size_t c = 0; c < coreCount_; ++c) upMask[c] = !coreDown_[c];
   }
   const std::vector<std::vector<ProcessId>>& snapshot = plan().perCore;
-  const std::vector<BalanceMove> moves =
-      planBalanceMoves(snapshot, *sharing_, anchor_, options_.balancer, upMask);
+  const std::vector<BalanceMove> moves = planBalanceMoves(
+      snapshot, *sharing_, anchor_, options_.balancer, upMask, &score_);
   for (const BalanceMove& move : moves) {
     if (indexed()) {
       unplan(move.process);
@@ -363,6 +394,11 @@ void OnlineLocalityScheduler::onArrival(ProcessId process) {
   arrived_[process] = true;
   exited_[process] = false;
   dispatched_[process] = false;
+  if (reentry) {
+    // The previous life's warm state died with the crashed core: the
+    // retry starts cold, with no home until it runs again.
+    if (score_.distanceAware()) index_.setHome(process, std::nullopt);
+  }
   // The live sharing matrix gained this process's row and column just
   // before this event; cached keys involving it must not survive.
   if (indexed()) index_.invalidateProcess(process);
@@ -438,6 +474,9 @@ std::optional<ProcessId> OnlineLocalityScheduler::pickNext(
 
     const auto take = [&](ProcessId p) {
       dispatched_[p] = true;
+      // The process runs — and warms up — here: its distance home is
+      // this core until it runs somewhere else.
+      if (score_.distanceAware()) index_.setHome(p, core);
       anchor_[core] = p;
       ++stats_.decisions;
       return p;

@@ -45,6 +45,17 @@
 /// default) sheds queue tails from overloaded cores to the best-sharing
 /// underloaded core after each absorbed event, in either mode.
 ///
+/// On NoC platforms (OnlineLocalityOptions::hopWeight > 0; indexed mode
+/// only) every decision becomes hop-weighted through the shared
+/// LocalityScore: rebuilds take the spiral initial mapping, arrival
+/// patches and steals score candidates by the hop-weighted key against
+/// each process's home — the core it last ran on, where its warm state
+/// sits; a never-ran process has no home and pays no distance penalty,
+/// because its first dispatch charges no migration — and balance moves
+/// discount candidate targets by the hops the moved process's warm
+/// state would travel. hopWeight == 0 — the default — keeps every
+/// decision bit-identical to the distance-blind policy.
+///
 /// Under fault injection (docs §13) the engine reports core outages and
 /// failures through onCoreDown/onCoreUp. A downed core's pending queue
 /// is orphaned on the spot and re-homed by planOrphanReassignment (the
@@ -89,9 +100,30 @@ struct OnlineLocalityOptions {
   /// (disabled by default; enabling it changes dispatch).
   LoadBalancerOptions balancer;
 
-  /// Throws laps::Error on a negative rebuild threshold or invalid
-  /// balancer tunables. The single source of these constraints: the
-  /// scheduler's constructor and makeScheduler both enforce it.
+  /// NoC platforms: hop penalty per unit of distance in every scoring
+  /// decision, in 1/LocalityScore::kSharingScale sharing units (>= 0).
+  /// 0 — the default, and the only meaningful value off-NoC — keeps
+  /// every decision bit-identical to the distance-blind policy. > 0
+  /// (requires the indexed planner and a platform with a topology) the
+  /// scheduler becomes distance-aware end to end: spiral initial
+  /// mapping in rebuilds, home-anchored arrival patches, steals and
+  /// balance targets discounted by NoC hops.
+  std::int64_t hopWeight = 0;
+
+  /// Preemption quantum in cycles (>= 0). 0 — the default — keeps OLS
+  /// non-preemptive (quantum() = nullopt), bit-identical to every
+  /// committed run. > 0 the engine suspends a segment at the quantum
+  /// and OLS replans the survivor through patchArrival — on NoC
+  /// platforms the resume core then pays the distance-scaled migration
+  /// penalty (NocConfig::migrationHopCycles), which is the channel the
+  /// hop-weighted scoring exists to shrink.
+  std::int64_t quantumCycles = 0;
+
+  /// Throws laps::Error on a negative rebuild threshold, a negative
+  /// hop weight or quantum, a hop weight without the indexed planner,
+  /// or invalid balancer tunables. The single source of these
+  /// constraints: the scheduler's constructor and makeScheduler both
+  /// enforce it.
   void validate() const;
 };
 
@@ -111,6 +143,11 @@ class OnlineLocalityScheduler final : public SchedulerPolicy {
   std::optional<ProcessId> pickNext(std::size_t core,
                                     std::optional<ProcessId> previous) override;
   [[nodiscard]] std::string name() const override { return "OLS"; }
+  /// Preemptive iff OnlineLocalityOptions::quantumCycles > 0.
+  [[nodiscard]] std::optional<std::int64_t> quantum() const override {
+    if (options_.quantumCycles > 0) return options_.quantumCycles;
+    return std::nullopt;
+  }
 
   /// The current (patched or rebuilt) plan — the pending, undispatched
   /// work per core. Right after reset() on a closed workload this is
@@ -127,6 +164,10 @@ class OnlineLocalityScheduler final : public SchedulerPolicy {
 
   /// Decision-work counters (PolicyStats in scheduler.h).
   [[nodiscard]] PolicyStats stats() const override;
+
+  [[nodiscard]] const LocalityScore* localityScore() const override {
+    return &score_;
+  }
 
  private:
   /// One tombstone-queue entry (indexed representation). Alive iff
@@ -189,6 +230,10 @@ class OnlineLocalityScheduler final : public SchedulerPolicy {
   const ExtendedProcessGraph* graph_ = nullptr;
   const SharingMatrix* sharing_ = nullptr;
   std::size_t coreCount_ = 0;
+  /// The one scoring arithmetic (sharing + optional hop distance).
+  /// Distance-aware iff options_.hopWeight > 0 and the platform handed
+  /// a topology through SchedContext; also the PlanIndex distance hook.
+  LocalityScore score_;
   /// Legacy mode: the live plan representation. Indexed mode: the
   /// plan() materialization cache, stale while planDirty_.
   mutable LocalityPlan plan_;

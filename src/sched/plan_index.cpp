@@ -34,6 +34,41 @@ void PlanIndex::reset(const SharingMatrix& sharing, std::size_t n,
   readyGen_ = 0;
   heaps_.assign(coreCount, CoreHeap{});
   popCount_ = 0;
+  score_ = nullptr;
+  home_.assign(n, -1);
+}
+
+void PlanIndex::enableDistance(const LocalityScore* score) {
+  score_ = score;
+  // Keys may change meaning wholesale: force every heap to rebuild.
+  ++readyGen_;
+}
+
+void PlanIndex::setHome(ProcessId process, std::optional<std::size_t> home) {
+  check(process < home_.size(), "PlanIndex::setHome: unknown process");
+  const std::int32_t next =
+      home ? static_cast<std::int32_t>(*home) : std::int32_t{-1};
+  if (home_[process] == next) return;
+  home_[process] = next;
+  // Distance-blind keys ignore homes — skip the (cache-thrashing)
+  // invalidation entirely so the pre-NoC hot path is untouched.
+  if (score_ == nullptr || !score_->distanceAware()) return;
+  invalidateProcess(process);
+}
+
+std::optional<std::size_t> PlanIndex::homeOf(ProcessId process) const {
+  check(process < home_.size(), "PlanIndex::homeOf: unknown process");
+  if (home_[process] < 0) return std::nullopt;
+  return static_cast<std::size_t>(home_[process]);
+}
+
+std::int64_t PlanIndex::keyFor(std::size_t core, ProcessId q,
+                               const std::int64_t* row) const {
+  const std::int64_t sharingTerm = row ? row[q] : 0;
+  if (score_ == nullptr || !score_->distanceAware()) return sharingTerm;
+  std::optional<std::size_t> home;
+  if (home_[q] >= 0) home = static_cast<std::size_t>(home_[q]);
+  return score_->key(sharingTerm, core, home);
 }
 
 void PlanIndex::beginPlanner(const ExtendedProcessGraph& graph,
@@ -108,13 +143,15 @@ void PlanIndex::compactReadyList() {
   ++readyGen_;  // heaps built against the old list must fully rebuild
 }
 
-void PlanIndex::rebuildHeap(CoreHeap& heap, ProcessId anchor) {
+void PlanIndex::rebuildHeap(CoreHeap& heap, std::size_t core,
+                            ProcessId anchor) {
   const std::span<const std::int64_t> row = sharing_->row(anchor);
   heap.entries.clear();
   heap.entries.reserve(readyCount_);
   for (const ProcessId q : readyList_) {
     if (!ready_[q]) continue;
-    heap.entries.push_back(HeapEntry{row[q], q, version_[q]});
+    heap.entries.push_back(HeapEntry{keyFor(core, q, row.data()), q,
+                                     version_[q]});
   }
   std::make_heap(heap.entries.begin(), heap.entries.end(), HeapBelow{});
   heap.valid = true;
@@ -124,26 +161,27 @@ void PlanIndex::rebuildHeap(CoreHeap& heap, ProcessId anchor) {
   heap.syncedTo = readyList_.size();
 }
 
-void PlanIndex::syncHeap(CoreHeap& heap, ProcessId anchor) {
+void PlanIndex::syncHeap(CoreHeap& heap, std::size_t core, ProcessId anchor) {
   if (heap.syncedTo == readyList_.size()) return;
   const std::span<const std::int64_t> row = sharing_->row(anchor);
   for (std::size_t i = heap.syncedTo; i < readyList_.size(); ++i) {
     const ProcessId q = readyList_[i];
     if (!ready_[q]) continue;
-    heap.entries.push_back(HeapEntry{row[q], q, version_[q]});
+    heap.entries.push_back(HeapEntry{keyFor(core, q, row.data()), q,
+                                     version_[q]});
     std::push_heap(heap.entries.begin(), heap.entries.end(), HeapBelow{});
   }
   heap.syncedTo = readyList_.size();
 }
 
 std::optional<PlanIndex::HeapEntry> PlanIndex::rescanBest(
-    std::optional<ProcessId> anchor) const {
+    std::size_t core, std::optional<ProcessId> anchor) const {
   std::optional<HeapEntry> best;
   const std::int64_t* row = nullptr;
   if (anchor) row = sharing_->row(*anchor).data();
   for (const ProcessId q : readyList_) {
     if (!ready_[q]) continue;
-    const std::int64_t s = row ? row[q] : 0;
+    const std::int64_t s = keyFor(core, q, row);
     if (!best || s > best->key || (s == best->key && q < best->id)) {
       best = HeapEntry{s, q, version_[q]};
     }
@@ -156,17 +194,19 @@ std::optional<PlanIndex::HeapEntry> PlanIndex::peekBest(
   check(core < heaps_.size(), "PlanIndex: unknown core");
   if (readyCount_ == 0) return std::nullopt;
   if (!anchor) {
-    // Anchorless pick: every key is 0, so the argmax degenerates to the
-    // smallest ready id — a linear rescan, no heap to maintain.
-    return rescanBest(std::nullopt);
+    // Anchorless pick: distance-blind, every key is 0 and the argmax
+    // degenerates to the smallest ready id; distance-aware, keys are
+    // pure hop penalties and the nearest home wins. Either way a linear
+    // rescan — no heap to maintain for a cold core.
+    return rescanBest(core, std::nullopt);
   }
   CoreHeap& heap = heaps_[core];
   if (!heap.valid || heap.anchor != anchor ||
       heap.readyGen != readyGen_ ||
       heap.anchorVersion != version_[*anchor]) {
-    rebuildHeap(heap, *anchor);
+    rebuildHeap(heap, core, *anchor);
   } else {
-    syncHeap(heap, *anchor);
+    syncHeap(heap, core, *anchor);
   }
   while (!heap.entries.empty()) {
     const HeapEntry& top = heap.entries.front();
@@ -204,7 +244,7 @@ void PlanIndex::place(ProcessId process) {
 void PlanIndex::auditTopAgreement(std::size_t core,
                                   std::optional<ProcessId> anchor) {
   const std::optional<HeapEntry> top = peekBest(core, anchor);
-  const std::optional<HeapEntry> oracle = rescanBest(anchor);
+  const std::optional<HeapEntry> oracle = rescanBest(core, anchor);
   audit::require(top.has_value() == oracle.has_value(),
                  "plan index: heap top exists iff the rescan finds a "
                  "ready candidate");

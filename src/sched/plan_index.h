@@ -16,7 +16,10 @@
 ///  * per-core lazy max-heaps over the sharing row of the core's anchor
 ///    (its previously placed / dispatched process). Entries cache
 ///    (key = sharing(anchor, q), id = q, version = version[q]); the
-///    heap orders by key descending, id ascending;
+///    heap orders by key descending, id ascending. On NoC platforms
+///    (enableDistance) the key is the hop-weighted LocalityScore::key
+///    over the sharing term and the candidate's home core — still one
+///    int64, so nothing else changes;
 ///  * per-process version tags. Any event that changes what a cached
 ///    key or membership means — the process was placed, dispatched, or
 ///    its sharing row changed under open-workload arrival/exit — bumps
@@ -45,6 +48,7 @@
 #include <vector>
 
 #include "region/sharing.h"
+#include "sched/locality_score.h"
 #include "taskgraph/graph.h"
 
 namespace laps {
@@ -92,6 +96,26 @@ class PlanIndex {
   /// heap entries, and any heap anchored on it — is invalidated.
   void invalidateProcess(ProcessId process);
 
+  /// Hop-weighted keys (NoC platforms): every cached key becomes
+  /// score->key(sharing(anchor, q), core, home(q)) instead of the raw
+  /// sharing term — still one int64, so the heap machinery and the
+  /// strict-> argmax order are untouched. \p score is non-owning and
+  /// must stay configured for the index's lifetime; a null or
+  /// distance-blind score keeps the raw sharing keys bit-identically
+  /// (the pre-NoC arithmetic). Cleared by beginPlanner/beginDispatch —
+  /// call after them.
+  void enableDistance(const LocalityScore* score);
+
+  /// Declares \p process's cache-warm home core (where it last ran), or
+  /// withdraws it with nullopt. A home change shifts the distance term
+  /// of every cached key for the process, so it reuses the
+  /// invalidateProcess staleness protocol; no-op when unchanged.
+  /// Distance-blind indexes ignore homes entirely.
+  void setHome(ProcessId process, std::optional<std::size_t> home);
+
+  /// \p process's current home core (setHome), nullopt when none.
+  [[nodiscard]] std::optional<std::size_t> homeOf(ProcessId process) const;
+
   /// Extracts the best ready candidate for \p core: maximum
   /// sharing(anchor, q), smallest id on ties; without an anchor, the
   /// smallest ready id (the legacy scan's s = 0 degenerate case).
@@ -125,7 +149,9 @@ class PlanIndex {
 
   /// One cached heap entry (public for the comparator and tests).
   struct HeapEntry {
-    std::int64_t key = 0;       ///< sharing(anchor, id) at push time
+    /// sharing(anchor, id) at push time; with enableDistance, the
+    /// hop-weighted LocalityScore::key over it.
+    std::int64_t key = 0;
     ProcessId id = 0;
     std::uint32_t version = 0;  ///< version_[id] at push time
   };
@@ -142,8 +168,14 @@ class PlanIndex {
 
   void reset(const SharingMatrix& sharing, std::size_t n,
              std::size_t coreCount);
-  void rebuildHeap(CoreHeap& heap, ProcessId anchor);
-  void syncHeap(CoreHeap& heap, ProcessId anchor);
+  /// The one key function: distance-blind, the raw sharing term
+  /// (row[q], or 0 anchorless); distance-aware, LocalityScore::key over
+  /// it and \p q's home. Heap build, sync, and the rescan oracle all go
+  /// through it so they can never disagree on arithmetic.
+  [[nodiscard]] std::int64_t keyFor(std::size_t core, ProcessId q,
+                                    const std::int64_t* row) const;
+  void rebuildHeap(CoreHeap& heap, std::size_t core, ProcessId anchor);
+  void syncHeap(CoreHeap& heap, std::size_t core, ProcessId anchor);
   void compactReadyList();
   /// Peeks the current top (after sync + stale-pop); nullopt iff no
   /// ready candidate survives.
@@ -152,7 +184,7 @@ class PlanIndex {
   /// The order-independent argmax by linear rescan (the audit oracle
   /// and the anchorless path).
   [[nodiscard]] std::optional<HeapEntry> rescanBest(
-      std::optional<ProcessId> anchor) const;
+      std::size_t core, std::optional<ProcessId> anchor) const;
 
   const ExtendedProcessGraph* graph_ = nullptr;  // planner mode only
   const SharingMatrix* sharing_ = nullptr;
@@ -167,6 +199,10 @@ class PlanIndex {
   std::uint64_t readyGen_ = 0;
   std::vector<CoreHeap> heaps_;
   std::uint64_t popCount_ = 0;  // audit sampling counter
+  /// Distance hook (enableDistance); null or distance-blind = raw
+  /// sharing keys, the pre-NoC arithmetic.
+  const LocalityScore* score_ = nullptr;
+  std::vector<std::int32_t> home_;  ///< home core per process; -1 = none
 };
 
 }  // namespace laps

@@ -35,7 +35,9 @@
 
 namespace laps {
 
-class AddressSpace;  // layout/address_space.h
+class AddressSpace;   // layout/address_space.h
+class LocalityScore;  // sched/locality_score.h
+class NocTopology;    // cache/noc.h
 
 /// The schedulers evaluated in the paper (§4) plus the extensions this
 /// library adds (paper §6 future work: "compare to other OS scheduling
@@ -139,6 +141,11 @@ struct SchedContext {
   std::size_t coreCount = 0;
   const Workload* workload = nullptr;
   const AddressSpace* space = nullptr;
+  /// Interconnect geometry when the platform routes misses over a NoC
+  /// (cache/noc.h); null on flat/bus platforms. Appended last so every
+  /// pre-NoC aggregate initializer still compiles (and value-initializes
+  /// this to null — distance-blind, the legacy behavior).
+  const NocTopology* topology = nullptr;
 };
 
 /// Counters a policy may expose about its own decision work (all zero
@@ -213,6 +220,18 @@ class SchedulerPolicy {
   /// Decision-work counters since reset() (see PolicyStats). Default:
   /// all zero.
   [[nodiscard]] virtual PolicyStats stats() const { return {}; }
+
+  /// The unified locality-score arithmetic this policy dispatches with
+  /// (sched/locality_score.h: sharing term, optional L2-conflict term,
+  /// optional hop-distance term), or null for policies that do not
+  /// score locality. One definition of the arithmetic shared by DLS,
+  /// CALS and OLS — harnesses introspect it to verify the policies
+  /// stopped reimplementing score math (tests/sched/
+  /// locality_score_test.cpp; decision-identity is pinned by the PR 8
+  /// checksum baseline).
+  [[nodiscard]] virtual const LocalityScore* localityScore() const {
+    return nullptr;
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

@@ -40,8 +40,11 @@ MpsocSimulator::MpsocSimulator(const Workload& workload,
         "MpsocSimulator: sharing matrix size mismatch");
   config_.memory.l1d.validate();
   if (config_.memory.modelICache) config_.memory.l1i.validate();
-  if (config_.sharedL2) config_.sharedL2->validate();
-  if (config_.bus) config_.bus->validate();
+  // One eager validation point for the whole shared-level shape: the
+  // descriptor (or its legacy-field equivalent) checks each enabled
+  // component plus the cross-field rules.
+  platform_ = config_.resolvedPlatform();
+  platform_.validate(config_.coreCount);
   config_.admission.validate();
 }
 
@@ -67,7 +70,7 @@ std::int64_t MpsocSimulator::runSegment(std::size_t coreIdx, ProcessId process,
     migrationPenaltyDue_[process] = false;
     const std::int64_t penalty =
         config_.faults->migrationPenaltyCycles +
-        (config_.sharedL2 ? config_.faults->l2RewarmPenaltyCycles : 0);
+        (platform_.sharedL2 ? config_.faults->l2RewarmPenaltyCycles : 0);
     switchOverhead += penalty;
     result_.faults.migrationPenaltyCycles +=
         static_cast<std::uint64_t>(penalty);
@@ -82,6 +85,18 @@ std::int64_t MpsocSimulator::runSegment(std::size_t coreIdx, ProcessId process,
   }
   if (lastRanOn_[process] && *lastRanOn_[process] != coreIdx) {
     ++result_.migrations;
+    // On a NoC the resume's warm state moves across the die: charge the
+    // distance-scaled penalty outside the quantum, like switch overhead.
+    // migrationHopCycles defaults to 0, keeping pre-NoC runs exact.
+    if (platform_.nocEnabled() && platform_.noc.migrationHopCycles > 0) {
+      const NocTopology& topo = hierarchy_->noc()->topology();
+      const std::int64_t penalty =
+          platform_.noc.migrationHopCycles *
+          topo.hops(static_cast<std::int64_t>(*lastRanOn_[process]),
+                    static_cast<std::int64_t>(coreIdx));
+      switchOverhead += penalty;
+      result_.nocMigrationPenaltyCycles += static_cast<std::uint64_t>(penalty);
+    }
   }
 
   if (!cursors_[process]) {
@@ -427,12 +442,15 @@ SimResult MpsocSimulator::run() {
   result_.coreIdleCycles.assign(config_.coreCount, 0);
 
   hierarchy_ = std::make_shared<MemoryHierarchy>(
-      config_.memory.memLatencyCycles, config_.sharedL2, config_.bus,
+      config_.memory.memLatencyCycles, platform_, config_.coreCount,
       config_.memory.l1d.lineBytes);
   cores_.clear();
   for (std::size_t c = 0; c < config_.coreCount; ++c) {
     Core core;
-    core.memory = std::make_unique<MemorySystem>(config_.memory, hierarchy_);
+    // The core index is the MemorySystem's NoC node and directory bit;
+    // constructing in core order also registers the data caches in core
+    // order, which the directory's mask relies on.
+    core.memory = std::make_unique<MemorySystem>(config_.memory, hierarchy_, c);
     cores_.push_back(std::move(core));
   }
   cursors_.assign(n, std::nullopt);
@@ -537,7 +555,9 @@ SimResult MpsocSimulator::run() {
 
   const SchedContext context{&workload_->graph,
                              openWorkload_ ? &liveSharing_ : sharing_,
-                             config_.coreCount, workload_, space_};
+                             config_.coreCount, workload_, space_,
+                             hierarchy_->noc() ? &hierarchy_->noc()->topology()
+                                               : nullptr};
   policy_->reset(context);
   for (ProcessId p = 0; p < n; ++p) {
     remainingPreds_[p] = workload_->graph.predecessors(p).size();
@@ -823,6 +843,19 @@ SimResult MpsocSimulator::run() {
   if (const MemoryBus* bus = hierarchy_->bus()) {
     result_.busTransactions = bus->stats().transactions;
     result_.busWaitCycles = bus->stats().waitCycles;
+  }
+  if (const NocFabric* noc = hierarchy_->noc()) {
+    result_.nocEnabled = true;
+    result_.nocTransfers = noc->stats().transfers;
+    result_.nocPostedTransfers = noc->stats().postedTransfers;
+    result_.nocHopCycles = noc->stats().hopCycles;
+    result_.nocLinkWaitCycles = noc->stats().linkWaitCycles;
+  }
+  if (const SharerDirectory* dir = hierarchy_->directory()) {
+    result_.directoryEnabled = true;
+    result_.directoryInvalidationsSent = dir->stats().invalidationsSent;
+    result_.directoryInvalidationsFiltered =
+        dir->stats().invalidationsFiltered;
   }
   return result_;
 }

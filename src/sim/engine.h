@@ -185,6 +185,10 @@ class MpsocSimulator {
   const SharingMatrix* sharing_;
   SchedulerPolicy* policy_;
   MpsocConfig config_;
+  /// The effective shared-level descriptor (config_.resolvedPlatform(),
+  /// validated once in the constructor) — the only platform shape the
+  /// engine reads after construction.
+  PlatformConfig platform_;
 
   std::shared_ptr<MemoryHierarchy> hierarchy_;  // shared by all cores
   std::vector<Core> cores_;

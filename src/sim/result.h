@@ -138,6 +138,23 @@ struct SimResult {
   std::uint64_t busWaitCycles = 0;    ///< queueing for a free bus slot
   /// @}
 
+  /// \name NoC / directory statistics (zeros on Flat/Bus interconnects)
+  /// @{
+  bool nocEnabled = false;            ///< a Mesh/Xbar NoC routed misses
+  std::uint64_t nocTransfers = 0;     ///< demand transfers routed
+  std::uint64_t nocPostedTransfers = 0;  ///< write-backs + invalidations
+  std::uint64_t nocHopCycles = 0;     ///< summed per-hop latency (demand)
+  std::uint64_t nocLinkWaitCycles = 0;   ///< link queueing (demand)
+  /// Resume penalties charged for moving a process between tiles
+  /// (hops × NocConfig::migrationHopCycles, outside the quantum).
+  std::uint64_t nocMigrationPenaltyCycles = 0;
+  bool directoryEnabled = false;      ///< targeted back-invalidation ran
+  std::uint64_t directoryInvalidationsSent = 0;
+  /// Probes the broadcast protocol would have issued that the sharer
+  /// mask filtered out.
+  std::uint64_t directoryInvalidationsFiltered = 0;
+  /// @}
+
   std::uint64_t contextSwitches = 0;  ///< segments that changed the process
   std::uint64_t preemptions = 0;      ///< quantum expirations
   std::uint64_t migrations = 0;       ///< resumes on a different core

@@ -1,0 +1,174 @@
+#include "cache/directory.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "cache/platform.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace laps {
+namespace {
+
+// --- SharerDirectory unit behavior ---------------------------------------
+
+TEST(SharerDirectory, TracksSharerBitsPerLine) {
+  SharerDirectory dir(4);
+  EXPECT_EQ(dir.sharersOf(0), 0u);
+  dir.recordSharer(0, 1);
+  dir.recordSharer(0, 3);
+  dir.recordSharer(64, 2);
+  EXPECT_EQ(dir.sharersOf(0), (1u << 1) | (1u << 3));
+  EXPECT_EQ(dir.sharersOf(64), 1u << 2);
+  EXPECT_EQ(dir.trackedLines(), 2u);
+  dir.dropLine(0);
+  EXPECT_EQ(dir.sharersOf(0), 0u);
+  EXPECT_EQ(dir.trackedLines(), 1u);
+}
+
+TEST(SharerDirectory, InvalidationRoundCountsSentAndFiltered) {
+  SharerDirectory dir(8);
+  dir.recordSharer(0, 0);
+  dir.recordSharer(0, 5);
+  // 8 potential probe targets, 2 sharers: 2 sent, 6 filtered — the
+  // traffic the broadcast protocol would have wasted.
+  dir.noteInvalidationRound(dir.sharersOf(0), 8);
+  EXPECT_EQ(dir.stats().invalidationsSent, 2u);
+  EXPECT_EQ(dir.stats().invalidationsFiltered, 6u);
+}
+
+TEST(SharerDirectory, RejectsMoreThan64Cores) {
+  EXPECT_THROW(SharerDirectory dir(65), Error);
+  EXPECT_NO_THROW(SharerDirectory dir(64));
+}
+
+// --- Broadcast-vs-directory equivalence oracle ---------------------------
+
+MemoryConfig l1Defaults() {
+  MemoryConfig cfg;
+  cfg.l1d = CacheConfig{2048, 2, 32, 2};  // small: evictions are common
+  cfg.l1i = CacheConfig{8192, 2, 32, 2};
+  cfg.memLatencyCycles = 75;
+  return cfg;
+}
+
+SharedL2Config tinyL2() {
+  SharedL2Config l2;
+  l2.sizeBytes = 4096;  // small enough to back-invalidate constantly
+  l2.assoc = 2;
+  l2.lineBytes = 32;
+  l2.bankCount = 4;
+  l2.hitLatencyCycles = 8;
+  l2.bankBusyCycles = 4;
+  return l2;
+}
+
+struct StreamResult {
+  std::vector<std::int64_t> latencies;
+  std::uint64_t l1Misses = 0;
+  std::uint64_t l1Invalidations = 0;  // lines recalled out of the L1s
+  std::uint64_t l2Misses = 0;
+  std::uint64_t inclusionWritebacks = 0;  // dirty recalls folded upward
+};
+
+/// Runs a deterministic random read/write stream over \p cores cores
+/// and captures the full observable behavior: every latency plus the
+/// cache-state summary counters.
+StreamResult runStream(const PlatformConfig& platform, std::size_t cores,
+                       std::uint64_t seed) {
+  auto hierarchy = std::make_shared<MemoryHierarchy>(75, platform, cores, 32);
+  std::vector<std::unique_ptr<MemorySystem>> mems;
+  mems.reserve(cores);
+  for (std::size_t c = 0; c < cores; ++c) {
+    mems.push_back(std::make_unique<MemorySystem>(l1Defaults(), hierarchy, c));
+  }
+  Rng rng(seed);
+  StreamResult out;
+  std::int64_t now = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const std::size_t core = rng.below(cores);
+    // 256 lines over a 128-line L2: inclusion victims fly constantly.
+    const std::uint64_t addr = rng.below(256) * 32;
+    const bool write = rng.below(3) == 0;
+    out.latencies.push_back(mems[core]->dataAccess(addr, write, now));
+    now += static_cast<std::int64_t>(rng.below(8));
+  }
+  for (std::size_t c = 0; c < cores; ++c) {
+    out.l1Misses += mems[c]->dcache().stats().misses;
+    out.l1Invalidations += mems[c]->dcache().stats().invalidations;
+  }
+  out.l2Misses = hierarchy->l2()->stats().misses;
+  out.inclusionWritebacks = hierarchy->inclusionWritebacks();
+  return out;
+}
+
+TEST(DirectoryEquivalence, TargetedInvalidationMatchesBroadcast) {
+  // Over a zero-cost mesh the directory must be functionally invisible:
+  // its sharer masks over-approximate the true holders (bits are set on
+  // every data fill and cleared only by back-invalidation), and
+  // invalidating a non-holder is a no-op — so per-access latencies,
+  // miss counts and back-invalidation rounds all match the broadcast
+  // protocol exactly. Several seeds guard against a lucky stream.
+  PlatformConfig broadcast;
+  broadcast.interconnect = InterconnectKind::Mesh;
+  broadcast.sharedL2 = tinyL2();
+  PlatformConfig directory = broadcast;
+  directory.coherence = CoherenceKind::Directory;
+  for (const std::uint64_t seed : {1u, 17u, 99u}) {
+    const StreamResult a = runStream(broadcast, 4, seed);
+    const StreamResult b = runStream(directory, 4, seed);
+    EXPECT_EQ(a.latencies, b.latencies) << "seed " << seed;
+    EXPECT_EQ(a.l1Misses, b.l1Misses) << "seed " << seed;
+    EXPECT_EQ(a.l2Misses, b.l2Misses) << "seed " << seed;
+    EXPECT_EQ(a.l1Invalidations, b.l1Invalidations) << "seed " << seed;
+    EXPECT_EQ(a.inclusionWritebacks, b.inclusionWritebacks) << "seed " << seed;
+  }
+}
+
+TEST(DirectoryEquivalence, DirectoryFiltersProbesOnTheStream) {
+  // The equivalence is not vacuous: the same streams make the directory
+  // actually filter probes (sharers < cores on some rounds) and send
+  // targeted ones over the NoC.
+  PlatformConfig directory;
+  directory.interconnect = InterconnectKind::Mesh;
+  directory.sharedL2 = tinyL2();
+  directory.coherence = CoherenceKind::Directory;
+  auto hierarchy = std::make_shared<MemoryHierarchy>(75, directory, 4, 32);
+  std::vector<std::unique_ptr<MemorySystem>> mems;
+  for (std::size_t c = 0; c < 4; ++c) {
+    mems.push_back(std::make_unique<MemorySystem>(l1Defaults(), hierarchy, c));
+  }
+  Rng rng(5);
+  std::int64_t now = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const std::size_t core = rng.below(4);
+    const std::uint64_t addr = rng.below(256) * 32;
+    mems[core]->dataAccess(addr, rng.below(3) == 0, now);
+    now += static_cast<std::int64_t>(rng.below(8));
+  }
+  ASSERT_NE(hierarchy->directory(), nullptr);
+  const DirectoryStats& stats = hierarchy->directory()->stats();
+  EXPECT_GT(stats.invalidationsFiltered, 0u);
+  EXPECT_GT(stats.invalidationsSent, 0u);
+}
+
+TEST(DirectoryEquivalence, TimedDirectoryPlatformStaysDeterministic) {
+  // With real hop latency and finite links the stream is not equal to
+  // broadcast (timing differs) but must be perfectly reproducible.
+  PlatformConfig timed;
+  timed.interconnect = InterconnectKind::Mesh;
+  timed.sharedL2 = tinyL2();
+  timed.coherence = CoherenceKind::Directory;
+  timed.noc.hopCycles = 3;
+  timed.noc.linkWidthBytes = 8;
+  const StreamResult a = runStream(timed, 4, 42);
+  const StreamResult b = runStream(timed, 4, 42);
+  EXPECT_EQ(a.latencies, b.latencies);
+  EXPECT_EQ(a.l2Misses, b.l2Misses);
+}
+
+}  // namespace
+}  // namespace laps

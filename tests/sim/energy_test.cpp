@@ -82,8 +82,9 @@ TEST(EnergyModel, ExperimentEnergyMatchesManualRecomputation) {
   for (const bool withL2 : {false, true}) {
     ExperimentConfig config;
     if (withL2) {
-      config.mpsoc.sharedL2.emplace();
-      config.mpsoc.bus.emplace();
+      PlatformConfig& platform = config.mpsoc.platform.emplace();
+      platform.interconnect = InterconnectKind::Bus;
+      platform.sharedL2.emplace();
     }
     const auto r = runExperiment(mix, SchedulerKind::Locality, config);
     EXPECT_EQ(r.sim.sharedL2Enabled, withL2);

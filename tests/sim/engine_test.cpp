@@ -442,8 +442,9 @@ TEST(MpsocSimulator, ContentionAwarePolicyRunsEndToEnd) {
   const auto suite = standardSuite(AppParams{0.25});
   const Workload mix = concurrentScenario(suite, 2);
   ExperimentConfig config;
-  config.mpsoc.sharedL2.emplace();
-  config.mpsoc.bus.emplace();
+  PlatformConfig& platform = config.mpsoc.platform.emplace();
+  platform.interconnect = InterconnectKind::Bus;
+  platform.sharedL2.emplace();
   const auto r = runExperiment(mix, SchedulerKind::L2ContentionAware, config);
   EXPECT_EQ(r.schedulerName, "CALS");
   EXPECT_EQ(r.sim.processes.size(), mix.graph.processCount());
